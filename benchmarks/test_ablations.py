@@ -1,0 +1,183 @@
+"""Design-choice ablations (the DESIGN.md commitments).
+
+The paper motivates several ingredients of Algorithm 1 without
+separately measuring them; these benches quantify each on Φ_coreutils:
+
+  * Gaussian vs uniform value mutation (§3's locality argument);
+  * sensitivity-guided vs uniform axis choice (the Battleship
+    orientation inference);
+  * aging on vs off (§3: without aging the search orbits outliers);
+  * Algorithm 1 vs the abandoned genetic algorithm (§3 "Alternative
+    Algorithms": "we found it inefficient").
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+from repro.core import (
+    ExplorationSession,
+    FaultSpace,
+    FitnessGuidedSearch,
+    GeneticSearch,
+    IterationBudget,
+    RandomSearch,
+    TargetRunner,
+    standard_impact,
+)
+from repro.sim.targets.coreutils import COREUTILS_FUNCTIONS, CoreutilsTarget
+from repro.util.tables import TextTable
+
+ITERATIONS = 250
+SEEDS = (1, 2, 3, 4, 5)
+
+
+def _mean_failed(strategy_factory) -> float:
+    total = 0
+    for seed in SEEDS:
+        target = CoreutilsTarget()
+        results = ExplorationSession(
+            runner=TargetRunner(target),
+            space=FaultSpace.product(
+                test=range(1, 30), function=COREUTILS_FUNCTIONS,
+                call=[0, 1, 2],
+            ),
+            metric=standard_impact(),
+            strategy=strategy_factory(),
+            target=IterationBudget(ITERATIONS),
+            rng=seed,
+        ).run()
+        total += results.failed_count()
+    return total / len(SEEDS)
+
+
+def test_ablations_algorithm_ingredients(benchmark, report):
+    def experiment():
+        return {
+            "full Algorithm 1": _mean_failed(FitnessGuidedSearch),
+            "uniform mutation": _mean_failed(
+                lambda: FitnessGuidedSearch(gaussian=False)),
+            "no sensitivity": _mean_failed(
+                lambda: FitnessGuidedSearch(use_sensitivity=False)),
+            "no aging": _mean_failed(
+                lambda: FitnessGuidedSearch(aging=False)),
+            "adaptive sigma": _mean_failed(
+                lambda: FitnessGuidedSearch(adaptive_sigma=True)),
+            "strict-min eviction": _mean_failed(
+                lambda: FitnessGuidedSearch(eviction="strict-min")),
+            "genetic algorithm": _mean_failed(
+                lambda: GeneticSearch(population_size=25)),
+            "random": _mean_failed(RandomSearch),
+        }
+
+    rows = run_once(benchmark, experiment)
+
+    table = TextTable(
+        ["configuration", "failed tests @250"],
+        title=(
+            f"Ablations — Φ_coreutils, mean of seeds {SEEDS} "
+            "(every ingredient removed should cost failures; the GA is "
+            "the paper's abandoned baseline)"
+        ),
+    )
+    for name, failed in rows.items():
+        table.add_row([name, f"{failed:.1f}"])
+    report("ablations", table.render())
+
+    full = rows["full Algorithm 1"]
+    # Every guided variant still beats random handily...
+    for name in ("uniform mutation", "no sensitivity", "no aging",
+                 "adaptive sigma", "strict-min eviction"):
+        assert rows[name] > 1.5 * rows["random"], name
+    # The §3 future-work dynamic sigma is competitive with the fixed
+    # |A|/5 choice (within 25% either way on this target).
+    assert rows["adaptive sigma"] > 0.75 * full
+    # ...and the full algorithm beats the GA the authors abandoned.
+    assert full > rows["genetic algorithm"]
+    # The GA itself beats random (it is guided, just less efficiently).
+    assert rows["genetic algorithm"] > rows["random"]
+
+
+def test_ablation_aging_retires_outliers(benchmark, report):
+    """§3's aging motivation, isolated on a synthetic space.
+
+    "Discovering a massive-impact 'outlier' fault with no serious faults
+    in its vicinity would cause an AFEX with no aging to waste time
+    exploring exhaustively that vicinity."  We plant exactly that
+    outlier (impact 1000, dead surroundings) and observe the mechanism:
+
+    * with aging, the outlier's fitness decays below the retirement
+      threshold and it leaves Qpriority — deterministically, across
+      every seed;
+    * without aging it anchors Qpriority forever.
+
+    Honest secondary finding: in *this implementation* the downstream
+    pathology is largely neutralized even without aging, because the
+    offspring-generation fallback (random probe after repeated duplicate
+    candidates) re-widens the search once the outlier's vicinity is
+    saturated.  Aging remains the principled fix; the fallback is the
+    safety net.  Both are reported.
+    """
+    import random as _random
+
+    from repro.core.fault import Fault
+    from repro.injection.plan import InjectionPlan
+    from repro.sim.process import RunResult
+
+    space = FaultSpace.product(x=range(60), y=range(60))
+    outlier = Fault.of(x=5, y=5)
+
+    blank = RunResult(
+        test_id=1, test_name="", plan=InjectionPlan.none(), exit_code=0,
+        crash_kind=None, crash_message=None, crash_stack=None,
+        injection_stack=None, injected=True, coverage=frozenset(), steps=1,
+    )
+
+    def run(aging: bool, seed: int):
+        strategy = FitnessGuidedSearch(
+            initial_batch=10, aging=aging, aging_decay=0.9,
+            initial_seeds=(outlier,),
+        )
+        strategy.bind(space, _random.Random(seed))
+        near = total = 0
+        for i in range(400):
+            fault = strategy.propose()
+            if fault is None:
+                break
+            strategy.observe(fault, 1000.0 if fault == outlier else 0.0,
+                             blank)
+            if i >= 100:
+                total += 1
+                if space.distance(fault, outlier) <= 15:
+                    near += 1
+        still_queued = any(
+            c.fault == outlier for c in strategy.priority_snapshot()
+        )
+        return still_queued, near / max(total, 1)
+
+    def experiment():
+        seeds = range(20, 28)
+        with_aging = [run(True, s) for s in seeds]
+        without = [run(False, s) for s in seeds]
+        return with_aging, without
+
+    with_aging, without = run_once(benchmark, experiment)
+    aging_near = sum(frac for _, frac in with_aging) / len(with_aging)
+    without_near = sum(frac for _, frac in without) / len(without)
+    report(
+        "ablation_aging",
+        (
+            "outlier-retirement mechanism (8 seeds, 400 iterations):\n"
+            f"  aging on:  outlier still in Qpriority: "
+            f"{sum(q for q, _ in with_aging)}/8; "
+            f"late proposals near outlier: {100 * aging_near:.0f}%\n"
+            f"  aging off: outlier still in Qpriority: "
+            f"{sum(q for q, _ in without)}/8; "
+            f"late proposals near outlier: {100 * without_near:.0f}%\n"
+            "(the random-probe fallback caps the damage either way — "
+            "aging removes the cause, the fallback the symptom)"
+        ),
+    )
+    # The mechanism is deterministic: aging always retires the outlier,
+    # no-aging never does.
+    assert not any(queued for queued, _ in with_aging)
+    assert all(queued for queued, _ in without)

@@ -1,0 +1,71 @@
+"""Figure 1: the fault-space structure map for ``ls``.
+
+The paper plots, for the ls utility, which (test, libc function) pairs
+fail when the *first* call to that function is made to fail.  The black
+clusters (structure) are what motivates guided exploration.
+
+Reproduction: the same grid over our simulated ls's 11 tests and the
+19-function axis, rendered as ASCII ('#' = test failure, '.' = none).
+Shape checks: per-utility block structure exists — functions used only
+by ls fail only ls tests; ignored-failure functions (setlocale) produce
+empty columns; the grid is far from uniform.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+from repro.reporting import render_structure_map, structure_map
+from repro.sim.targets.coreutils import COREUTILS_FUNCTIONS, CoreutilsTarget
+
+LS_TESTS = list(range(1, 12))
+
+
+def test_fig1_ls_structure_map(benchmark, report):
+    target = CoreutilsTarget()
+    functions = list(COREUTILS_FUNCTIONS)
+
+    grid = run_once(
+        benchmark,
+        lambda: structure_map(target, functions, test_ids=LS_TESTS, call_number=1),
+    )
+
+    rendering = render_structure_map(grid, functions, LS_TESTS)
+    report("fig1_structure_map", rendering)
+
+    column = {name: i for i, name in enumerate(functions)}
+
+    # The locale column is all gray: coreutils ignore locale failures.
+    assert not any(row[column["setlocale"]] for row in grid)
+    # closedir failures are ignored by ls (gray column, like Fig. 1).
+    assert not any(row[column["closedir"]] for row in grid)
+    # opendir is on most ls paths: a mostly-black column.
+    assert sum(row[column["opendir"]] for row in grid) >= 8
+    # The grid is structured, not uniform: overall failure density is
+    # strictly between 5% and 80%.
+    total = sum(sum(row) for row in grid)
+    assert 0.05 * len(grid) * len(functions) < total < 0.8 * len(grid) * len(functions)
+
+
+def test_fig1_full_grid_block_structure(benchmark, report):
+    """Extend the map to all 29 tests: utility blocks must be visible."""
+    target = CoreutilsTarget()
+    functions = list(COREUTILS_FUNCTIONS)
+    all_tests = list(range(1, 30))
+
+    grid = run_once(
+        benchmark,
+        lambda: structure_map(target, functions, test_ids=all_tests, call_number=1),
+    )
+    report(
+        "fig1_full_grid",
+        render_structure_map(grid, functions, all_tests),
+    )
+
+    column = {name: i for i, name in enumerate(functions)}
+    # ls-only functions never fail ln/mv tests (rows 11..28).
+    for function in ("opendir", "readdir", "chdir"):
+        assert not any(grid[row][column[function]] for row in range(11, 29))
+    # link failures hit only the ln block.
+    assert any(grid[row][column["link"]] for row in range(11, 20))
+    assert not any(grid[row][column["link"]] for row in range(0, 11))
+    assert not any(grid[row][column["link"]] for row in range(20, 29))

@@ -1,0 +1,97 @@
+"""Table 2: MiniHttpd — fitness vs random, 1,000 test iterations.
+
+Paper (Apache httpd 2.3.8, Φ of 11,020 faults):
+    # failed tests: 736 (fitness) vs 238 (random)  — 3.1x
+    # crashes:      246 vs 21                      — 11.7x
+    plus 27 manifestations of the Fig. 7 strdup bug found by fitness,
+    none by random.
+
+Shape requirements: >=2x failed, >=5x crashes, and the strdup/NULL
+crash must appear among the guided run's crashes.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+from repro.core import (
+    ExplorationSession,
+    FaultSpace,
+    FitnessGuidedSearch,
+    IterationBudget,
+    RandomSearch,
+    TargetRunner,
+    standard_impact,
+)
+from repro.reporting import comparison_table
+from repro.sim.targets.httpd import HTTPD_FUNCTIONS, HttpdTarget
+
+ITERATIONS = 1000
+SEEDS = (1, 2, 3)
+
+
+def _space() -> FaultSpace:
+    return FaultSpace.product(
+        test=range(1, 59), function=HTTPD_FUNCTIONS, call=range(1, 11)
+    )
+
+
+def _explore(strategy, seed):
+    return ExplorationSession(
+        runner=TargetRunner(HttpdTarget()),
+        space=_space(),
+        metric=standard_impact(),
+        strategy=strategy,
+        target=IterationBudget(ITERATIONS),
+        rng=seed,
+    ).run()
+
+
+def test_table2_httpd(benchmark, report):
+    def experiment():
+        fitness_runs = [_explore(FitnessGuidedSearch(), s) for s in SEEDS]
+        random_runs = [_explore(RandomSearch(), s) for s in SEEDS]
+        return fitness_runs, random_runs
+
+    fitness_runs, random_runs = run_once(benchmark, experiment)
+    fitness, rand = fitness_runs[1], random_runs[1]
+
+    table = comparison_table(
+        {"fitness-guided": fitness, "random": rand},
+        title=(
+            "Table 2 — MiniHttpd, 1,000 iterations over 11,020 faults, "
+            "representative seed (paper: 736/238 failed, 246/21 crashes)"
+        ),
+    )
+
+    def total_failed(runs):
+        return sum(r.failed_count() for r in runs)
+
+    def total_crashes(runs):
+        return sum(r.crash_count() for r in runs)
+
+    strdup_fit = sum(
+        1 for run in fitness_runs for t in run.crashes()
+        if t.fault.value("function") == "strdup"
+    )
+    strdup_rand = sum(
+        1 for run in random_runs for t in run.crashes()
+        if t.fault.value("function") == "strdup"
+    )
+    extra = (
+        f"\nmeans over seeds {SEEDS}: fitness "
+        f"{total_failed(fitness_runs) / len(SEEDS):.0f} failed / "
+        f"{total_crashes(fitness_runs) / len(SEEDS):.0f} crashes; random "
+        f"{total_failed(random_runs) / len(SEEDS):.0f} failed / "
+        f"{total_crashes(random_runs) / len(SEEDS):.0f} crashes"
+        f"\nstrdup-bug manifestations (all seeds): fitness {strdup_fit}, "
+        f"random {strdup_rand} (paper: 27 vs 0)"
+    )
+    report("table2_httpd", table.render() + extra)
+
+    assert _space().size() == 11_020
+    assert total_failed(fitness_runs) >= 2 * total_failed(random_runs)
+    assert total_crashes(fitness_runs) >= 5 * max(total_crashes(random_runs), 1)
+    assert strdup_fit > 0
+    # The paper: random found no manifestation of the strdup bug.  Allow
+    # a couple of lucky hits — the claim is the order-of-magnitude gap.
+    assert strdup_fit > 3 * max(strdup_rand, 1)

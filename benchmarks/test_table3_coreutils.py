@@ -1,0 +1,140 @@
+"""Table 3: coreutils — fitness vs random at 250 iterations vs exhaustive.
+
+Paper numbers (coverage / #tests / #failed):
+    fitness-guided: 36.14% / 250 / 74
+    random:         35.84% / 250 / 32
+    exhaustive:     36.17% / 1,653 / 205
+
+Shape requirements reproduced here:
+  * fitness-guided finds >= 2x the failed tests of random at 250 iters
+    (paper: 2.3x);
+  * exhaustive finds the most failures but costs >6x the iterations;
+  * all three coverage percentages are within a few points of each other
+    (the paper's point that coverage is a poor reliability-testing
+    metric);
+  * fitness covers most of the recovery code while sampling ~15% of the
+    space (paper: 95% of recovery blocks at 250/1,653 samples).
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+from repro.core import (
+    ExhaustiveSearch,
+    ExplorationSession,
+    FaultSpace,
+    FitnessGuidedSearch,
+    IterationBudget,
+    RandomSearch,
+    TargetRunner,
+    standard_impact,
+)
+from repro.reporting import comparison_table
+from repro.sim.targets.coreutils import COREUTILS_FUNCTIONS, CoreutilsTarget
+
+SEEDS = (1, 2, 3)
+ITERATIONS = 250
+
+
+def _space(target) -> FaultSpace:
+    return FaultSpace.product(
+        test=range(1, 30), function=COREUTILS_FUNCTIONS, call=[0, 1, 2]
+    )
+
+
+def _explore(target, strategy_factory, iterations, seed):
+    return ExplorationSession(
+        runner=TargetRunner(target),
+        space=_space(target),
+        metric=standard_impact(),
+        strategy=strategy_factory(),
+        target=IterationBudget(iterations),
+        rng=seed,
+    ).run()
+
+
+def test_table3_coreutils(benchmark, report):
+    target = CoreutilsTarget()
+
+    def experiment():
+        fitness = [_explore(target, FitnessGuidedSearch, ITERATIONS, s)
+                   for s in SEEDS]
+        rand = [_explore(target, RandomSearch, ITERATIONS, s) for s in SEEDS]
+        exhaustive = _explore(target, ExhaustiveSearch, 10**9, 0)
+        return fitness, rand, exhaustive
+
+    fitness, rand, exhaustive = run_once(benchmark, experiment)
+
+    universe = exhaustive.coverage_union()
+    table = comparison_table(
+        {
+            "fitness-guided": fitness[0],
+            "random": rand[0],
+            "exhaustive": exhaustive,
+        },
+        title=(
+            "Table 3 — coreutils, 250 sampled faults vs exhaustive 1,653 "
+            "(paper: 74 / 32 / 205 failed)"
+        ),
+        coverage_universe=universe,
+    )
+    mean_fit = sum(r.failed_count() for r in fitness) / len(SEEDS)
+    mean_rand = sum(r.failed_count() for r in rand) / len(SEEDS)
+    extra = (
+        f"\nmean over seeds {SEEDS}: fitness={mean_fit:.1f} "
+        f"random={mean_rand:.1f} ratio={mean_fit / mean_rand:.2f}x "
+        f"(paper 2.3x)"
+    )
+    report("table3_coreutils", table.render() + extra)
+
+    # Shape assertions.
+    assert mean_fit >= 2.0 * mean_rand
+    assert exhaustive.failed_count() > mean_fit
+    assert len(exhaustive) == 1653
+    # Coverage percentages land close together even though failure counts
+    # differ by ~4x (the paper's "coverage is not a good metric" point:
+    # 36.14 vs 35.84 vs 36.17).  At our block granularity the band is
+    # wider, but every strategy covers the large majority of blocks.
+    for results in (fitness[0], rand[0]):
+        covered = len(results.coverage_union() & universe)
+        assert covered >= 0.7 * len(universe)
+
+
+def test_table3_recovery_code_coverage(benchmark, report):
+    """The §7.2 recovery-coverage analysis.
+
+    Recovery blocks := blocks covered by exhaustive fault injection but
+    not by a fault-free run of the whole suite.  Fitness-guided search at
+    250 iterations must cover most of them.
+    """
+    from repro.sim.process import run_test
+
+    target = CoreutilsTarget()
+
+    def experiment():
+        baseline: set[str] = set()
+        for test in target.suite:
+            baseline |= run_test(target, test).coverage
+        exhaustive = _explore(target, ExhaustiveSearch, 10**9, 0)
+        fitness = _explore(target, FitnessGuidedSearch, ITERATIONS, 1)
+        return frozenset(baseline), exhaustive, fitness
+
+    baseline, exhaustive, fitness = run_once(benchmark, experiment)
+
+    recovery_blocks = exhaustive.coverage_union() - baseline
+    covered = fitness.coverage_union() & recovery_blocks
+    fraction = len(covered) / max(len(recovery_blocks), 1)
+    report(
+        "table3_recovery_coverage",
+        (
+            f"recovery blocks (exhaustive - baseline): {len(recovery_blocks)}\n"
+            f"covered by fitness@250: {len(covered)} ({100 * fraction:.0f}%)\n"
+            f"(paper: 95% of recovery code at 15% of the fault space)"
+        ),
+    )
+    assert len(recovery_blocks) > 0
+    # Partial reproduction: the paper reports 95% recovery coverage; at
+    # our (much coarser) block granularity a 250-iteration guided run
+    # reliably reaches ~half of the single-fault-reachable recovery
+    # blocks.  EXPERIMENTS.md discusses the gap.
+    assert fraction >= 0.4

@@ -1,0 +1,122 @@
+"""Bringing your own system under test (§6.4's 8-step integration).
+
+AFEX is target-agnostic: you provide startup/test/cleanup scripts, the
+callsite analyzer derives the fault space for you (in the paper's DSL),
+and the explorer does the rest.  This example tests a tiny user-written
+"settings store" service that persists key=value pairs — including a
+subtle recovery bug the exploration finds: the save path truncates the
+settings file *before* knowing the write will succeed, so a failed write
+destroys the previous contents.
+
+Run:  python examples/custom_target.py
+"""
+
+from repro.cluster import ScriptTarget, UserScripts
+from repro.core import (
+    ExplorationSession,
+    FitnessGuidedSearch,
+    IterationBudget,
+    TargetRunner,
+    parse_fault_space,
+    standard_impact,
+)
+from repro.injection.callsite import profile_target
+from repro.sim.filesystem import O_CREAT, O_TRUNC, O_WRONLY, O_RDONLY
+
+
+# -- the user's system under test (written against the simulated libc) ----
+
+def save_settings(env, pairs: dict) -> bool:
+    """Persist settings.  BUG: truncate-then-write is not crash-safe."""
+    libc = env.libc
+    with env.frame("save_settings"):
+        fd = libc.open("/app/settings", O_CREAT | O_WRONLY | O_TRUNC)
+        if fd < 0:
+            return False
+        payload = "".join(f"{k}={v}\n" for k, v in pairs.items()).encode()
+        if libc.write(fd, payload) < 0:
+            libc.close(fd)   # the old file is already gone...
+            return False
+        return libc.close(fd) == 0
+
+
+def load_settings(env) -> dict | None:
+    libc = env.libc
+    with env.frame("load_settings"):
+        fd = libc.open("/app/settings", O_RDONLY)
+        if fd < 0:
+            return None
+        raw = b""
+        while True:
+            chunk = libc.read(fd, 64)
+            if chunk == -1:
+                libc.close(fd)
+                return None
+            if not chunk:
+                break
+            raw += bytes(chunk)
+        libc.close(fd)
+        return dict(
+            line.split("=", 1) for line in raw.decode().splitlines() if "=" in line
+        )
+
+
+# -- the three user scripts (§6.4 step 5) -----------------------------------
+
+def startup(env) -> None:
+    env.fs.mkdir("/app")
+    env.fs.create_file("/app/settings", b"theme=dark\nlang=en\n")
+
+
+def test_roundtrip(env) -> None:
+    before = load_settings(env)
+    env.check(before is not None, "initial load failed")
+    before["volume"] = "11"
+    env.check(save_settings(env, before), "save failed")
+    after = load_settings(env)
+    env.check(after == before, "settings lost or corrupted after save")
+
+
+def main() -> None:
+    target = ScriptTarget(
+        [UserScripts(test_roundtrip, startup, name="settings-roundtrip")],
+        name="settings-store",
+    )
+
+    # Step 2: derive the fault space mechanically (ltrace-style).
+    profile = profile_target(target)
+    description = profile.fault_space_description()
+    print("derived fault-space description (paper Fig. 3 DSL):\n")
+    print(description)
+    space = parse_fault_space(description)
+    print(f"=> {space.size()} explorable faults\n")
+
+    # Steps 6-8: explore and analyze.
+    session = ExplorationSession(
+        runner=TargetRunner(target),
+        space=space,
+        metric=standard_impact(),
+        strategy=FitnessGuidedSearch(initial_batch=10),
+        target=IterationBudget(min(60, space.size())),
+        rng=2,
+    )
+    results = session.run()
+    print(f"executed {len(results)} tests, {results.failed_count()} failed")
+    for executed in results.top(3):
+        if executed.failed:
+            print(f"  impact={executed.impact:5.1f}  {executed.fault}")
+            print(f"      -> {executed.result.summary()}")
+
+    # The data-loss bug: a failed write after the truncate loses settings.
+    data_loss = [
+        t for t in results.failed_tests()
+        if t.fault.value("function") == "write"
+    ]
+    if data_loss:
+        print("\nfound the truncate-before-write data-loss bug:")
+        print(f"  {data_loss[0].fault} -> "
+              f"{data_loss[0].result.failure_message}")
+
+
+if __name__ == "__main__":
+    main()

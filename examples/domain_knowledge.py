@@ -1,0 +1,93 @@
+"""Using domain knowledge to speed up fault exploration (§7.5).
+
+Reproduces the Table 6 workflow interactively: the goal is to find every
+out-of-memory scenario that makes ``ln`` or ``mv`` fail (there are
+exactly 28).  Three knowledge levels are compared:
+
+1. black-box: the full 1,653-point space, no hints;
+2. trimmed: the function axis reduced to the 9 libc functions ln/mv
+   actually call (knowledge from tracing, or from reading the man page);
+3. trimmed + environment model: a statistical model of the deployment
+   environment (malloc failures are 40% of real-world faults, file I/O
+   50%, directory ops 10%) reweights measured impact so the search
+   prioritizes faults that actually happen in production.
+
+Run:  python examples/domain_knowledge.py
+"""
+
+from repro import (
+    CollectMatching,
+    EnvironmentModel,
+    ExplorationSession,
+    FaultSpace,
+    FitnessGuidedSearch,
+    IterationBudget,
+    TargetRunner,
+    standard_impact,
+    target_by_name,
+)
+from repro.core.targets import AnyOf
+from repro.util.tables import TextTable
+
+TOTAL = 28  # failing OOM scenarios over ln+mv, known from exhaustive search
+
+LN_MV_FUNCTIONS = (
+    "malloc", "fopen", "fclose", "fputs", "fflush", "stat", "rename",
+    "link", "setlocale",
+)
+
+ENV_MODEL = EnvironmentModel.from_groups([
+    (["malloc"], 0.40),
+    (["fopen", "read", "write", "open", "close"], 0.50),
+    (["opendir", "chdir"], 0.10),
+])
+
+
+def is_goal(executed) -> bool:
+    return (
+        executed.failed
+        and executed.fault.value("function") == "malloc"
+        and 12 <= int(executed.fault.value("test")) <= 29  # the ln/mv tests
+    )
+
+
+def samples_until_all_found(space, environment=None, seed=3) -> int:
+    target = target_by_name("coreutils")
+    session = ExplorationSession(
+        runner=TargetRunner(target),
+        space=space,
+        metric=standard_impact(),
+        strategy=FitnessGuidedSearch(),
+        target=AnyOf(CollectMatching(is_goal, TOTAL),
+                     IterationBudget(space.size())),
+        rng=seed,
+        environment=environment,
+    )
+    return len(session.run())
+
+
+def main() -> None:
+    target = target_by_name("coreutils")
+    full_space = FaultSpace.product(
+        test=range(1, 30), function=target.libc_functions(), call=[0, 1, 2]
+    )
+    trimmed_space = full_space.restrict_axis("function", LN_MV_FUNCTIONS)
+
+    table = TextTable(
+        ["knowledge level", "space size", "samples to find all 28"],
+        title="the Table 6 experiment (lower is better)",
+    )
+    black_box = samples_until_all_found(full_space)
+    table.add_row(["black-box", full_space.size(), black_box])
+    trimmed = samples_until_all_found(trimmed_space)
+    table.add_row(["trimmed function axis", trimmed_space.size(), trimmed])
+    informed = samples_until_all_found(trimmed_space, ENV_MODEL)
+    table.add_row(["trimmed + environment model", trimmed_space.size(),
+                   informed])
+    print(table.render())
+    print(f"\nspeedup from knowledge: {black_box / informed:.1f}x "
+          f"(paper: ~4x)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,12 @@
+"""Legacy setup shim.
+
+The offline environment has setuptools but no ``wheel`` package, so
+PEP 517 editable installs (which build a wheel) fail.  This shim lets
+``pip install -e . --no-build-isolation --no-use-pep517`` fall back to
+the classic ``setup.py develop`` path.  All metadata lives in
+``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,158 @@
+"""Batch testing campaigns: the §4 "certification service" mode.
+
+"This makes AFEX a good fit for generic testing, such as that done in a
+certification service" — a service points AFEX at a list of systems and
+gets back, per system, the explored results and the §6.3 report.  A
+:class:`Campaign` bundles multiple exploration jobs, runs them
+(sequentially or over a shared cluster fabric), and renders a combined
+scorecard for everything certified.
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Callable
+from dataclasses import dataclass, field
+
+from repro.core.faultspace import FaultSpace
+from repro.core.impact import ImpactMetric, standard_impact
+from repro.core.results import ResultSet
+from repro.core.runner import TargetRunner
+from repro.core.search import FitnessGuidedSearch
+from repro.core.search.base import SearchStrategy
+from repro.core.session import ExplorationSession
+from repro.core.targets import IterationBudget, SearchTarget
+from repro.errors import ReportError
+from repro.quality.report import ExplorationReport, build_report
+from repro.sim.testsuite import Target
+from repro.util.tables import TextTable
+
+__all__ = ["CampaignJob", "CampaignOutcome", "Campaign"]
+
+
+@dataclass
+class CampaignJob:
+    """One system to certify: a target, a space, a budget.
+
+    ``nodes > 1`` runs the job on a thread-pool cluster of that many
+    node managers (the Fig. 2 fabric) instead of the in-process loop.
+    """
+
+    name: str
+    target: Target
+    space: FaultSpace
+    iterations: int = 250
+    seed: int = 0
+    strategy_factory: Callable[[], SearchStrategy] = FitnessGuidedSearch
+    metric_factory: Callable[[], ImpactMetric] = standard_impact
+    stop: SearchTarget | None = None  # defaults to the iteration budget
+    nodes: int = 1
+
+    def execute(self) -> tuple[TargetRunner, ResultSet]:
+        """Run the job, returning (a runner for re-execution, results)."""
+        runner = TargetRunner(self.target)
+        stop = self.stop or IterationBudget(self.iterations)
+        if self.nodes <= 1:
+            session = ExplorationSession(
+                runner=runner,
+                space=self.space,
+                metric=self.metric_factory(),
+                strategy=self.strategy_factory(),
+                target=stop,
+                rng=self.seed,
+            )
+            return runner, session.run()
+        from repro.cluster import ClusterExplorer, LocalCluster, NodeManager
+
+        self.target.suite  # pre-build once; managers then share it safely
+        managers = [
+            NodeManager(f"{self.name}-node{i}", self.target)
+            for i in range(self.nodes)
+        ]
+        explorer = ClusterExplorer(
+            LocalCluster(managers),
+            self.space,
+            self.metric_factory(),
+            self.strategy_factory(),
+            stop,
+            rng=self.seed,
+        )
+        return runner, explorer.run()
+
+
+@dataclass
+class CampaignOutcome:
+    """What one campaign job produced."""
+
+    job: CampaignJob
+    results: ResultSet
+    report: ExplorationReport
+    seconds: float
+
+    @property
+    def verdict(self) -> str:
+        """A coarse certification verdict from the outcome counts."""
+        if self.results.crash_count() > 0:
+            return "CRASHES"
+        if len(self.results.hangs()) > 0:
+            return "HANGS"
+        if self.results.failed_count() > 0:
+            return "FAILURES"
+        return "CLEAN"
+
+
+@dataclass
+class Campaign:
+    """A batch of certification jobs, executed back to back."""
+
+    jobs: list[CampaignJob] = field(default_factory=list)
+
+    def add(self, job: CampaignJob) -> "Campaign":
+        if any(existing.name == job.name for existing in self.jobs):
+            raise ReportError(f"duplicate campaign job name {job.name!r}")
+        self.jobs.append(job)
+        return self
+
+    def run(self, report_top_n: int = 5) -> list[CampaignOutcome]:
+        if not self.jobs:
+            raise ReportError("campaign has no jobs")
+        outcomes: list[CampaignOutcome] = []
+        for job in self.jobs:
+            started = time.perf_counter()
+            runner, results = job.execute()
+            report = build_report(
+                results,
+                runner,
+                job.name,
+                strategy_name=job.strategy_factory().name,
+                top_n=report_top_n,
+                of=lambda t: t.failed,
+            )
+            outcomes.append(CampaignOutcome(
+                job=job,
+                results=results,
+                report=report,
+                seconds=time.perf_counter() - started,
+            ))
+        return outcomes
+
+    @staticmethod
+    def scorecard(outcomes: list[CampaignOutcome]) -> TextTable:
+        """The combined certification summary across all jobs."""
+        table = TextTable(
+            ["system", "verdict", "tests", "failed", "crashes", "hangs",
+             "clusters", "time (s)"],
+            title="certification campaign scorecard",
+        )
+        for outcome in outcomes:
+            table.add_row([
+                outcome.job.name,
+                outcome.verdict,
+                len(outcome.results),
+                outcome.results.failed_count(),
+                outcome.results.crash_count(),
+                len(outcome.results.hangs()),
+                outcome.report.cluster_count,
+                f"{outcome.seconds:.1f}",
+            ])
+        return table

@@ -1,0 +1,275 @@
+"""The ``afex`` command-line interface.
+
+Subcommands mirror the prototype workflow of §6.4:
+
+* ``afex targets`` — list bundled systems under test;
+* ``afex profile --target NAME`` — run the callsite analyzer and print a
+  fault-space description in the Fig. 3 DSL (§6.4 step 2);
+* ``afex run`` — explore a fault space with a chosen strategy, impact
+  metric weights, and search target, then print the result summary and
+  top faults (§6.4 steps 6-8).
+
+Example::
+
+    afex run --target coreutils --strategy fitness --iterations 250 --seed 1
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.core.dsl import parse_fault_space
+from repro.core.faultspace import FaultSpace
+from repro.core.impact import standard_impact
+from repro.core.runner import TargetRunner
+from repro.core.search import strategy_by_name
+from repro.core.session import ExplorationSession
+from repro.core.targets import IterationBudget
+from repro.injection.callsite import profile_target
+from repro.sim.targets import target_by_name
+from repro.util.tables import TextTable
+
+__all__ = ["main", "build_parser"]
+
+_TARGETS = ("coreutils", "minidb", "httpd", "docstore", "docstore-0.8", "docstore-2.0")
+_STRATEGIES = ("fitness", "random", "exhaustive", "genetic")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="afex",
+        description="AFEX: fitness-guided black-box fault-injection testing",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("targets", help="list bundled systems under test")
+
+    profile = sub.add_parser(
+        "profile", help="derive a fault-space description from a target"
+    )
+    profile.add_argument("--target", required=True, choices=_TARGETS)
+    profile.add_argument(
+        "--max-call", type=int, default=None,
+        help="cap for the call-number axis (default: observed maximum)",
+    )
+
+    run = sub.add_parser("run", help="explore a target's fault space")
+    run.add_argument("--target", required=True, choices=_TARGETS)
+    run.add_argument("--strategy", default="fitness", choices=_STRATEGIES)
+    run.add_argument("--iterations", type=int, default=250)
+    run.add_argument("--seed", type=int, default=0)
+    run.add_argument(
+        "--space", default=None,
+        help="path to a fault-space description file (default: derived "
+        "from the target's known functions, calls 0-2)",
+    )
+    run.add_argument("--max-call", type=int, default=2,
+                     help="call-axis upper bound for the default space")
+    run.add_argument("--top", type=int, default=10,
+                     help="how many top-impact faults to print")
+    run.add_argument("--feedback", action="store_true",
+                     help="enable the redundancy feedback loop (§7.4)")
+
+    structure = sub.add_parser(
+        "map", help="print a Fig. 1-style fault-space structure map"
+    )
+    structure.add_argument("--target", required=True, choices=_TARGETS)
+    structure.add_argument("--call", type=int, default=1,
+                           help="which call number to fail (default 1)")
+    structure.add_argument("--tests", default=None,
+                           help="comma-separated test ids (default: all)")
+
+    full_report = sub.add_parser(
+        "report",
+        help="explore, then emit the full §6.3 report with replay scripts",
+    )
+    full_report.add_argument("--target", required=True, choices=_TARGETS)
+    full_report.add_argument("--strategy", default="fitness",
+                             choices=_STRATEGIES)
+    full_report.add_argument("--iterations", type=int, default=250)
+    full_report.add_argument("--seed", type=int, default=0)
+    full_report.add_argument("--max-call", type=int, default=2)
+    full_report.add_argument("--top", type=int, default=10)
+    full_report.add_argument("--trials", type=int, default=5,
+                             help="re-execution trials for impact precision")
+    full_report.add_argument(
+        "--out", default=None,
+        help="directory to write the report and replay scripts into",
+    )
+
+    trace = sub.add_parser(
+        "trace",
+        help="ltrace-style dump of one test's library calls (no injection)",
+    )
+    trace.add_argument("--target", required=True, choices=_TARGETS)
+    trace.add_argument("--test", type=int, required=True,
+                       help="test id to trace (1-based)")
+    trace.add_argument("--stacks", action="store_true",
+                       help="include the simulated stack for each call")
+    return parser
+
+
+def _default_space(target, max_call: int) -> FaultSpace:
+    return FaultSpace.product(
+        test=range(1, len(target.suite) + 1),
+        function=target.libc_functions(),
+        call=range(0, max_call + 1),
+    )
+
+
+def _cmd_targets() -> int:
+    table = TextTable(["name", "version", "tests", "functions"])
+    for name in ("coreutils", "minidb", "httpd", "docstore-0.8", "docstore-2.0"):
+        target = target_by_name(name)
+        table.add_row(
+            [name, target.version, len(target.suite), len(target.libc_functions())]
+        )
+    print(table.render())
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    target = target_by_name(args.target)
+    profile = profile_target(target)
+    print(profile.fault_space_description(max_call=args.max_call))
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    target = target_by_name(args.target)
+    if args.space:
+        with open(args.space) as handle:
+            space = parse_fault_space(handle.read())
+    else:
+        space = _default_space(target, args.max_call)
+    strategy = strategy_by_name(args.strategy)
+    if getattr(args, "feedback", False):
+        from repro.core.search import FitnessGuidedSearch
+        from repro.quality import RedundancyFeedback
+
+        if not isinstance(strategy, FitnessGuidedSearch):
+            print("--feedback requires the fitness strategy")
+            return 2
+        strategy.fitness_weight = RedundancyFeedback()
+    session = ExplorationSession(
+        runner=TargetRunner(target),
+        space=space,
+        metric=standard_impact(),
+        strategy=strategy,
+        target=IterationBudget(args.iterations),
+        rng=args.seed,
+    )
+    results = session.run()
+
+    summary = results.summary()
+    table = TextTable(["metric", "value"], title=f"afex run: {target.describe()}")
+    for key, value in summary.items():
+        table.add_row([key, value])
+    table.add_row(["space size", space.size()])
+    print(table.render())
+
+    top = results.top(args.top)
+    if top:
+        detail = TextTable(
+            ["impact", "fault", "outcome"], title=f"top {len(top)} faults"
+        )
+        for test in top:
+            detail.add_row([f"{test.impact:.1f}", str(test.fault), test.result.summary()])
+        print()
+        print(detail.render())
+    return 0
+
+
+def _cmd_map(args: argparse.Namespace) -> int:
+    from repro.reporting import render_structure_map, structure_map
+
+    target = target_by_name(args.target)
+    functions = list(target.libc_functions())
+    if args.tests:
+        test_ids = [int(t) for t in args.tests.split(",")]
+    else:
+        test_ids = list(target.suite.ids)
+    grid = structure_map(target, functions, test_ids=test_ids,
+                         call_number=args.call)
+    print(f"structure map for {target.describe()}, call #{args.call} "
+          f"('#' = test failure):\n")
+    print(render_structure_map(grid, functions, test_ids))
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.core.search import FitnessGuidedSearch
+    from repro.quality import RedundancyFeedback, build_report
+
+    target = target_by_name(args.target)
+    runner = TargetRunner(target)
+    strategy = strategy_by_name(args.strategy)
+    if isinstance(strategy, FitnessGuidedSearch):
+        strategy.fitness_weight = RedundancyFeedback()
+    session = ExplorationSession(
+        runner=runner,
+        space=_default_space(target, args.max_call),
+        metric=standard_impact(),
+        strategy=strategy,
+        target=IterationBudget(args.iterations),
+        rng=args.seed,
+    )
+    results = session.run()
+    report = build_report(
+        results,
+        runner,
+        args.target,
+        strategy_name=args.strategy,
+        top_n=args.top,
+        precision_trials=args.trials,
+    )
+    print(report.render())
+    if args.out:
+        out_dir = Path(args.out)
+        out_dir.mkdir(parents=True, exist_ok=True)
+        (out_dir / "report.txt").write_text(report.render() + "\n")
+        for name, source in report.replay_scripts.items():
+            (out_dir / name).write_text(source)
+        print(f"\nwrote report + {len(report.replay_scripts)} replay "
+              f"scripts to {out_dir}/")
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.sim.process import run_test
+
+    target = target_by_name(args.target)
+    test = target.suite[args.test]
+    result = run_test(target, test, trace=True, trace_stacks=args.stacks)
+    print(f"trace of {target.name} test #{test.id} ({test.name}): "
+          f"{result.steps} library calls, {result.summary()}\n")
+    for record in result.trace:
+        line = f"{record.seq:5d}  {record.function}()  [call #{record.call_number}]"
+        if args.stacks and record.stack:
+            line += "   " + " > ".join(record.stack)
+        print(line)
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "targets":
+        return _cmd_targets()
+    if args.command == "profile":
+        return _cmd_profile(args)
+    if args.command == "run":
+        return _cmd_run(args)
+    if args.command == "map":
+        return _cmd_map(args)
+    if args.command == "report":
+        return _cmd_report(args)
+    if args.command == "trace":
+        return _cmd_trace(args)
+    return 2  # pragma: no cover - argparse enforces the choices
+
+
+if __name__ == "__main__":
+    sys.exit(main())

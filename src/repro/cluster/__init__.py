@@ -1,0 +1,50 @@
+"""The parallel testing substrate (§6, Fig. 2).
+
+An :class:`~repro.cluster.explorer_node.ClusterExplorer` coordinates a
+set of :class:`~repro.cluster.manager.NodeManager` instances.  The
+explorer turns faults into :class:`~repro.cluster.messages.TestRequest`
+messages; each manager converts the scenario to injector configuration
+via its plugins, runs the startup/test/cleanup scripts, lets its sensors
+measure the run, and replies with a
+:class:`~repro.cluster.messages.TestReport`.
+
+Two execution fabrics are provided:
+
+* :class:`~repro.cluster.local.LocalCluster` — real concurrency over a
+  thread pool (this process plays every node);
+* :class:`~repro.cluster.local.VirtualCluster` — deterministic
+  *virtual-time* execution used by the §7.7 scalability experiment: the
+  paper measured wall-clock scaling on 1-14 EC2 nodes, which we
+  substitute with an explicit accounting of per-node busy time (valid
+  because tests are independent — the "embarrassing parallelism" the
+  paper leans on).
+"""
+
+from repro.cluster.explorer_node import ClusterExplorer
+from repro.cluster.local import LocalCluster, VirtualCluster
+from repro.cluster.manager import NodeManager
+from repro.cluster.messages import TestReport, TestRequest
+from repro.cluster.scripts import ScriptTarget, UserScripts
+from repro.cluster.sensors import (
+    CoverageSensor,
+    CrashSensor,
+    ExitCodeSensor,
+    Sensor,
+    StepSensor,
+)
+
+__all__ = [
+    "ClusterExplorer",
+    "CoverageSensor",
+    "CrashSensor",
+    "ExitCodeSensor",
+    "LocalCluster",
+    "NodeManager",
+    "ScriptTarget",
+    "Sensor",
+    "StepSensor",
+    "TestReport",
+    "TestRequest",
+    "UserScripts",
+    "VirtualCluster",
+]

@@ -1,0 +1,90 @@
+"""Node manager: runs scenarios on one (simulated) machine (§6.1).
+
+"The node manager coordinates all tasks on a physical machine.  It
+contains a set of plugins that convert fault descriptions from the
+AFEX-internal representation to concrete configuration files and
+parameters for the injectors and sensors."
+
+Here, the manager owns a target, an injector registry, and a sensor
+set.  Given a :class:`~repro.cluster.messages.TestRequest` it rebuilds
+the injection plan through the plugin, executes the test hermetically,
+lets every sensor measure the outcome, and returns a
+:class:`~repro.cluster.messages.TestReport`.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.cluster.messages import TestReport, TestRequest
+from repro.cluster.sensors import Sensor, default_sensors
+from repro.core.fault import Fault
+from repro.core.runner import TargetRunner
+from repro.errors import ClusterError
+from repro.injection.injector import FaultInjector, InjectorRegistry
+from repro.injection.libfi import LibFaultInjector
+from repro.sim.testsuite import Target
+
+__all__ = ["NodeManager"]
+
+
+class NodeManager:
+    """Executes test requests against a target with sensors attached."""
+
+    def __init__(
+        self,
+        name: str,
+        target: Target,
+        injector: FaultInjector | None = None,
+        sensors: tuple[Sensor, ...] | None = None,
+        step_budget: int = 50_000,
+    ) -> None:
+        if not name:
+            raise ClusterError("node manager needs a non-empty name")
+        self.name = name
+        self.target = target
+        self.registry = InjectorRegistry()
+        self.registry.register(injector or LibFaultInjector())
+        self._injector_name = (injector or LibFaultInjector()).name
+        self.sensors = sensors if sensors is not None else default_sensors()
+        self._runner = TargetRunner(
+            target, self.registry.get(self._injector_name), step_budget=step_budget
+        )
+        #: total tests executed by this manager (load accounting).
+        self.executed = 0
+        #: cumulative execution cost in seconds.
+        self.busy_seconds = 0.0
+
+    def execute(self, request: TestRequest) -> TestReport:
+        """Run one scenario and report the outcome."""
+        fault = Fault(request.subspace, tuple(request.scenario.items()))
+        started = time.perf_counter()
+        result = self._runner(fault)
+        cost = time.perf_counter() - started
+
+        measurements: dict[str, float] = {}
+        for sensor in self.sensors:
+            measurements.update(sensor.measure(result))
+
+        self.executed += 1
+        self.busy_seconds += cost
+        return TestReport(
+            request_id=request.request_id,
+            manager=self.name,
+            failed=result.failed,
+            crash_kind=result.crash_kind,
+            exit_code=result.exit_code,
+            coverage=result.coverage,
+            injection_stack=result.injection_stack,
+            injected=result.injected,
+            steps=result.steps,
+            measurements=measurements,
+            cost=cost,
+            invariant_violations=result.invariant_violations,
+        )
+
+    def describe(self) -> str:
+        return (
+            f"manager {self.name!r}: {self.target.describe()}, "
+            f"{len(self.sensors)} sensors, {self.executed} tests run"
+        )

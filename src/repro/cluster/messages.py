@@ -1,0 +1,61 @@
+"""Explorer ↔ node-manager protocol messages.
+
+Messages are plain frozen dataclasses whose payloads are all built-in
+types, so they could be serialized onto a real wire unchanged.  The
+scenario inside a :class:`TestRequest` is the AFEX-internal fault
+representation (named attribute dict); the manager's plugins translate
+it for the concrete injectors (§6.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["TestRequest", "TestReport"]
+
+
+@dataclass(frozen=True)
+class TestRequest:
+    """Explorer → manager: please run this fault-injection scenario."""
+
+    request_id: int
+    #: subspace label of the fault (round-trips back into a Fault).
+    subspace: str
+    #: named fault attributes, e.g. {"test": 7, "function": "read", "call": 3}.
+    scenario: dict[str, object]
+
+    def describe(self) -> str:
+        attrs = " ".join(f"{k}={v}" for k, v in self.scenario.items())
+        return f"request #{self.request_id}: {attrs}"
+
+
+@dataclass(frozen=True)
+class TestReport:
+    """Manager → explorer: what happened when the scenario ran."""
+
+    request_id: int
+    manager: str
+    #: did the target's test fail (crash, hang, or bad exit)?
+    failed: bool
+    crash_kind: str | None
+    exit_code: int
+    #: basic blocks covered during the run.
+    coverage: frozenset[str]
+    #: simulated stack at the injection point (None if nothing fired).
+    injection_stack: tuple[str, ...] | None
+    injected: bool
+    steps: int
+    #: aggregated sensor measurements.
+    measurements: dict[str, float] = field(default_factory=dict)
+    #: manager-side wall-clock (or virtual) execution cost in seconds.
+    cost: float = 0.0
+    #: violated always-true properties, if the target defines invariants.
+    invariant_violations: tuple[str, ...] = ()
+
+    @property
+    def crashed(self) -> bool:
+        return self.crash_kind in ("segfault", "abort")
+
+    @property
+    def hung(self) -> bool:
+        return self.crash_kind == "hang"

@@ -1,0 +1,85 @@
+"""The paper's primary contribution: fault spaces and fitness-guided search.
+
+Public surface:
+
+* :class:`~repro.core.faultspace.FaultSpace` / :class:`~repro.core.axis.Axis`
+  — the hyperspace model of §2 (attribute vectors, Manhattan distance,
+  D-vicinities, relative linear density).
+* :func:`~repro.core.dsl.parse_fault_space` — the fault-space description
+  language of Fig. 3/4.
+* :mod:`~repro.core.search` — the exploration strategies: Algorithm 1
+  (fitness-guided), random, exhaustive, and the abandoned genetic
+  baseline.
+* :class:`~repro.core.session.ExplorationSession` — the explorer driving
+  a strategy against a target until a search target is met.
+"""
+
+from repro.core.axis import Axis
+from repro.core.dsl import parse_fault_space
+from repro.core.fault import Fault
+from repro.core.faultspace import FaultSpace, Subspace
+from repro.core.impact import (
+    CompositeImpact,
+    CoverageImpact,
+    CrashImpact,
+    FailedTestImpact,
+    HangImpact,
+    ImpactMetric,
+    InvariantImpact,
+    ResourceLeakImpact,
+    SlowdownImpact,
+    measure_leak_baseline,
+    measure_step_baseline,
+    standard_impact,
+)
+from repro.core.runner import TargetRunner
+from repro.core.search import (
+    ExhaustiveSearch,
+    FitnessGuidedSearch,
+    GeneticSearch,
+    RandomSearch,
+    SearchStrategy,
+)
+from repro.core.session import ExplorationSession
+from repro.core.results import ExecutedTest, ResultSet
+from repro.core.targets import (
+    CollectMatching,
+    ImpactThreshold,
+    IterationBudget,
+    SearchTarget,
+    TimeBudget,
+)
+
+__all__ = [
+    "Axis",
+    "CollectMatching",
+    "CompositeImpact",
+    "CoverageImpact",
+    "CrashImpact",
+    "ExecutedTest",
+    "ExhaustiveSearch",
+    "ExplorationSession",
+    "FailedTestImpact",
+    "Fault",
+    "FaultSpace",
+    "FitnessGuidedSearch",
+    "GeneticSearch",
+    "HangImpact",
+    "ImpactMetric",
+    "ImpactThreshold",
+    "InvariantImpact",
+    "IterationBudget",
+    "RandomSearch",
+    "ResultSet",
+    "SearchStrategy",
+    "ResourceLeakImpact",
+    "SearchTarget",
+    "SlowdownImpact",
+    "Subspace",
+    "TargetRunner",
+    "TimeBudget",
+    "measure_leak_baseline",
+    "measure_step_baseline",
+    "parse_fault_space",
+    "standard_impact",
+]

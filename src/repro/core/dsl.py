@@ -1,0 +1,277 @@
+"""The fault-space description language (paper Fig. 3).
+
+Grammar, verbatim from the paper::
+
+    syntax    = {space};
+    space     = (subtype | parameter)+ ";";
+    subtype   = identifier;
+    parameter = identifier ":"
+                ( "{" identifier ("," identifier)+ "}"
+                | "[" number "," number "]"
+                | "<" number "," number ">" );
+
+* subspaces are separated by ``;``;
+* ``{ a, b, c }`` is an explicit value set (identifiers);
+* ``[ lo , hi ]`` is an integer interval sampled for single numbers;
+* ``< lo , hi >`` is an interval sampled for entire *sub-intervals*
+  (values become ``(lo, hi)`` pairs, see
+  :meth:`repro.core.axis.Axis.from_subintervals`);
+* a bare identifier names the subspace (the grammar's *subtype*).
+
+Extensions kept deliberately minimal: ``#`` starts a comment, and a set
+may contain a single identifier (the paper's own Fig. 4 example space
+uses singleton sets like ``errno : { ENOMEM }``, which the strict
+grammar would reject).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.axis import Axis
+from repro.core.faultspace import FaultSpace, Subspace
+from repro.errors import DslError
+
+__all__ = ["parse_fault_space", "format_fault_space", "tokenize"]
+
+
+# --------------------------------------------------------------------------
+# lexer
+# --------------------------------------------------------------------------
+
+_PUNCT = set("{}[]<>,:;")
+
+
+@dataclass(frozen=True)
+class _Token:
+    kind: str  # "ident" | "number" | one of the punctuation chars
+    text: str
+    line: int
+    column: int
+
+
+def tokenize(source: str) -> list[_Token]:
+    """Split DSL source into tokens, tracking positions for diagnostics."""
+    tokens: list[_Token] = []
+    for line_no, line in enumerate(source.splitlines(), start=1):
+        i = 0
+        while i < len(line):
+            ch = line[i]
+            if ch == "#":
+                break
+            if ch.isspace():
+                i += 1
+                continue
+            if ch in _PUNCT:
+                tokens.append(_Token(ch, ch, line_no, i + 1))
+                i += 1
+                continue
+            if ch.isdigit():
+                start = i
+                while i < len(line) and line[i].isdigit():
+                    i += 1
+                tokens.append(_Token("number", line[start:i], line_no, start + 1))
+                continue
+            if ch.isalpha() or ch == "_":
+                start = i
+                while i < len(line) and (line[i].isalnum() or line[i] == "_"):
+                    i += 1
+                tokens.append(_Token("ident", line[start:i], line_no, start + 1))
+                continue
+            if ch == "-" and i + 1 < len(line) and line[i + 1].isdigit():
+                # negative numbers appear in retval axes, e.g. [ -1 , 0 ]
+                start = i
+                i += 1
+                while i < len(line) and line[i].isdigit():
+                    i += 1
+                tokens.append(_Token("number", line[start:i], line_no, start + 1))
+                continue
+            raise DslError(f"unexpected character {ch!r}", line_no, i + 1)
+    return tokens
+
+
+# --------------------------------------------------------------------------
+# parser
+# --------------------------------------------------------------------------
+
+
+class _Parser:
+    def __init__(self, tokens: list[_Token]) -> None:
+        self._tokens = tokens
+        self._pos = 0
+
+    def _peek(self) -> _Token | None:
+        return self._tokens[self._pos] if self._pos < len(self._tokens) else None
+
+    def _next(self) -> _Token:
+        token = self._peek()
+        if token is None:
+            raise DslError("unexpected end of input")
+        self._pos += 1
+        return token
+
+    def _expect(self, kind: str) -> _Token:
+        token = self._next()
+        if token.kind != kind:
+            raise DslError(
+                f"expected {kind!r}, found {token.text!r}", token.line, token.column
+            )
+        return token
+
+    def parse(self) -> FaultSpace:
+        subspaces: list[Subspace] = []
+        anon = 0
+        while self._peek() is not None:
+            label_parts: list[str] = []
+            axes: list[Axis] = []
+            while True:
+                token = self._peek()
+                if token is None:
+                    raise DslError("subspace not terminated with ';'")
+                if token.kind == ";":
+                    self._next()
+                    break
+                name_token = self._expect("ident")
+                after = self._peek()
+                if after is not None and after.kind == ":":
+                    self._next()
+                    axes.append(self._parse_axis(name_token))
+                else:
+                    label_parts.append(name_token.text)
+            if not axes:
+                raise DslError(
+                    "subspace has no parameters",
+                    name_token.line,
+                    name_token.column,
+                )
+            if label_parts:
+                label = ".".join(label_parts)
+            else:
+                label = f"s{anon}"
+                anon += 1
+            subspaces.append(Subspace(label, axes))
+        if not subspaces:
+            raise DslError("empty fault space description")
+        return FaultSpace(subspaces)
+
+    def _set_member(self):
+        """A set element: an identifier (string) or a number (int).
+
+        The strict Fig. 3 grammar allows only identifiers in sets, but
+        the paper's own Fig. 4 example writes ``retval : { 0 }`` — we
+        follow the example.
+        """
+        token = self._next()
+        if token.kind == "ident":
+            return token.text
+        if token.kind == "number":
+            return int(token.text)
+        raise DslError(
+            f"expected identifier or number in set, found {token.text!r}",
+            token.line,
+            token.column,
+        )
+
+    def _parse_axis(self, name_token: _Token) -> Axis:
+        opener = self._next()
+        if opener.kind == "{":
+            values = [self._set_member()]
+            while True:
+                token = self._next()
+                if token.kind == "}":
+                    break
+                if token.kind != ",":
+                    raise DslError(
+                        f"expected ',' or '}}' in set, found {token.text!r}",
+                        token.line,
+                        token.column,
+                    )
+                values.append(self._set_member())
+            return Axis(name_token.text, values)
+        if opener.kind == "[":
+            low = int(self._expect("number").text)
+            self._expect(",")
+            high = int(self._expect("number").text)
+            self._expect("]")
+            if high < low:
+                raise DslError(
+                    f"interval [{low}, {high}] is empty",
+                    opener.line,
+                    opener.column,
+                )
+            return Axis.from_range(name_token.text, low, high)
+        if opener.kind == "<":
+            low = int(self._expect("number").text)
+            self._expect(",")
+            high = int(self._expect("number").text)
+            self._expect(">")
+            if high < low:
+                raise DslError(
+                    f"interval <{low}, {high}> is empty",
+                    opener.line,
+                    opener.column,
+                )
+            return Axis.from_subintervals(name_token.text, low, high)
+        raise DslError(
+            f"expected '{{', '[' or '<' after '{name_token.text} :', "
+            f"found {opener.text!r}",
+            opener.line,
+            opener.column,
+        )
+
+
+def parse_fault_space(source: str) -> FaultSpace:
+    """Parse a fault-space description (Fig. 3 grammar) into a FaultSpace."""
+    return _Parser(tokenize(source)).parse()
+
+
+# --------------------------------------------------------------------------
+# writer
+# --------------------------------------------------------------------------
+
+
+def format_fault_space(space: FaultSpace) -> str:
+    """Render a FaultSpace back into DSL text.
+
+    Integer axes that cover a contiguous range render as ``[ lo , hi ]``;
+    everything else renders as an explicit value set.  Sub-interval axes
+    render as ``< lo , hi >``.
+    """
+    chunks: list[str] = []
+    for sub in space.subspaces:
+        lines: list[str] = []
+        if sub.label and not sub.label.startswith("s"):
+            lines.append(sub.label)
+        elif sub.label and not sub.label[1:].isdigit():
+            lines.append(sub.label)
+        for axis in sub.axes:
+            lines.append(f"{axis.name} : {_format_axis_values(axis)}")
+        chunks.append("\n".join(lines) + " ;")
+    return "\n".join(chunks) + "\n"
+
+
+def _format_axis_values(axis: Axis) -> str:
+    values = axis.values
+    if _is_subinterval_axis(values):
+        lo = values[0][0]
+        hi = values[-1][1]
+        return f"< {lo} , {hi} >"
+    if all(isinstance(v, int) for v in values):
+        lo, hi = min(values), max(values)
+        if list(values) == list(range(lo, hi + 1)):
+            return f"[ {lo} , {hi} ]"
+    rendered = ", ".join(str(v) for v in values)
+    return f"{{ {rendered} }}"
+
+
+def _is_subinterval_axis(values: tuple) -> bool:
+    if not values or not all(
+        isinstance(v, tuple) and len(v) == 2 for v in values
+    ):
+        return False
+    lo = values[0][0]
+    hi = values[-1][1]
+    expected = [
+        (a, b) for a in range(lo, hi + 1) for b in range(a, hi + 1)
+    ]
+    return list(values) == expected

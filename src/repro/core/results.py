@@ -1,0 +1,284 @@
+"""Exploration results: the output side of AFEX (§6.3).
+
+A :class:`ResultSet` holds every executed test with its fault, outcome,
+and impact, and provides the analyses the prototype reports: counts of
+failed tests and crashes, redundancy clusters (with representatives),
+rankings by severity, and generated replay scripts that reproduce an
+injection outside the explorer — the "test suites" output the paper
+highlights as saving "considerable human time in constructing regression
+test suites."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from collections.abc import Callable, Iterator, Sequence
+
+from repro.core.fault import Fault
+from repro.quality.clustering import RedundancyClusters, cluster_stacks
+from repro.sim.process import RunResult
+
+__all__ = ["ExecutedTest", "ResultSet"]
+
+
+@dataclass(frozen=True)
+class ExecutedTest:
+    """One executed fault-injection test and its evaluation."""
+
+    index: int  # execution order, 0-based
+    fault: Fault
+    result: RunResult
+    impact: float
+    fitness: float  # impact after feedback weighting (== impact without)
+
+    @property
+    def failed(self) -> bool:
+        return self.result.failed
+
+    @property
+    def crashed(self) -> bool:
+        return self.result.crashed
+
+    @property
+    def hung(self) -> bool:
+        return self.result.hung
+
+
+class ResultSet:
+    """Ordered collection of executed tests with quality analyses."""
+
+    def __init__(self, executed: Sequence[ExecutedTest]) -> None:
+        self._executed = list(executed)
+
+    def __len__(self) -> int:
+        return len(self._executed)
+
+    def __iter__(self) -> Iterator[ExecutedTest]:
+        return iter(self._executed)
+
+    def __getitem__(self, index: int) -> ExecutedTest:
+        return self._executed[index]
+
+    # -- counts (the numbers Tables 1-5 report) ---------------------------------
+
+    def failed_tests(self) -> list[ExecutedTest]:
+        return [t for t in self._executed if t.failed]
+
+    def crashes(self) -> list[ExecutedTest]:
+        return [t for t in self._executed if t.crashed]
+
+    def hangs(self) -> list[ExecutedTest]:
+        return [t for t in self._executed if t.hung]
+
+    def failed_count(self) -> int:
+        return sum(1 for t in self._executed if t.failed)
+
+    def crash_count(self) -> int:
+        return sum(1 for t in self._executed if t.crashed)
+
+    def coverage_union(self) -> frozenset[str]:
+        blocks: set[str] = set()
+        for t in self._executed:
+            blocks |= t.result.coverage
+        return frozenset(blocks)
+
+    def matching(self, predicate: Callable[[ExecutedTest], bool]) -> list[ExecutedTest]:
+        return [t for t in self._executed if predicate(t)]
+
+    # -- ranking ----------------------------------------------------------------
+
+    def top(self, n: int) -> list[ExecutedTest]:
+        """The n highest-impact tests (severity ranking, §1)."""
+        return sorted(self._executed, key=lambda t: t.impact, reverse=True)[:n]
+
+    # -- redundancy (§5) -----------------------------------------------------------
+
+    def cluster(
+        self,
+        of: Callable[[ExecutedTest], bool] | None = None,
+        max_distance: int = 1,
+    ) -> RedundancyClusters:
+        """Cluster (a filtered subset of) tests by injection-point stack."""
+        subset = self._executed if of is None else [t for t in self._executed if of(t)]
+        stacks = [
+            tuple(t.result.injection_stack) if t.result.injection_stack else None
+            for t in subset
+        ]
+        return cluster_stacks(stacks, max_distance=max_distance)
+
+    def unique_failures(self, max_distance: int = 0) -> int:
+        """Failures with distinct injection-point stack traces (Table 5)."""
+        return self.cluster(of=lambda t: t.failed, max_distance=max_distance).cluster_count
+
+    def unique_crashes(self, max_distance: int = 0) -> int:
+        """Crashes with distinct injection-point stack traces (Table 5)."""
+        return self.cluster(of=lambda t: t.crashed, max_distance=max_distance).cluster_count
+
+    def cluster_representatives(
+        self, of: Callable[[ExecutedTest], bool] | None = None, max_distance: int = 1
+    ) -> list[ExecutedTest]:
+        """One test per redundancy cluster, ready for a regression suite."""
+        subset = self._executed if of is None else [t for t in self._executed if of(t)]
+        clusters = self.cluster(of=of, max_distance=max_distance)
+        return [subset[i] for i in clusters.representatives()]
+
+    # -- replay scripts (§6.3 "Test Suites") ------------------------------------------
+
+    def replay_script(self, test: ExecutedTest, target_name: str) -> str:
+        """Source of a standalone script reproducing one injection."""
+        plan_text = test.result.plan.format() or "# (no injection)"
+        plan_lines = "\n".join(plan_text.splitlines())
+        return f'''"""Auto-generated AFEX replay script.
+
+Fault:     {test.fault}
+Outcome:   {test.result.summary()}
+Impact:    {test.impact:.2f}
+"""
+
+from repro.injection.plan import InjectionPlan
+from repro.sim.process import run_test
+from repro.sim.targets import target_by_name
+
+PLAN = InjectionPlan.parse("""\\
+{plan_lines}
+""")
+
+def replay():
+    target = target_by_name("{target_name}")
+    test = target.suite[{test.result.test_id}]
+    return run_test(target, test, PLAN)
+
+if __name__ == "__main__":
+    result = replay()
+    print(result.summary())
+'''
+
+    def regression_suite(
+        self,
+        target_name: str,
+        of: Callable[[ExecutedTest], bool] | None = None,
+        max_distance: int = 1,
+    ) -> dict[str, str]:
+        """Replay scripts for one representative per redundancy cluster.
+
+        Returns a mapping of suggested file name -> script source.
+        """
+        scripts: dict[str, str] = {}
+        for rep in self.cluster_representatives(of=of, max_distance=max_distance):
+            name = f"replay_{rep.index:05d}.py"
+            scripts[name] = self.replay_script(rep, target_name)
+        return scripts
+
+    # -- persistence (§6.3: results outlive the exploration session) -----------------
+
+    def to_json(self) -> str:
+        """Serialize the result set (summaries, not full traces).
+
+        Faults, outcomes, impacts, coverage, and injection stacks are
+        preserved — everything the quality analyses consume — so a saved
+        run can be re-clustered, re-ranked, and re-reported later
+        without re-executing anything.
+        """
+        import json
+
+        payload = []
+        for t in self._executed:
+            payload.append({
+                "index": t.index,
+                "fault": {
+                    "subspace": t.fault.subspace,
+                    "attributes": [[n, v] for n, v in t.fault.attributes],
+                },
+                "impact": t.impact,
+                "fitness": t.fitness,
+                "result": {
+                    "test_id": t.result.test_id,
+                    "test_name": t.result.test_name,
+                    "plan": t.result.plan.format(),
+                    "exit_code": t.result.exit_code,
+                    "crash_kind": t.result.crash_kind,
+                    "crash_message": t.result.crash_message,
+                    "crash_stack": list(t.result.crash_stack or []) or None,
+                    "injection_stack":
+                        list(t.result.injection_stack or []) or None,
+                    "injected": t.result.injected,
+                    "coverage": sorted(t.result.coverage),
+                    "steps": t.result.steps,
+                    "open_fds": t.result.open_fds,
+                    "leaked_heap_bytes": t.result.leaked_heap_bytes,
+                    "failure_message": t.result.failure_message,
+                    "measurements": t.result.measurements,
+                },
+            })
+        return json.dumps({"version": 1, "tests": payload})
+
+    @classmethod
+    def from_json(cls, text: str) -> "ResultSet":
+        """Rebuild a result set saved with :meth:`to_json`."""
+        import json
+
+        from repro.injection.plan import InjectionPlan
+
+        def _value(raw):
+            # JSON turns tuples into lists; restore the range-call shape.
+            return tuple(raw) if isinstance(raw, list) else raw
+
+        data = json.loads(text)
+        executed = []
+        for entry in data["tests"]:
+            raw_fault = entry["fault"]
+            fault = Fault(
+                raw_fault["subspace"],
+                tuple((n, _value(v)) for n, v in raw_fault["attributes"]),
+            )
+            raw = entry["result"]
+            result = RunResult(
+                test_id=raw["test_id"],
+                test_name=raw["test_name"],
+                plan=InjectionPlan.parse(raw["plan"]),
+                exit_code=raw["exit_code"],
+                crash_kind=raw["crash_kind"],
+                crash_message=raw["crash_message"],
+                crash_stack=tuple(raw["crash_stack"])
+                if raw["crash_stack"] else None,
+                injection_stack=tuple(raw["injection_stack"])
+                if raw["injection_stack"] else None,
+                injected=raw["injected"],
+                coverage=frozenset(raw["coverage"]),
+                steps=raw["steps"],
+                open_fds=raw.get("open_fds", 0),
+                leaked_heap_bytes=raw.get("leaked_heap_bytes", 0),
+                failure_message=raw["failure_message"],
+                measurements=dict(raw["measurements"]),
+            )
+            executed.append(ExecutedTest(
+                index=entry["index"],
+                fault=fault,
+                result=result,
+                impact=entry["impact"],
+                fitness=entry["fitness"],
+            ))
+        return cls(executed)
+
+    def save(self, path) -> None:
+        from pathlib import Path
+
+        Path(path).write_text(self.to_json())
+
+    @classmethod
+    def load(cls, path) -> "ResultSet":
+        from pathlib import Path
+
+        return cls.from_json(Path(path).read_text())
+
+    # -- summary ---------------------------------------------------------------------
+
+    def summary(self) -> dict[str, float]:
+        return {
+            "tests": len(self._executed),
+            "failed": self.failed_count(),
+            "crashes": self.crash_count(),
+            "hangs": len(self.hangs()),
+            "covered_blocks": len(self.coverage_union()),
+            "max_impact": max((t.impact for t in self._executed), default=0.0),
+        }

@@ -1,0 +1,63 @@
+"""Binding fault-space points to concrete test executions.
+
+A :class:`TargetRunner` is the glue the node manager uses: it takes a
+fault (named attribute vector), extracts the *workload* attribute
+(``test``, selecting a test from the target's default suite), hands the
+remaining attributes to the injector plugin, and executes the test under
+the resulting plan.
+
+The runner is deliberately the only place that knows the ``test``
+attribute is special — the explorer and the strategies treat every axis
+uniformly, exactly as AFEX treats its fault space as an opaque
+hyperspace.
+"""
+
+from __future__ import annotations
+
+from repro.core.fault import Fault
+from repro.errors import TargetError
+from repro.injection.injector import FaultInjector
+from repro.injection.libfi import LibFaultInjector
+from repro.sim.libc import DEFAULT_STEP_BUDGET
+from repro.sim.process import RunResult, run_test
+from repro.sim.testsuite import Target
+
+__all__ = ["TargetRunner"]
+
+
+class TargetRunner:
+    """Executes fault-space points against a target's test suite."""
+
+    def __init__(
+        self,
+        target: Target,
+        injector: FaultInjector | None = None,
+        step_budget: int = DEFAULT_STEP_BUDGET,
+        test_attribute: str = "test",
+    ) -> None:
+        self.target = target
+        self.injector = injector or LibFaultInjector()
+        self.step_budget = step_budget
+        self.test_attribute = test_attribute
+
+    def __call__(self, fault: Fault, trial: int = 0) -> RunResult:
+        attributes = fault.as_dict()
+        raw_test = attributes.pop(self.test_attribute, None)
+        if raw_test is None:
+            raise TargetError(
+                f"fault {fault} has no {self.test_attribute!r} attribute; "
+                "cannot select a workload test"
+            )
+        test_id = int(raw_test)  # type: ignore[arg-type]
+        test = self.target.suite[test_id]
+        plan = self.injector.plan_for(attributes)
+        return run_test(
+            self.target,
+            test,
+            plan,
+            trial=trial,
+            step_budget=self.step_budget,
+        )
+
+    def describe(self) -> str:
+        return f"{self.target.describe()} via {self.injector.describe()}"

@@ -1,0 +1,42 @@
+"""Fault-space exploration strategies.
+
+* :class:`FitnessGuidedSearch` — the paper's Algorithm 1: stochastic
+  beam search with sensitivity-weighted axis choice, Gaussian value
+  mutation, and fitness aging.
+* :class:`RandomSearch` — uniform sampling without replacement (the
+  paper's primary baseline).
+* :class:`ExhaustiveSearch` — complete enumeration (feasible only for
+  small spaces like Φ_coreutils).
+* :class:`GeneticSearch` — the population/crossover algorithm the
+  authors "employed ... but abandoned, because we found it inefficient"
+  (§3); kept as an honest baseline for that claim.
+"""
+
+from repro.core.search.base import SearchStrategy
+from repro.core.search.exhaustive import ExhaustiveSearch
+from repro.core.search.fitness_guided import FitnessGuidedSearch
+from repro.core.search.genetic import GeneticSearch
+from repro.core.search.random_search import RandomSearch
+
+__all__ = [
+    "ExhaustiveSearch",
+    "FitnessGuidedSearch",
+    "GeneticSearch",
+    "RandomSearch",
+    "SearchStrategy",
+    "strategy_by_name",
+]
+
+
+def strategy_by_name(name: str, **kwargs) -> SearchStrategy:
+    """Instantiate a strategy by CLI-friendly name."""
+    registry = {
+        "fitness": FitnessGuidedSearch,
+        "random": RandomSearch,
+        "exhaustive": ExhaustiveSearch,
+        "genetic": GeneticSearch,
+    }
+    cls = registry.get(name)
+    if cls is None:
+        raise ValueError(f"unknown strategy {name!r}; available: {sorted(registry)}")
+    return cls(**kwargs)

@@ -1,0 +1,83 @@
+"""Strategy interface shared by all fault-space explorers.
+
+The session drives a simple generate/observe protocol:
+
+1. :meth:`SearchStrategy.bind` — attach the strategy to a space and RNG;
+2. :meth:`SearchStrategy.propose` — the next fault to execute, or
+   ``None`` when the strategy has exhausted the space;
+3. :meth:`SearchStrategy.observe` — feed back the executed result and
+   its impact, which fitness-guided strategies learn from.
+
+Strategies must never propose a fault twice (the paper's History set);
+the shared helpers here implement unseen-sampling for that.
+"""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+
+from repro.core.fault import Fault
+from repro.core.faultspace import FaultSpace
+from repro.core.queues import History
+from repro.errors import SearchError
+from repro.sim.process import RunResult
+
+__all__ = ["SearchStrategy"]
+
+_RANDOM_UNSEEN_TRIES = 2000
+
+
+class SearchStrategy(ABC):
+    """Base class for exploration strategies."""
+
+    #: CLI-friendly strategy name; subclasses override.
+    name = "strategy"
+
+    def __init__(self) -> None:
+        self.space: FaultSpace | None = None
+        self.rng: random.Random | None = None
+        self.history = History()
+
+    def bind(self, space: FaultSpace, rng: random.Random) -> None:
+        """Attach to the space being explored (called once by the session)."""
+        self.space = space
+        self.rng = rng
+
+    def _require_bound(self) -> tuple[FaultSpace, random.Random]:
+        if self.space is None or self.rng is None:
+            raise SearchError(
+                f"{type(self).__name__} used before bind(); "
+                "strategies must be driven through an ExplorationSession"
+            )
+        return self.space, self.rng
+
+    @abstractmethod
+    def propose(self) -> Fault | None:
+        """The next fault to test, or None when nothing is left to try."""
+
+    def observe(self, fault: Fault, impact: float, result: RunResult) -> None:
+        """Feedback hook: called after each executed test."""
+
+    # -- shared helpers --------------------------------------------------------
+
+    def _random_unseen(self) -> Fault | None:
+        """A uniformly random fault not yet in History.
+
+        Rejection-samples first; if the space is nearly exhausted, falls
+        back to scanning the enumeration (only viable — and only
+        needed — for small spaces).
+        """
+        space, rng = self._require_bound()
+        if len(self.history) >= space.size():
+            return None
+        for _ in range(_RANDOM_UNSEEN_TRIES):
+            fault = space.random_fault(rng)
+            if fault not in self.history:
+                self.history.add(fault)
+                return fault
+        for fault in space.enumerate():
+            if fault not in self.history:
+                self.history.add(fault)
+                return fault
+        return None

@@ -1,0 +1,272 @@
+"""Algorithm 1: fitness-guided test generation.
+
+A faithful implementation of the paper's §3, including the machinery the
+pseudo-code delegates to prose ("Execution of tests, computation of
+fitness and sensitivity, and aging occur outside this algorithm"):
+
+* an initial random batch seeds Qpriority (AFEX step 1);
+* parents are sampled from Qpriority proportionally to fitness
+  (lines 1-4);
+* the mutated attribute is chosen proportionally to normalized
+  sensitivity (lines 5-6);
+* the new value is drawn from a discrete Gaussian centred on the old
+  value with σ = |A_i|/5 (lines 7-9);
+* the offspring is deduplicated against History/Qpending (lines 12-14);
+* fitness ages multiplicatively each step, and exhausted candidates are
+  retired from Qpriority;
+* an optional *fitness weight* hook implements the §7.4 result-quality
+  feedback loop (redundancy-weighted fitness).
+
+The ablation switches (``gaussian``, ``use_sensitivity``, ``aging``)
+exist so benchmarks can quantify each ingredient's contribution — the
+design-choice ablations DESIGN.md commits to.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from collections.abc import Callable
+
+from repro.core.fault import Fault
+from repro.core.mutation import (
+    DEFAULT_SIGMA_FACTOR,
+    mutable_axes,
+    mutate_fault,
+)
+from repro.core.queues import Candidate, PriorityQueue
+from repro.core.search.base import SearchStrategy
+from repro.core.sensitivity import SensitivityTracker
+from repro.errors import SearchError
+from repro.sim.process import RunResult
+
+__all__ = ["FitnessGuidedSearch"]
+
+#: attempts at generating a novel offspring before falling back to random.
+_MAX_GENERATION_TRIES = 200
+
+#: type of the §7.4 feedback hook: (fault, result, raw_impact) -> fitness.
+FitnessWeight = Callable[[Fault, RunResult, float], float]
+
+
+class FitnessGuidedSearch(SearchStrategy):
+    """Stochastic beam search with sensitivity and Gaussian mutation."""
+
+    name = "fitness"
+
+    def __init__(
+        self,
+        initial_batch: int = 25,
+        priority_capacity: int = 50,
+        sensitivity_window: int = 20,
+        sensitivity_floor: float = 0.05,
+        sigma_factor: float = DEFAULT_SIGMA_FACTOR,
+        aging_decay: float = 0.97,
+        retire_threshold: float = 0.25,
+        gaussian: bool = True,
+        use_sensitivity: bool = True,
+        aging: bool = True,
+        fitness_weight: FitnessWeight | None = None,
+        adaptive_sigma: bool = False,
+        sigma_shrink: float = 0.93,
+        sigma_grow: float = 1.04,
+        sigma_bounds: tuple[float, float] = (0.05, 0.5),
+        initial_seeds: tuple[Fault, ...] = (),
+        eviction: str = "probabilistic",
+    ) -> None:
+        super().__init__()
+        if initial_batch < 1:
+            raise SearchError("initial_batch must be >= 1")
+        if not sigma_bounds[0] < sigma_bounds[1]:
+            raise SearchError(f"invalid sigma bounds {sigma_bounds}")
+        self.initial_batch = initial_batch
+        self.priority_capacity = priority_capacity
+        self.sensitivity_window = sensitivity_window
+        self.sensitivity_floor = sensitivity_floor
+        self.sigma_factor = sigma_factor
+        self.aging_decay = aging_decay
+        self.retire_threshold = retire_threshold
+        self.gaussian = gaussian
+        self.use_sensitivity = use_sensitivity
+        self.aging = aging
+        self.fitness_weight = fitness_weight
+        #: §3 future work: "σ can also be computed dynamically, based on
+        #: the evolution of tests in the currently explored vicinity".
+        #: When enabled, each axis's σ factor shrinks while mutations
+        #: along it keep paying off (exploit the local ridge) and grows
+        #: while they don't (widen the net).
+        self.adaptive_sigma = adaptive_sigma
+        self.sigma_shrink = sigma_shrink
+        self.sigma_grow = sigma_grow
+        self.sigma_bounds = sigma_bounds
+        #: §4: results of static analysis (or any prior knowledge) can
+        #: seed the initial generation phase — these faults are proposed
+        #: before any random probes, so the search "starts off with
+        #: highly relevant tests" and learns the space's structure
+        #: sooner.
+        self.initial_seeds = tuple(initial_seeds)
+        #: Qpriority eviction policy (probabilistic per the paper, or the
+        #: strict-min ablation baseline).
+        self.eviction = eviction
+        # populated on bind():
+        self._qpriority: PriorityQueue | None = None
+        self._sensitivity: SensitivityTracker | None = None
+        self._pending: deque[Fault] = deque()
+        self._mutated_axis: dict[Fault, str] = {}
+        #: parent fitness at proposal time, for the adaptive-σ comparison.
+        self._parent_fitness: dict[Fault, float] = {}
+        self._sigma_factors: dict[str, float] = {}
+        self._proposed = 0
+
+    def bind(self, space, rng) -> None:
+        super().bind(space, rng)
+        self._qpriority = PriorityQueue(self.priority_capacity, rng,
+                                        eviction=self.eviction)
+        self._sensitivity = SensitivityTracker(
+            space.axis_names(),
+            window=self.sensitivity_window,
+            floor=self.sensitivity_floor,
+        )
+        self._sigma_factors = {
+            name: self.sigma_factor for name in space.axis_names()
+        }
+
+    # -- generation -------------------------------------------------------------
+
+    def propose(self) -> Fault | None:
+        space, rng = self._require_bound()
+        if self._pending:
+            return self._pending.popleft()
+        seed = self._next_seed()
+        if seed is not None:
+            self._proposed += 1
+            return seed
+        if self._proposed < self.initial_batch:
+            fault = self._random_unseen()
+            if fault is not None:
+                self._proposed += 1
+            return fault
+        fault = self._generate_offspring()
+        if fault is None:
+            # No parents or the vicinity is saturated: widen with a
+            # random probe (keeps coverage growing, per §3's aging goal).
+            fault = self._random_unseen()
+        if fault is not None:
+            self._proposed += 1
+        return fault
+
+    def _generate_offspring(self) -> Fault | None:
+        space, rng = self._require_bound()
+        queue = self._queue()
+        if len(queue) == 0:
+            return None
+        for _ in range(_MAX_GENERATION_TRIES):
+            parent = queue.sample_parent()
+            axes = mutable_axes(space, parent.fault)
+            if not axes:
+                continue
+            axis_name = self._choose_axis(axes)
+            offspring = mutate_fault(
+                space,
+                parent.fault,
+                axis_name,
+                rng,
+                sigma_factor=self._sigma_for(axis_name),
+                gaussian=self.gaussian,
+            )
+            if offspring in self.history:
+                continue
+            if not space.contains(offspring):
+                continue  # landed in a hole
+            self.history.add(offspring)
+            self._mutated_axis[offspring] = axis_name
+            if self.adaptive_sigma:
+                self._parent_fitness[offspring] = parent.fitness
+            return offspring
+        return None
+
+    def _next_seed(self) -> Fault | None:
+        """The next unexecuted static-analysis seed, if any remain."""
+        space, _ = self._require_bound()
+        while self.initial_seeds:
+            seed, *rest = self.initial_seeds
+            self.initial_seeds = tuple(rest)
+            if seed in self.history or not space.contains(seed):
+                continue
+            self.history.add(seed)
+            return seed
+        return None
+
+    def _sigma_for(self, axis_name: str) -> float:
+        if not self.adaptive_sigma:
+            return self.sigma_factor
+        return self._sigma_factors.get(axis_name, self.sigma_factor)
+
+    def _choose_axis(self, axes: tuple[str, ...]) -> str:
+        """Line 5-6: sensitivity-proportional axis selection."""
+        _, rng = self._require_bound()
+        if not self.use_sensitivity or len(axes) == 1:
+            return rng.choice(axes)
+        probabilities = self._tracker().probabilities()
+        weights = [probabilities[a] for a in axes]
+        total = sum(weights)
+        pick = rng.random() * total
+        cumulative = 0.0
+        for axis_name, weight in zip(axes, weights):
+            cumulative += weight
+            if pick <= cumulative:
+                return axis_name
+        return axes[-1]
+
+    # -- feedback ----------------------------------------------------------------
+
+    def observe(self, fault: Fault, impact: float, result: RunResult) -> None:
+        queue = self._queue()
+        fitness = impact
+        if self.fitness_weight is not None:
+            fitness = self.fitness_weight(fault, result, impact)
+        mutated_axis = self._mutated_axis.pop(fault, None)
+        queue.add(Candidate(fault, impact, fitness, mutated_axis))
+        if mutated_axis is not None:
+            self._tracker().record(mutated_axis, fitness)
+            if self.adaptive_sigma:
+                self._adapt_sigma(mutated_axis, fault, fitness)
+        if self.aging:
+            queue.age(self.aging_decay, self.retire_threshold)
+
+    def _adapt_sigma(self, axis_name: str, fault: Fault, fitness: float) -> None:
+        """Shrink σ while the local ridge keeps paying, grow otherwise."""
+        parent_fitness = self._parent_fitness.pop(fault, None)
+        if parent_fitness is None:
+            return
+        low, high = self.sigma_bounds
+        current = self._sigma_factors.get(axis_name, self.sigma_factor)
+        if fitness >= parent_fitness and fitness > 0:
+            current *= self.sigma_shrink
+        else:
+            current *= self.sigma_grow
+        self._sigma_factors[axis_name] = min(max(current, low), high)
+
+    # -- introspection ---------------------------------------------------------------
+
+    def sensitivities(self) -> dict[str, float]:
+        """Current per-axis sensitivity (used by §7.3-style analyses)."""
+        return self._tracker().sensitivities()
+
+    def sigma_factors(self) -> dict[str, float]:
+        """Current per-axis σ factors (fixed unless adaptive_sigma)."""
+        if not self._sigma_factors:
+            raise SearchError("strategy not bound")
+        return dict(self._sigma_factors)
+
+    def priority_snapshot(self) -> tuple[Candidate, ...]:
+        return self._queue().items
+
+    def _queue(self) -> PriorityQueue:
+        if self._qpriority is None:
+            raise SearchError("strategy not bound")
+        return self._qpriority
+
+    def _tracker(self) -> SensitivityTracker:
+        if self._sensitivity is None:
+            raise SearchError("strategy not bound")
+        return self._sensitivity

@@ -1,0 +1,123 @@
+"""The abandoned genetic-algorithm baseline.
+
+§3, "Alternative Algorithms": "In an earlier version of our system, we
+employed a genetic algorithm, but abandoned it, because we found it
+inefficient.  AFEX aims to optimize for 'ridges' on the fault-impact
+hypersurface, and this makes global optimization algorithms (such as
+genetic algorithms) difficult to apply."
+
+We keep a textbook GA — fitness-proportional selection, single-point
+attribute crossover, per-attribute mutation, generational replacement
+with elitism — so that the claim is checkable: the ablation bench races
+it against Algorithm 1 on the same spaces.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.core.fault import Fault
+from repro.core.mutation import mutable_axes, mutate_fault
+from repro.core.search.base import SearchStrategy
+from repro.errors import SearchError
+from repro.sim.process import RunResult
+
+__all__ = ["GeneticSearch"]
+
+
+class GeneticSearch(SearchStrategy):
+    """Generational GA over fault attribute vectors."""
+
+    name = "genetic"
+
+    def __init__(
+        self,
+        population_size: int = 30,
+        mutation_rate: float = 0.2,
+        elite: int = 4,
+        sigma_factor: float = 0.2,
+    ) -> None:
+        super().__init__()
+        if population_size < 4:
+            raise SearchError("population_size must be >= 4")
+        if elite >= population_size:
+            raise SearchError("elite must be smaller than the population")
+        self.population_size = population_size
+        self.mutation_rate = mutation_rate
+        self.elite = elite
+        self.sigma_factor = sigma_factor
+        self._pending: deque[Fault] = deque()
+        self._evaluated: list[tuple[Fault, float]] = []
+        self._generation = 0
+
+    def propose(self) -> Fault | None:
+        self._require_bound()
+        if not self._pending:
+            self._breed()
+        space, _ = self._require_bound()
+        while self._pending:
+            fault = self._pending.popleft()
+            if fault not in self.history and space.contains(fault):
+                self.history.add(fault)
+                return fault
+        # Breeding produced only duplicates: widen with random samples.
+        return self._random_unseen()
+
+    def observe(self, fault: Fault, impact: float, result: RunResult) -> None:
+        self._evaluated.append((fault, impact))
+
+    # -- GA mechanics -----------------------------------------------------------
+
+    def _breed(self) -> None:
+        space, rng = self._require_bound()
+        if len(self._evaluated) < self.population_size:
+            # Generation 0: random seeding.
+            for _ in range(self.population_size):
+                fault = space.random_fault(rng)
+                self._pending.append(fault)
+            return
+        self._generation += 1
+        ranked = sorted(self._evaluated, key=lambda fi: fi[1], reverse=True)
+        parents_pool = ranked[: self.population_size]
+        # Elitism: the best few survive unchanged (they are in History, so
+        # they won't re-execute; they only contribute genes).
+        offspring: list[Fault] = []
+        while len(offspring) < self.population_size:
+            mother = self._select(parents_pool)
+            father = self._select(parents_pool)
+            child = self._crossover(mother, father)
+            child = self._mutate(child)
+            offspring.append(child)
+        # Keep the evaluated pool bounded to the fittest individuals.
+        self._evaluated = ranked[: self.population_size * 2]
+        self._pending.extend(offspring)
+
+    def _select(self, pool: list[tuple[Fault, float]]) -> Fault:
+        _, rng = self._require_bound()
+        total = sum(max(f, 0.0) + 1e-9 for _, f in pool)
+        pick = rng.random() * total
+        cumulative = 0.0
+        for fault, fitness in pool:
+            cumulative += max(fitness, 0.0) + 1e-9
+            if pick <= cumulative:
+                return fault
+        return pool[-1][0]
+
+    def _crossover(self, mother: Fault, father: Fault) -> Fault:
+        """Single-point crossover; parents from different subspaces do not mix."""
+        _, rng = self._require_bound()
+        if mother.subspace != father.subspace or len(mother.attributes) < 2:
+            return mother
+        point = rng.randrange(1, len(mother.attributes))
+        attributes = mother.attributes[:point] + father.attributes[point:]
+        return Fault(mother.subspace, attributes)
+
+    def _mutate(self, fault: Fault) -> Fault:
+        space, rng = self._require_bound()
+        axes = mutable_axes(space, fault)
+        for axis_name in axes:
+            if rng.random() < self.mutation_rate:
+                fault = mutate_fault(
+                    space, fault, axis_name, rng, sigma_factor=self.sigma_factor
+                )
+        return fault

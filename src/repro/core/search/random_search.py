@@ -1,0 +1,23 @@
+"""Random exploration: uniform sampling without replacement.
+
+The paper's main baseline (§3): "random exploration constructs random
+combinations of attribute values and evaluates the corresponding points
+in the fault space."  Like AFEX, it never re-executes a test — the
+comparison isolates *guidance*, not deduplication.
+"""
+
+from __future__ import annotations
+
+from repro.core.fault import Fault
+from repro.core.search.base import SearchStrategy
+
+__all__ = ["RandomSearch"]
+
+
+class RandomSearch(SearchStrategy):
+    """Uniform sampling of the fault space, deduplicated via History."""
+
+    name = "random"
+
+    def propose(self) -> Fault | None:
+        return self._random_unseen()

@@ -1,0 +1,95 @@
+"""The exploration session: AFEX's generate → execute → evaluate loop.
+
+This is the single-process explorer (§6.1): it asks the strategy for the
+next fault, executes it through a runner (locally or via the cluster
+substrate in :mod:`repro.cluster`), scores the outcome with the impact
+metric (optionally weighted by an environment model, §7.5), feeds the
+result back to the strategy, and stops when the search target is met or
+the strategy exhausts the space.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Callable
+
+from repro.core.faultspace import FaultSpace
+from repro.core.fault import Fault
+from repro.core.impact import ImpactMetric
+from repro.core.results import ExecutedTest, ResultSet
+from repro.core.search.base import SearchStrategy
+from repro.core.targets import SearchTarget
+from repro.errors import SearchError
+from repro.quality.relevance import EnvironmentModel
+from repro.sim.process import RunResult
+from repro.util.rng import ensure_rng
+
+__all__ = ["ExplorationSession"]
+
+#: runner signature: fault -> run outcome.
+Runner = Callable[[Fault], RunResult]
+
+
+class ExplorationSession:
+    """Drives one strategy against one target until the goal is met."""
+
+    def __init__(
+        self,
+        runner: Runner,
+        space: FaultSpace,
+        metric: ImpactMetric,
+        strategy: SearchStrategy,
+        target: SearchTarget,
+        rng: random.Random | int | None = None,
+        environment: EnvironmentModel | None = None,
+        on_test: Callable[[ExecutedTest], None] | None = None,
+    ) -> None:
+        self.runner = runner
+        self.space = space
+        self.metric = metric
+        self.strategy = strategy
+        self.target = target
+        self.rng = ensure_rng(rng)
+        self.environment = environment
+        self.on_test = on_test
+        self.executed: list[ExecutedTest] = []
+        self._started = False
+
+    def run(self) -> ResultSet:
+        """Run the session to completion and return the result set."""
+        if self._started:
+            raise SearchError(
+                "a session cannot be run twice; create a new session "
+                "(impact metrics and strategies carry per-session state)"
+            )
+        self._started = True
+        self.strategy.bind(self.space, self.rng)
+        while not self.target.done(self.executed):
+            fault = self.strategy.propose()
+            if fault is None:
+                break  # space exhausted (or strategy gave up)
+            self.execute_one(fault)
+        return ResultSet(self.executed)
+
+    def execute_one(self, fault: Fault) -> ExecutedTest:
+        """Execute a single fault and account it (exposed for clusters)."""
+        result = self.runner(fault)
+        impact = self.metric.score(result)
+        if self.environment is not None:
+            impact = self.environment.weight_impact(fault, impact)
+        self.strategy.observe(fault, impact, result)
+        executed = ExecutedTest(
+            index=len(self.executed),
+            fault=fault,
+            result=result,
+            impact=impact,
+            fitness=impact,
+        )
+        self.executed.append(executed)
+        if self.on_test is not None:
+            self.on_test(executed)
+        return executed
+
+    @property
+    def iterations(self) -> int:
+        return len(self.executed)

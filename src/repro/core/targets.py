@@ -1,0 +1,140 @@
+"""Search targets: when is an exploration session done (§6.2)?
+
+"Search targets describ[e] what the user wants to search for, in the
+form of thresholds on the impact metrics" — plus the operational stops
+of §6.4 step 6: "after some specified amount of time, after a number of
+tests executed, or after a given threshold is met in terms of code
+coverage, bugs found, etc."
+
+A target is consulted after every executed test with the running
+session statistics; returning True stops the session.
+"""
+
+from __future__ import annotations
+
+import time
+from abc import ABC, abstractmethod
+from collections.abc import Callable
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.results import ExecutedTest
+
+__all__ = [
+    "SearchTarget",
+    "IterationBudget",
+    "TimeBudget",
+    "ImpactThreshold",
+    "CollectMatching",
+    "AnyOf",
+]
+
+
+class SearchTarget(ABC):
+    """Stopping criterion for an exploration session."""
+
+    @abstractmethod
+    def done(self, executed: list["ExecutedTest"]) -> bool:
+        """Should the session stop, given everything executed so far?"""
+
+    def describe(self) -> str:
+        return type(self).__name__
+
+
+class IterationBudget(SearchTarget):
+    """Stop after N executed tests (the paper's "250 test iterations")."""
+
+    def __init__(self, iterations: int) -> None:
+        if iterations < 1:
+            raise ValueError(f"iteration budget must be >= 1, got {iterations}")
+        self.iterations = iterations
+
+    def done(self, executed) -> bool:
+        return len(executed) >= self.iterations
+
+    def describe(self) -> str:
+        return f"{self.iterations} iterations"
+
+
+class TimeBudget(SearchTarget):
+    """Stop after a wall-clock budget (the paper's 24-hour MySQL run)."""
+
+    def __init__(self, seconds: float, clock: Callable[[], float] = time.monotonic) -> None:
+        if seconds <= 0:
+            raise ValueError(f"time budget must be positive, got {seconds}")
+        self.seconds = seconds
+        self._clock = clock
+        self._started: float | None = None
+
+    def done(self, executed) -> bool:
+        now = self._clock()
+        if self._started is None:
+            self._started = now
+        return now - self._started >= self.seconds
+
+    def describe(self) -> str:
+        return f"{self.seconds:.0f}s wall clock"
+
+
+class ImpactThreshold(SearchTarget):
+    """Stop once N tests with impact >= threshold have been found.
+
+    E.g. the paper's "find 3 disk faults that hang the DBMS" becomes an
+    impact threshold over a hang-scoring metric.
+    """
+
+    def __init__(self, count: int, min_impact: float) -> None:
+        if count < 1:
+            raise ValueError(f"count must be >= 1, got {count}")
+        self.count = count
+        self.min_impact = min_impact
+
+    def done(self, executed) -> bool:
+        hits = sum(1 for t in executed if t.impact >= self.min_impact)
+        return hits >= self.count
+
+    def describe(self) -> str:
+        return f"{self.count} tests with impact >= {self.min_impact}"
+
+
+class CollectMatching(SearchTarget):
+    """Stop once ``expected`` distinct tests satisfying a predicate exist.
+
+    This is the Table 6 target ("find all 28 malloc faults ... that
+    cause ln and mv to fail"): the predicate inspects the executed test,
+    and the session ends when the known number of matches is collected.
+    """
+
+    def __init__(
+        self,
+        predicate: Callable[["ExecutedTest"], bool],
+        expected: int,
+    ) -> None:
+        if expected < 1:
+            raise ValueError(f"expected count must be >= 1, got {expected}")
+        self.predicate = predicate
+        self.expected = expected
+
+    def matches(self, executed) -> list["ExecutedTest"]:
+        return [t for t in executed if self.predicate(t)]
+
+    def done(self, executed) -> bool:
+        return len(self.matches(executed)) >= self.expected
+
+    def describe(self) -> str:
+        return f"collect {self.expected} matching tests"
+
+
+class AnyOf(SearchTarget):
+    """Stop when any sub-target is met (e.g. budget OR threshold)."""
+
+    def __init__(self, *subtargets: SearchTarget) -> None:
+        if not subtargets:
+            raise ValueError("AnyOf needs at least one sub-target")
+        self.subtargets = subtargets
+
+    def done(self, executed) -> bool:
+        return any(t.done(executed) for t in self.subtargets)
+
+    def describe(self) -> str:
+        return " or ".join(t.describe() for t in self.subtargets)

@@ -1,0 +1,48 @@
+"""Exception hierarchy for the AFEX reproduction.
+
+Every error raised by this package derives from :class:`ReproError`, so
+callers can catch package-level failures without accidentally swallowing
+simulated-crash signals (which live in :mod:`repro.sim.crashes` and
+deliberately do *not* derive from :class:`ReproError` — a simulated
+segfault is an experimental observation, not a library bug).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class FaultSpaceError(ReproError):
+    """A fault-space definition or operation is invalid."""
+
+
+class DslError(ReproError):
+    """The fault-space description language input failed to parse."""
+
+    def __init__(self, message: str, line: int = 0, column: int = 0) -> None:
+        location = f" (line {line}, column {column})" if line else ""
+        super().__init__(f"{message}{location}")
+        self.line = line
+        self.column = column
+
+
+class InjectionError(ReproError):
+    """An injection plan is malformed or cannot be applied."""
+
+
+class TargetError(ReproError):
+    """A system-under-test definition is inconsistent."""
+
+
+class SearchError(ReproError):
+    """A search strategy was misused or reached an invalid state."""
+
+
+class ClusterError(ReproError):
+    """The explorer/node-manager substrate encountered a protocol error."""
+
+
+class ReportError(ReproError):
+    """Result reporting failed (bad result set, unknown metric, ...)."""

@@ -1,0 +1,32 @@
+"""Fault-injection substrate: plans, injectors, profiles, callsite analysis.
+
+This package plays the role LFI [16] plays in the paper: it defines the
+injectable fault model (fail the *n*-th call to libc function *f* with a
+given errno/return value), applies injection plans to the simulated C
+library, and provides the profiling machinery (an ``ltrace``-like tracer
+plus a callsite analyzer) used to construct fault-space descriptions
+mechanically, mirroring the paper's "Fault Space Definition Methodology"
+(§7).
+"""
+
+from repro.injection.plan import AtomicFault, InjectionPlan
+from repro.injection.injector import FaultInjector, InjectorRegistry
+from repro.injection.libfi import (
+    LibFaultInjector,
+    MultiLibFaultInjector,
+    atomic_for,
+)
+from repro.injection.profiles import FaultProfile, fault_profile, profiled_functions
+
+__all__ = [
+    "AtomicFault",
+    "FaultInjector",
+    "FaultProfile",
+    "InjectionPlan",
+    "InjectorRegistry",
+    "LibFaultInjector",
+    "MultiLibFaultInjector",
+    "atomic_for",
+    "fault_profile",
+    "profiled_functions",
+]

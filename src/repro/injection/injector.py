@@ -1,0 +1,74 @@
+"""Fault-injector plugin interface.
+
+In the AFEX prototype, each node manager holds "a set of plugins that
+convert fault descriptions from the AFEX-internal representation to
+concrete configuration files and parameters for the injectors" (§6.1).
+The internal representation here is an *attribute dict* — the named
+attribute values of a fault-space point, e.g.::
+
+    {"test": 7, "function": "malloc", "call": 2, "errno": "ENOMEM"}
+
+A :class:`FaultInjector` turns such a dict into an
+:class:`~repro.injection.plan.InjectionPlan` for the simulated libc.
+New injector kinds (bit-flippers, config-error injectors, ...) plug in
+by subclassing and registering.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+from repro.errors import InjectionError
+from repro.injection.plan import InjectionPlan
+
+__all__ = ["FaultInjector", "InjectorRegistry"]
+
+
+class FaultInjector(ABC):
+    """Converts AFEX-internal fault descriptions into injection plans."""
+
+    #: registry key; subclasses must override.
+    name: str = ""
+
+    @abstractmethod
+    def plan_for(self, attributes: dict[str, object]) -> InjectionPlan:
+        """Build the injection plan encoding ``attributes``.
+
+        Returning :meth:`InjectionPlan.none` is legitimate: fault spaces
+        may include a "no injection" point (the paper's coreutils space
+        uses ``callNumber = 0`` for exactly that).
+        """
+
+    def describe(self) -> str:
+        return self.name or type(self).__name__
+
+
+class InjectorRegistry:
+    """Name → injector lookup used by node managers."""
+
+    def __init__(self) -> None:
+        self._injectors: dict[str, FaultInjector] = {}
+
+    def register(self, injector: FaultInjector) -> None:
+        if not injector.name:
+            raise InjectionError("injector must define a non-empty name")
+        if injector.name in self._injectors:
+            raise InjectionError(f"injector {injector.name!r} already registered")
+        self._injectors[injector.name] = injector
+
+    def get(self, name: str) -> FaultInjector:
+        injector = self._injectors.get(name)
+        if injector is None:
+            raise InjectionError(
+                f"no injector named {name!r}; registered: {sorted(self._injectors)}"
+            )
+        return injector
+
+    def names(self) -> tuple[str, ...]:
+        return tuple(sorted(self._injectors))
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._injectors
+
+    def __len__(self) -> int:
+        return len(self._injectors)

@@ -1,0 +1,169 @@
+"""Fault profiles for simulated libc functions.
+
+The paper obtains, for each libc function, "its possible error return
+values and associated errno codes" by running LFI's callsite analyzer on
+``libc.so`` (§7).  We ship the equivalent knowledge as a static table:
+for every function the simulated library implements, the plausible
+(errno, retval) failure pairs.  The callsite analyzer
+(:mod:`repro.injection.callsite`) combines these profiles with observed
+call counts to emit fault-space descriptors.
+
+Retval conventions follow C: ``0`` stands for NULL for pointer-returning
+functions, ``-1`` for int-returning syscall wrappers, ``EOF``/``-1`` for
+stdio character functions, and so on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import InjectionError
+from repro.sim.errnos import Errno
+
+__all__ = ["FaultProfile", "fault_profile", "profiled_functions", "default_fault"]
+
+
+@dataclass(frozen=True)
+class FaultProfile:
+    """The injectable failure modes of one library function."""
+
+    function: str
+    #: (errno, retval) pairs this function can plausibly fail with.
+    errors: tuple[tuple[Errno, int], ...]
+    #: coarse functional category, used for ordering the function axis
+    #: (the paper groups POSIX functions "by functionality: file,
+    #: networking, memory, etc." when picking a total order, §2).
+    category: str
+
+    def default_error(self) -> tuple[Errno, int]:
+        """The most representative failure mode (first in the profile)."""
+        return self.errors[0]
+
+    def errnos(self) -> tuple[Errno, ...]:
+        return tuple(e for e, _ in self.errors)
+
+
+def _p(function: str, category: str, *errors: tuple[Errno, int]) -> FaultProfile:
+    return FaultProfile(function, tuple(errors), category)
+
+
+# Categories order the function axis: related functions are adjacent, so
+# the Gaussian mutation's locality assumption (§3) holds, exactly as the
+# paper recommends when choosing the total order for each attribute set.
+_PROFILES: tuple[FaultProfile, ...] = (
+    # memory
+    _p("malloc", "memory", (Errno.ENOMEM, 0)),
+    _p("calloc", "memory", (Errno.ENOMEM, 0)),
+    _p("realloc", "memory", (Errno.ENOMEM, 0)),
+    _p("strdup", "memory", (Errno.ENOMEM, 0)),
+    # file descriptors
+    _p(
+        "open",
+        "file",
+        (Errno.ENOENT, -1),
+        (Errno.EACCES, -1),
+        (Errno.EMFILE, -1),
+        (Errno.ENOSPC, -1),
+        (Errno.EINTR, -1),
+    ),
+    _p(
+        "close",
+        "file",
+        (Errno.EIO, -1),
+        (Errno.EINTR, -1),
+        (Errno.EBADF, -1),
+    ),
+    _p(
+        "read",
+        "file",
+        (Errno.EINTR, -1),
+        (Errno.EIO, -1),
+        (Errno.EAGAIN, -1),
+        (Errno.EBADF, -1),
+    ),
+    _p(
+        "write",
+        "file",
+        (Errno.ENOSPC, -1),
+        (Errno.EINTR, -1),
+        (Errno.EIO, -1),
+        (Errno.EFBIG, -1),
+        (Errno.EPIPE, -1),
+    ),
+    _p("lseek", "file", (Errno.EINVAL, -1), (Errno.ESPIPE, -1)),
+    _p("fsync", "file", (Errno.EIO, -1), (Errno.EINVAL, -1)),
+    _p("fcntl", "file", (Errno.EINVAL, -1), (Errno.EMFILE, -1)),
+    _p("pipe", "file", (Errno.EMFILE, -1), (Errno.ENFILE, -1)),
+    # stdio streams
+    _p(
+        "fopen",
+        "stdio",
+        (Errno.ENOENT, 0),
+        (Errno.EACCES, 0),
+        (Errno.EMFILE, 0),
+        (Errno.ENOMEM, 0),
+    ),
+    _p("fopen64", "stdio", (Errno.ENOENT, 0), (Errno.EMFILE, 0)),
+    _p("fclose", "stdio", (Errno.EIO, -1), (Errno.ENOSPC, -1)),
+    _p("fgets", "stdio", (Errno.EIO, 0), (Errno.EINTR, 0)),
+    _p("putc", "stdio", (Errno.EIO, -1), (Errno.ENOSPC, -1)),
+    _p("fputs", "stdio", (Errno.EIO, -1), (Errno.ENOSPC, -1)),
+    _p("fflush", "stdio", (Errno.EIO, -1), (Errno.ENOSPC, -1)),
+    _p("ferror", "stdio", (Errno.OK, 1)),
+    # metadata / directories
+    _p("stat", "dir", (Errno.ENOENT, -1), (Errno.EACCES, -1), (Errno.ELOOP, -1)),
+    _p("opendir", "dir", (Errno.ENOENT, 0), (Errno.EACCES, 0), (Errno.EMFILE, 0)),
+    _p("readdir", "dir", (Errno.EBADF, 0)),
+    _p("closedir", "dir", (Errno.EBADF, -1)),
+    _p("chdir", "dir", (Errno.ENOENT, -1), (Errno.EACCES, -1)),
+    _p("getcwd", "dir", (Errno.ERANGE, 0), (Errno.ENOMEM, 0)),
+    _p("mkdir", "dir", (Errno.EEXIST, -1), (Errno.ENOSPC, -1), (Errno.EACCES, -1)),
+    _p("rmdir", "dir", (Errno.ENOTEMPTY, -1), (Errno.EBUSY, -1)),
+    _p("unlink", "dir", (Errno.ENOENT, -1), (Errno.EACCES, -1), (Errno.EBUSY, -1)),
+    _p("rename", "dir", (Errno.EXDEV, -1), (Errno.EACCES, -1), (Errno.ENOSPC, -1)),
+    _p("link", "dir", (Errno.EEXIST, -1), (Errno.EXDEV, -1), (Errno.EMLINK, -1)),
+    # process / limits / misc
+    _p("wait", "process", (Errno.ECHILD, -1), (Errno.EINTR, -1)),
+    _p("getrlimit", "process", (Errno.EINVAL, -1), (Errno.EFAULT, -1)),
+    _p("setrlimit", "process", (Errno.EINVAL, -1), (Errno.EPERM, -1)),
+    _p("clock_gettime", "process", (Errno.EINVAL, -1), (Errno.EFAULT, -1)),
+    _p("setlocale", "locale", (Errno.ENOENT, 0)),
+    _p("bindtextdomain", "locale", (Errno.ENOMEM, 0)),
+    _p("textdomain", "locale", (Errno.ENOMEM, 0)),
+    _p("strtol", "string", (Errno.ERANGE, 0), (Errno.EINVAL, 0)),
+    # networking (used by MiniDB / MiniHttpd / DocStore)
+    _p("socket", "net", (Errno.EMFILE, -1), (Errno.ENOMEM, -1)),
+    _p("bind", "net", (Errno.EACCES, -1), (Errno.EINVAL, -1)),
+    _p("listen", "net", (Errno.EINVAL, -1)),
+    _p("accept", "net", (Errno.EINTR, -1), (Errno.ECONNRESET, -1), (Errno.EMFILE, -1)),
+    _p("connect", "net", (Errno.ETIMEDOUT, -1), (Errno.ECONNRESET, -1), (Errno.EINTR, -1)),
+    _p("recv", "net", (Errno.EINTR, -1), (Errno.ECONNRESET, -1), (Errno.EAGAIN, -1)),
+    _p("send", "net", (Errno.EPIPE, -1), (Errno.EINTR, -1), (Errno.ECONNRESET, -1)),
+)
+
+_BY_NAME: dict[str, FaultProfile] = {p.function: p for p in _PROFILES}
+
+
+def fault_profile(function: str) -> FaultProfile:
+    """The fault profile for ``function`` (raises for unknown functions)."""
+    profile = _BY_NAME.get(function)
+    if profile is None:
+        raise InjectionError(f"no fault profile for libc function {function!r}")
+    return profile
+
+
+def profiled_functions(category: str | None = None) -> tuple[str, ...]:
+    """All profiled function names, optionally filtered by category.
+
+    The returned order groups functions by category (memory, file,
+    stdio, dir, ...), which is the total order used for the function
+    axis of fault spaces.
+    """
+    if category is None:
+        return tuple(p.function for p in _PROFILES)
+    return tuple(p.function for p in _PROFILES if p.category == category)
+
+
+def default_fault(function: str) -> tuple[Errno, int]:
+    """The representative (errno, retval) failure for ``function``."""
+    return fault_profile(function).default_error()

@@ -1,0 +1,125 @@
+"""Redundancy clusters: equivalence classes of faults by stack trace (§5).
+
+"While executing a test that injects fault φ, AFEX captures the stack
+trace corresponding to φ's injection point.  Subsequently, it compares
+the stack traces of all injected faults by computing the edit distance
+between every pair ...  Any two faults for which the distance is below a
+threshold end up in the same cluster."
+
+Clustering is transitive closure over the "distance below threshold"
+relation, implemented with union-find.  A similarity in [0, 1] (1 =
+identical) is also exposed — the §7.4 feedback loop weighs fitness
+linearly by it.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from repro.quality.levenshtein import levenshtein
+
+__all__ = ["RedundancyClusters", "cluster_stacks", "stack_similarity"]
+
+Stack = tuple[str, ...]
+
+
+def stack_similarity(a: Stack, b: Stack) -> float:
+    """1 - normalized edit distance: 1.0 means identical traces."""
+    if not a and not b:
+        return 1.0
+    longest = max(len(a), len(b))
+    if longest == 0:
+        return 1.0
+    return 1.0 - levenshtein(a, b) / longest
+
+
+@dataclass(frozen=True)
+class RedundancyClusters:
+    """The clustering result: groups of item indices plus their stacks."""
+
+    #: cluster id per input index (cluster ids are dense, 0-based).
+    assignment: tuple[int, ...]
+    #: for each cluster, the indices of its members (sorted).
+    clusters: tuple[tuple[int, ...], ...]
+
+    @property
+    def cluster_count(self) -> int:
+        return len(self.clusters)
+
+    def representatives(self) -> tuple[int, ...]:
+        """One member index per cluster (the first seen — §6.4 step 8)."""
+        return tuple(members[0] for members in self.clusters)
+
+    def cluster_of(self, index: int) -> int:
+        return self.assignment[index]
+
+
+class _UnionFind:
+    def __init__(self, n: int) -> None:
+        self.parent = list(range(n))
+
+    def find(self, x: int) -> int:
+        root = x
+        while self.parent[root] != root:
+            root = self.parent[root]
+        while self.parent[x] != root:
+            self.parent[x], x = root, self.parent[x]
+        return root
+
+    def union(self, a: int, b: int) -> None:
+        ra, rb = self.find(a), self.find(b)
+        if ra != rb:
+            self.parent[rb] = ra
+
+
+def cluster_stacks(
+    stacks: Sequence[Stack | None],
+    max_distance: int = 1,
+) -> RedundancyClusters:
+    """Cluster stack traces whose pairwise edit distance <= ``max_distance``.
+
+    ``None`` entries (tests where no fault fired, so there is no
+    injection point) each form their own singleton cluster — a test that
+    injected nothing is not redundant with anything.
+
+    Identical stacks are grouped first through a dict, so the quadratic
+    pairwise pass runs over *distinct* traces only.
+    """
+    n = len(stacks)
+    # Group identical stacks (including the None group -> handled apart).
+    distinct: dict[Stack, list[int]] = {}
+    singletons: list[int] = []
+    for i, stack in enumerate(stacks):
+        if stack is None:
+            singletons.append(i)
+        else:
+            distinct.setdefault(tuple(stack), []).append(i)
+
+    keys = list(distinct)
+    uf = _UnionFind(len(keys))
+    for i in range(len(keys)):
+        for j in range(i + 1, len(keys)):
+            if levenshtein(keys[i], keys[j], upper_bound=max_distance) <= max_distance:
+                uf.union(i, j)
+
+    # Materialize dense cluster ids.
+    root_to_cluster: dict[int, int] = {}
+    assignment = [-1] * n
+    for key_index, key in enumerate(keys):
+        root = uf.find(key_index)
+        cluster_id = root_to_cluster.setdefault(root, len(root_to_cluster))
+        for item_index in distinct[key]:
+            assignment[item_index] = cluster_id
+    next_id = len(root_to_cluster)
+    for item_index in singletons:
+        assignment[item_index] = next_id
+        next_id += 1
+
+    members: dict[int, list[int]] = {}
+    for index, cluster_id in enumerate(assignment):
+        members.setdefault(cluster_id, []).append(index)
+    clusters = tuple(
+        tuple(sorted(members[cid])) for cid in range(next_id)
+    )
+    return RedundancyClusters(tuple(assignment), clusters)

@@ -1,0 +1,52 @@
+"""The §7.4 online redundancy feedback loop.
+
+"When evaluating the fitness of a candidate injection scenario, AFEX
+computes the edit distance between that scenario and all previous tests,
+and uses this value to weigh the fitness on a linear scale (100%
+similarity ends up zero-ing the fitness, while 0% similarity leaves the
+fitness unmodified)."
+
+:class:`RedundancyFeedback` is plugged into
+:class:`~repro.core.search.FitnessGuidedSearch` as its
+``fitness_weight`` hook.  It remembers the injection-point stack trace
+of every observed test and scales each new test's fitness by
+``1 - max_similarity`` to anything seen before.
+"""
+
+from __future__ import annotations
+
+from repro.quality.clustering import Stack, stack_similarity
+from repro.sim.process import RunResult
+
+__all__ = ["RedundancyFeedback"]
+
+
+class RedundancyFeedback:
+    """Similarity-weighted fitness: novel stack traces keep full fitness."""
+
+    def __init__(self) -> None:
+        self._seen: list[Stack] = []
+        self._seen_exact: set[Stack] = set()
+
+    def __call__(self, fault, result: RunResult, impact: float) -> float:
+        stack = result.injection_stack
+        if stack is None:
+            # No injection point — nothing to be redundant with.
+            return impact
+        stack = tuple(stack)
+        if stack in self._seen_exact:
+            return 0.0
+        best = 0.0
+        for previous in self._seen:
+            similarity = stack_similarity(stack, previous)
+            if similarity > best:
+                best = similarity
+                if best >= 1.0:
+                    break
+        self._seen.append(stack)
+        self._seen_exact.add(stack)
+        return impact * (1.0 - best)
+
+    @property
+    def distinct_traces(self) -> int:
+        return len(self._seen)

@@ -1,0 +1,65 @@
+"""Impact precision: how reproducible is a fault's impact (§5)?
+
+"AFEX runs the same test n times ... and computes the variance
+Var(I_S(φ)) of φ's impact across the n trials.  The impact precision is
+1/Var(I_S(φ))."  Deterministic faults have infinite precision, reported
+here as ``math.inf`` — developers are told these are the easy-to-debug,
+fully reproducible failures.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable
+
+from repro.sim.process import RunResult
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.fault import Fault
+
+__all__ = ["ImpactPrecision", "measure_precision"]
+
+
+@dataclass(frozen=True)
+class ImpactPrecision:
+    """Precision report for one fault across n trials."""
+
+    trials: int
+    impacts: tuple[float, ...]
+    mean: float
+    variance: float
+    precision: float  # 1/variance; inf when deterministic
+
+    @property
+    def deterministic(self) -> bool:
+        return math.isinf(self.precision)
+
+
+def measure_precision(
+    execute: Callable[["Fault", int], RunResult],
+    fault: "Fault",
+    metric: Callable[[RunResult], float],
+    trials: int = 5,
+) -> ImpactPrecision:
+    """Re-run ``fault`` ``trials`` times and compute 1/Var of its impact.
+
+    ``execute(fault, trial)`` must run the fault's test with the given
+    trial number (which seeds the target's per-run RNG — see
+    :func:`repro.sim.process.run_test`); ``metric`` should be *stateless*
+    here (a stateful coverage component would make later trials look
+    spuriously different).
+    """
+    if trials < 2:
+        raise ValueError(f"precision needs >= 2 trials, got {trials}")
+    impacts = tuple(metric(execute(fault, trial)) for trial in range(trials))
+    mean = sum(impacts) / trials
+    variance = sum((x - mean) ** 2 for x in impacts) / trials
+    precision = math.inf if variance == 0.0 else 1.0 / variance
+    return ImpactPrecision(
+        trials=trials,
+        impacts=impacts,
+        mean=mean,
+        variance=variance,
+        precision=precision,
+    )

@@ -1,0 +1,91 @@
+"""Statistical environment models: practical relevance of faults (§5, §7.5).
+
+Developers who know the deployment environment can state how likely each
+fault class is to occur in production ("malloc has a relative
+probability of failing of 40%, all file-related operations ... a
+combined weight of 50%, and opendir, chdir a combined weight of 10%" —
+the exact model used in Table 6).  AFEX then weighs each measured impact
+by the fault's relevance, steering the search toward failures that both
+hurt *and* happen.
+
+A model maps attribute predicates to weights.  The common case — weights
+keyed by the ``function`` attribute — gets a convenience constructor
+that distributes group weights uniformly within each group.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+from repro.errors import ReportError
+
+__all__ = ["EnvironmentModel"]
+
+
+class EnvironmentModel:
+    """Per-fault relevance weights derived from failure statistics."""
+
+    def __init__(self, weights: Mapping[str, float], attribute: str = "function") -> None:
+        if not weights:
+            raise ReportError("environment model needs at least one weight")
+        bad = {k: w for k, w in weights.items() if w < 0}
+        if bad:
+            raise ReportError(f"negative relevance weights: {bad}")
+        total = sum(weights.values())
+        if total <= 0:
+            raise ReportError("environment model weights sum to zero")
+        self.attribute = attribute
+        #: normalized per-value probability of occurrence.
+        self.weights = {k: w / total for k, w in weights.items()}
+
+    @classmethod
+    def from_groups(
+        cls,
+        groups: Sequence[tuple[Sequence[str], float]],
+        attribute: str = "function",
+    ) -> "EnvironmentModel":
+        """Build from (member values, combined group weight) pairs.
+
+        The Table 6 model::
+
+            EnvironmentModel.from_groups([
+                (["malloc"], 0.40),
+                (["fopen", "read", ...], 0.50),
+                (["opendir", "chdir"], 0.10),
+            ])
+        """
+        weights: dict[str, float] = {}
+        for members, group_weight in groups:
+            if not members:
+                raise ReportError("empty group in environment model")
+            share = group_weight / len(members)
+            for member in members:
+                weights[member] = weights.get(member, 0.0) + share
+        return cls(weights, attribute)
+
+    def relevance(self, fault) -> float:
+        """The fault's occurrence probability (0 for unmodelled values).
+
+        Accepts any object with a ``get(name)`` (a Fault) or a plain
+        attribute dict.
+        """
+        if hasattr(fault, "get"):
+            value = fault.get(self.attribute)
+        else:  # pragma: no cover - defensive
+            value = None
+        if value is None:
+            return 0.0
+        return self.weights.get(str(value), self.weights.get(value, 0.0))
+
+    def weight_impact(self, fault, impact: float) -> float:
+        """Impact scaled by relevance — what the explorer maximizes in §7.5.
+
+        The relevance is rescaled so the *average modelled* weight is
+        1.0: a uniform model then leaves impacts untouched, and
+        non-uniform models redistribute emphasis rather than deflating
+        every impact.
+        """
+        if not self.weights:
+            return impact
+        mean_weight = 1.0 / len(self.weights)
+        return impact * (self.relevance(fault) / mean_weight)

@@ -1,0 +1,46 @@
+"""Simulated POSIX environment: the substrate the systems under test run on.
+
+The paper injects faults into real programs through LFI, an interposer on
+``libc.so``.  Offline we substitute a *simulated* C library
+(:class:`repro.sim.libc.SimLibc`) backed by an in-memory filesystem
+(:class:`repro.sim.filesystem.SimFilesystem`), a tracked heap
+(:class:`repro.sim.heap.Heap`), and mutexes
+(:class:`repro.sim.sync.Mutex`).  Systems under test (in
+:mod:`repro.sim.targets`) are small but *real* programs written against
+this libc: they open files, allocate memory, take locks, and contain
+genuine error-handling code — including a few deliberately planted
+recovery bugs replicating the ones the paper found.
+
+The crucial property preserved from the paper is that fault-space
+*structure* (§2) emerges from the modularity of this code rather than
+being painted onto a lookup table.
+"""
+
+from repro.sim.crashes import (
+    AbortCrash,
+    HangDetected,
+    SegmentationFault,
+    SimCrash,
+    TestFailure,
+)
+from repro.sim.errnos import Errno
+from repro.sim.libc import NULL, SimLibc
+from repro.sim.process import Env, RunResult, run_test
+from repro.sim.testsuite import Target, TestCase, TestSuite
+
+__all__ = [
+    "AbortCrash",
+    "Env",
+    "Errno",
+    "HangDetected",
+    "NULL",
+    "RunResult",
+    "SegmentationFault",
+    "SimCrash",
+    "SimLibc",
+    "Target",
+    "TestCase",
+    "TestFailure",
+    "TestSuite",
+    "run_test",
+]

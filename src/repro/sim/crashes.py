@@ -1,0 +1,74 @@
+"""Crash signals raised by simulated programs.
+
+These deliberately do **not** derive from :class:`repro.errors.ReproError`:
+a simulated segmentation fault is an *observation* produced by the system
+under test, not a bug in this library.  The test runner
+(:func:`repro.sim.process.run_test`) is the only intended catcher; it
+converts each signal into a :class:`repro.sim.process.RunResult`.
+
+Crash kinds mirror what the paper's impact metrics distinguish:
+segfaults and aborts (both "crashes" in Tables 1-2), hangs, and ordinary
+test failures (non-zero exit / failed assertion, no crash).
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "SimCrash",
+    "SegmentationFault",
+    "AbortCrash",
+    "HangDetected",
+    "TestFailure",
+    "ExitProgram",
+]
+
+
+class SimCrash(Exception):
+    """Base class of abnormal-termination signals in the simulated world."""
+
+    #: short machine-readable crash kind; overridden by subclasses.
+    kind = "crash"
+
+    def __init__(self, message: str, stack: tuple[str, ...] = ()) -> None:
+        super().__init__(message)
+        #: simulated call stack at the point of the crash.
+        self.stack = stack
+
+
+class SegmentationFault(SimCrash):
+    """Invalid memory access (NULL dereference, use of freed memory...)."""
+
+    kind = "segfault"
+
+
+class AbortCrash(SimCrash):
+    """``abort()``-style termination: assertion failure, double unlock..."""
+
+    kind = "abort"
+
+
+class HangDetected(SimCrash):
+    """The program exceeded its step budget (models an infinite retry loop)."""
+
+    kind = "hang"
+
+
+class TestFailure(Exception):
+    """A test-suite assertion failed; the program itself did not crash."""
+
+    def __init__(self, message: str) -> None:
+        super().__init__(message)
+        self.message = message
+
+
+class ExitProgram(Exception):
+    """Simulated ``exit(code)``: unwinds the program with an exit status.
+
+    Programs under test call :meth:`repro.sim.process.Env.exit` for
+    graceful error handling ("print diagnostic, exit 1"); this exception
+    implements the unwind.  It is not a crash.
+    """
+
+    def __init__(self, code: int) -> None:
+        super().__init__(f"exit({code})")
+        self.code = code

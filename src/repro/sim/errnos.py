@@ -1,0 +1,66 @@
+"""POSIX errno values used by the simulated C library.
+
+Numeric values follow Linux x86-64 so that fault descriptions and traces
+read like real ``ltrace`` output.  Only the codes that appear in libc
+fault profiles (:mod:`repro.injection.profiles`) are defined.
+"""
+
+from __future__ import annotations
+
+from enum import IntEnum
+
+__all__ = ["Errno"]
+
+
+class Errno(IntEnum):
+    """Errno codes injectable by the simulated library fault injector."""
+
+    OK = 0
+    EPERM = 1
+    ENOENT = 2
+    ESRCH = 3
+    EINTR = 4
+    EIO = 5
+    ENXIO = 6
+    EBADF = 9
+    ECHILD = 10
+    EAGAIN = 11
+    ENOMEM = 12
+    EACCES = 13
+    EFAULT = 14
+    EBUSY = 16
+    EEXIST = 17
+    EXDEV = 18
+    ENODEV = 19
+    ENOTDIR = 20
+    EISDIR = 21
+    EINVAL = 22
+    ENFILE = 23
+    EMFILE = 24
+    ENOTTY = 25
+    EFBIG = 27
+    ENOSPC = 28
+    ESPIPE = 29
+    EROFS = 30
+    EMLINK = 31
+    EPIPE = 32
+    ERANGE = 34
+    ENAMETOOLONG = 36
+    ENOLCK = 37
+    ENOTEMPTY = 39
+    ELOOP = 40
+    ECONNRESET = 104
+    ETIMEDOUT = 110
+
+    @property
+    def label(self) -> str:
+        """The symbolic name, e.g. ``"ENOMEM"``."""
+        return self.name
+
+    @classmethod
+    def from_name(cls, name: str) -> "Errno":
+        """Look up an errno by symbolic name (case-insensitive)."""
+        try:
+            return cls[name.upper()]
+        except KeyError:
+            raise ValueError(f"unknown errno name: {name!r}") from None

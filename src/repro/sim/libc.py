@@ -1,0 +1,740 @@
+"""The simulated C library — the application–library interface under test.
+
+This module substitutes for ``libc.so`` + LFI in the paper's setup.
+Programs under test call these functions exactly as C programs call
+libc; each call
+
+1. counts against the per-function call counter (the ``callNumber``
+   axis of the fault space),
+2. counts against the process step budget (exceeding it models a hang),
+3. is checked against the active :class:`~repro.injection.plan.InjectionPlan`;
+   if an atomic fault fires, the *real operation is not performed* and
+   the injected (errno, retval) is returned instead — LFI's
+   interposition model, where the wrapped function is never entered.
+
+Return conventions mirror C:
+
+* pointer-returning functions (``malloc``, ``strdup``, ``fopen``,
+  ``opendir``, ``setlocale``, ``getcwd``) return an integer pointer or
+  object, with ``0``/``None`` standing for NULL;
+* int-returning wrappers (``open``, ``close``, ``read``, ``write``,
+  ``stat``...) return ``-1`` on failure with ``errno`` set;
+* genuine environment errors (file not found, fd table full) produce
+  the same failure returns *without* any injection — the targets'
+  error-handling code is real code that runs in production too.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.injection.plan import AtomicFault, InjectionPlan
+from repro.sim.crashes import HangDetected
+from repro.sim.errnos import Errno
+from repro.sim.filesystem import (
+    O_APPEND,
+    O_CREAT,
+    O_EXCL,
+    O_RDONLY,
+    O_RDWR,
+    O_TRUNC,
+    O_WRONLY,
+    FsError,
+    SimFilesystem,
+    StatResult,
+)
+from repro.sim.heap import NULL, Heap
+from repro.sim.stack import CallStack
+
+__all__ = [
+    "CallRecord",
+    "InjectionEvent",
+    "NULL",
+    "SimLibc",
+    "O_RDONLY",
+    "O_WRONLY",
+    "O_RDWR",
+    "O_CREAT",
+    "O_EXCL",
+    "O_TRUNC",
+    "O_APPEND",
+]
+
+#: default per-test libc-call budget; exceeding it is reported as a hang.
+DEFAULT_STEP_BUDGET = 50_000
+
+
+@dataclass(frozen=True)
+class CallRecord:
+    """One traced library call (only recorded when tracing is enabled)."""
+
+    seq: int
+    function: str
+    call_number: int
+    stack: tuple[str, ...] | None
+
+
+@dataclass(frozen=True)
+class InjectionEvent:
+    """A fault that actually fired during execution."""
+
+    fault: AtomicFault
+    call_number: int
+    stack: tuple[str, ...]
+
+
+class _Stream:
+    """A stdio FILE: a buffered view over an fd, with error/EOF flags."""
+
+    __slots__ = ("fd", "path", "error", "eof", "writable")
+
+    def __init__(self, fd: int, path: str, writable: bool) -> None:
+        self.fd = fd
+        self.path = path
+        self.error = False
+        self.eof = False
+        self.writable = writable
+
+
+class _DirStream:
+    __slots__ = ("path", "names", "index")
+
+    def __init__(self, path: str, names: list[str]) -> None:
+        self.path = path
+        self.names = names
+        self.index = 0
+
+
+class SimLibc:
+    """Simulated libc bound to one filesystem, heap, and call stack."""
+
+    def __init__(
+        self,
+        fs: SimFilesystem,
+        stack: CallStack | None = None,
+        step_budget: int = DEFAULT_STEP_BUDGET,
+        trace: bool = False,
+        trace_stacks: bool = False,
+    ) -> None:
+        self.fs = fs
+        self.stack = stack or CallStack()
+        self.heap = Heap(self.stack.snapshot)
+        self.errno: Errno = Errno.OK
+        self.plan: InjectionPlan = InjectionPlan.none()
+        self.call_counts: dict[str, int] = {}
+        self.injections: list[InjectionEvent] = []
+        self.steps = 0
+        self.step_budget = step_budget
+        self.trace_enabled = trace
+        self.trace_stacks = trace_stacks
+        self.trace: list[CallRecord] = []
+        self._streams: dict[int, _Stream] = {}
+        self._next_stream = 0x100000
+        self._dir_streams: dict[int, _DirStream] = {}
+        self._next_dirp = 0x200000
+        self.locale = "C"
+        self.text_domain = "messages"
+        # Loopback "network": tests enqueue requests; servers accept/recv
+        # them and send responses into the outbox.
+        self.net_inbox: list[bytes] = []
+        self.net_outbox: list[bytes] = []
+        self._sockets: set[int] = set()
+        self._next_socket = 0x300000
+        self._clock = 0
+
+    # -- interposition core ---------------------------------------------------
+
+    def set_plan(self, plan: InjectionPlan) -> None:
+        """Install the injection plan for the next execution."""
+        self.plan = plan
+
+    def _enter(self, function: str) -> AtomicFault | None:
+        """Count a call, enforce the step budget, and consult the plan."""
+        self.steps += 1
+        if self.steps > self.step_budget:
+            raise HangDetected(
+                f"step budget of {self.step_budget} libc calls exceeded",
+                self.stack.snapshot(),
+            )
+        count = self.call_counts.get(function, 0) + 1
+        self.call_counts[function] = count
+        if self.trace_enabled:
+            stack = self.stack.snapshot() if self.trace_stacks else None
+            self.trace.append(CallRecord(self.steps, function, count, stack))
+        fault = self.plan.lookup(function, count)
+        if fault is not None:
+            self.errno = fault.errno
+            # The trace at the injection point includes the intercepted
+            # function as its innermost frame, as an LFI stack trace does.
+            self.injections.append(
+                InjectionEvent(fault, count, self.stack.snapshot() + (function,))
+            )
+        return fault
+
+    # -- memory -----------------------------------------------------------------
+
+    def malloc(self, size: int) -> int:
+        fault = self._enter("malloc")
+        if fault is not None:
+            return fault.retval
+        return self.heap.alloc(size)
+
+    def calloc(self, count: int, size: int) -> int:
+        fault = self._enter("calloc")
+        if fault is not None:
+            return fault.retval
+        return self.heap.alloc(count * size)
+
+    def realloc(self, ptr: int, size: int) -> int:
+        fault = self._enter("realloc")
+        if fault is not None:
+            return fault.retval
+        return self.heap.realloc(ptr, size)
+
+    def free(self, ptr: int) -> None:
+        # free() cannot fail and is not an injection point.
+        self.heap.free(ptr)
+
+    def strdup(self, text: str) -> int:
+        fault = self._enter("strdup")
+        if fault is not None:
+            return fault.retval
+        ptr = self.heap.alloc(len(text.encode()) + 1)
+        self.heap.store_string(ptr, text)
+        return ptr
+
+    # -- file descriptors ---------------------------------------------------------
+
+    def open(self, path: str, flags: int = O_RDONLY) -> int:
+        fault = self._enter("open")
+        if fault is not None:
+            return fault.retval
+        try:
+            return self.fs.open(path, flags)
+        except FsError as err:
+            self.errno = err.errno
+            return -1
+
+    def close(self, fd: int) -> int:
+        fault = self._enter("close")
+        if fault is not None:
+            return fault.retval  # injected failure: fd is NOT closed (leak)
+        try:
+            self.fs.close(fd)
+            return 0
+        except FsError as err:
+            self.errno = err.errno
+            return -1
+
+    def read(self, fd: int, count: int) -> bytes | int:
+        """Returns bytes on success (possibly empty at EOF), -1 on error."""
+        fault = self._enter("read")
+        if fault is not None:
+            return fault.retval
+        try:
+            return self.fs.read(fd, count)
+        except FsError as err:
+            self.errno = err.errno
+            return -1
+
+    def write(self, fd: int, data: bytes) -> int:
+        fault = self._enter("write")
+        if fault is not None:
+            return fault.retval
+        try:
+            return self.fs.write(fd, data)
+        except FsError as err:
+            self.errno = err.errno
+            return -1
+
+    def lseek(self, fd: int, offset: int) -> int:
+        fault = self._enter("lseek")
+        if fault is not None:
+            return fault.retval
+        try:
+            return self.fs.lseek(fd, offset)
+        except FsError as err:
+            self.errno = err.errno
+            return -1
+
+    def fsync(self, fd: int) -> int:
+        fault = self._enter("fsync")
+        if fault is not None:
+            return fault.retval
+        # In-memory fs: durability is immediate; still validate the fd.
+        try:
+            self.fs.fd_path(fd)
+            return 0
+        except FsError as err:
+            self.errno = err.errno
+            return -1
+
+    def fcntl(self, fd: int, cmd: int = 0) -> int:
+        fault = self._enter("fcntl")
+        if fault is not None:
+            return fault.retval
+        try:
+            self.fs.fd_path(fd)
+            return 0
+        except FsError as err:
+            self.errno = err.errno
+            return -1
+
+    def pipe(self):
+        """Returns an (rfd, wfd) pair on success, -1 on failure."""
+        fault = self._enter("pipe")
+        if fault is not None:
+            return fault.retval
+        try:
+            name = f"/.pipe{self._next_stream}"
+            self._next_stream += 1
+            self.fs.create_file(name)
+            rfd = self.fs.open(name, O_RDONLY)
+            wfd = self.fs.open(name, O_WRONLY)
+            return (rfd, wfd)
+        except FsError as err:
+            self.errno = err.errno
+            return -1
+
+    # -- stdio streams ------------------------------------------------------------
+
+    def _fopen_impl(self, name: str, path: str, mode: str) -> int:
+        fault = self._enter(name)
+        if fault is not None:
+            return fault.retval
+        flag_map = {
+            "r": O_RDONLY,
+            "r+": O_RDWR,
+            "w": O_WRONLY | O_CREAT | O_TRUNC,
+            "w+": O_RDWR | O_CREAT | O_TRUNC,
+            "a": O_WRONLY | O_CREAT | O_APPEND,
+            "a+": O_RDWR | O_CREAT | O_APPEND,
+        }
+        flags = flag_map.get(mode.rstrip("b"))
+        if flags is None:
+            self.errno = Errno.EINVAL
+            return NULL
+        try:
+            fd = self.fs.open(path, flags)
+        except FsError as err:
+            self.errno = err.errno
+            return NULL
+        stream_id = self._next_stream
+        self._next_stream += 1
+        writable = mode.rstrip("b") != "r"
+        self._streams[stream_id] = _Stream(fd, self.fs.resolve(path), writable)
+        return stream_id
+
+    def fopen(self, path: str, mode: str = "r") -> int:
+        return self._fopen_impl("fopen", path, mode)
+
+    def fopen64(self, path: str, mode: str = "r") -> int:
+        return self._fopen_impl("fopen64", path, mode)
+
+    def _stream(self, stream_id: int) -> _Stream | None:
+        return self._streams.get(stream_id)
+
+    def fclose(self, stream_id: int) -> int:
+        fault = self._enter("fclose")
+        if fault is not None:
+            # Injected fclose failure: per glibc, the stream is unusable
+            # afterwards; we close the underlying fd but report failure.
+            stream = self._streams.pop(stream_id, None)
+            if stream is not None:
+                try:
+                    self.fs.close(stream.fd)
+                except FsError:
+                    pass
+            return fault.retval
+        stream = self._streams.pop(stream_id, None)
+        if stream is None:
+            self.errno = Errno.EBADF
+            return -1
+        try:
+            self.fs.close(stream.fd)
+            return 0
+        except FsError as err:
+            self.errno = err.errno
+            return -1
+
+    def fgets(self, stream_id: int, max_len: int = 4096) -> str | None:
+        """Returns the next line (with newline) or None on EOF/error."""
+        fault = self._enter("fgets")
+        stream = self._stream(stream_id)
+        if fault is not None:
+            if stream is not None:
+                stream.error = True
+            return None
+        if stream is None:
+            self.errno = Errno.EBADF
+            return None
+        chars: list[str] = []
+        while len(chars) < max_len - 1:
+            try:
+                chunk = self.fs.read(stream.fd, 1)
+            except FsError as err:
+                self.errno = err.errno
+                stream.error = True
+                return None
+            if not chunk:
+                stream.eof = True
+                break
+            ch = chr(chunk[0])
+            chars.append(ch)
+            if ch == "\n":
+                break
+        if not chars:
+            return None
+        return "".join(chars)
+
+    def putc(self, char: str, stream_id: int) -> int:
+        """Returns the character code written, or -1 (EOF) on error."""
+        fault = self._enter("putc")
+        stream = self._stream(stream_id)
+        if fault is not None:
+            if stream is not None:
+                stream.error = True
+            return fault.retval
+        if stream is None or not stream.writable:
+            self.errno = Errno.EBADF
+            return -1
+        try:
+            self.fs.write(stream.fd, char.encode())
+            return ord(char)
+        except FsError as err:
+            self.errno = err.errno
+            stream.error = True
+            return -1
+
+    def fputs(self, text: str, stream_id: int) -> int:
+        """Write a whole string; one injectable ``fputs`` call."""
+        fault = self._enter("fputs")
+        stream = self._stream(stream_id)
+        if fault is not None:
+            if stream is not None:
+                stream.error = True
+            return -1
+        if stream is None or not stream.writable:
+            self.errno = Errno.EBADF
+            return -1
+        try:
+            self.fs.write(stream.fd, text.encode())
+            return len(text)
+        except FsError as err:
+            self.errno = err.errno
+            stream.error = True
+            return -1
+
+    def fflush(self, stream_id: int) -> int:
+        fault = self._enter("fflush")
+        stream = self._stream(stream_id)
+        if fault is not None:
+            if stream is not None:
+                stream.error = True
+            return fault.retval
+        if stream is None:
+            self.errno = Errno.EBADF
+            return -1
+        return 0  # write-through streams: nothing buffered
+
+    def ferror(self, stream_id: int) -> int:
+        fault = self._enter("ferror")
+        if fault is not None:
+            return fault.retval
+        stream = self._stream(stream_id)
+        return 1 if stream is not None and stream.error else 0
+
+    def feof(self, stream_id: int) -> int:
+        stream = self._stream(stream_id)
+        return 1 if stream is not None and stream.eof else 0
+
+    def stream_fd(self, stream_id: int) -> int:
+        """fileno(3) equivalent (not an injection point)."""
+        stream = self._stream(stream_id)
+        return stream.fd if stream is not None else -1
+
+    # -- metadata and directories ----------------------------------------------------
+
+    def stat(self, path: str) -> StatResult | None:
+        """Returns a StatResult, or None (C: -1) on failure."""
+        fault = self._enter("stat")
+        if fault is not None:
+            return None
+        try:
+            return self.fs.stat(path)
+        except FsError as err:
+            self.errno = err.errno
+            return None
+
+    def opendir(self, path: str) -> int:
+        fault = self._enter("opendir")
+        if fault is not None:
+            return fault.retval
+        try:
+            names = self.fs.listdir(path)
+        except FsError as err:
+            self.errno = err.errno
+            return NULL
+        dirp = self._next_dirp
+        self._next_dirp += 1
+        self._dir_streams[dirp] = _DirStream(self.fs.resolve(path), names)
+        return dirp
+
+    def readdir(self, dirp: int) -> str | None:
+        """Returns the next entry name, or None at end / on error."""
+        fault = self._enter("readdir")
+        if fault is not None:
+            return None
+        stream = self._dir_streams.get(dirp)
+        if stream is None:
+            self.errno = Errno.EBADF
+            return None
+        if stream.index >= len(stream.names):
+            return None
+        name = stream.names[stream.index]
+        stream.index += 1
+        return name
+
+    def closedir(self, dirp: int) -> int:
+        fault = self._enter("closedir")
+        if fault is not None:
+            return fault.retval
+        if self._dir_streams.pop(dirp, None) is None:
+            self.errno = Errno.EBADF
+            return -1
+        return 0
+
+    def chdir(self, path: str) -> int:
+        fault = self._enter("chdir")
+        if fault is not None:
+            return fault.retval
+        try:
+            self.fs.chdir(path)
+            return 0
+        except FsError as err:
+            self.errno = err.errno
+            return -1
+
+    def getcwd(self) -> str | None:
+        fault = self._enter("getcwd")
+        if fault is not None:
+            return None
+        return self.fs.cwd
+
+    def mkdir(self, path: str) -> int:
+        fault = self._enter("mkdir")
+        if fault is not None:
+            return fault.retval
+        try:
+            self.fs.mkdir(path)
+            return 0
+        except FsError as err:
+            self.errno = err.errno
+            return -1
+
+    def rmdir(self, path: str) -> int:
+        fault = self._enter("rmdir")
+        if fault is not None:
+            return fault.retval
+        try:
+            self.fs.rmdir(path)
+            return 0
+        except FsError as err:
+            self.errno = err.errno
+            return -1
+
+    def unlink(self, path: str) -> int:
+        fault = self._enter("unlink")
+        if fault is not None:
+            return fault.retval
+        try:
+            self.fs.unlink(path)
+            return 0
+        except FsError as err:
+            self.errno = err.errno
+            return -1
+
+    def rename(self, old: str, new: str) -> int:
+        fault = self._enter("rename")
+        if fault is not None:
+            return fault.retval
+        try:
+            self.fs.rename(old, new)
+            return 0
+        except FsError as err:
+            self.errno = err.errno
+            return -1
+
+    def link(self, existing: str, new: str) -> int:
+        fault = self._enter("link")
+        if fault is not None:
+            return fault.retval
+        try:
+            self.fs.link(existing, new)
+            return 0
+        except FsError as err:
+            self.errno = err.errno
+            return -1
+
+    # -- process / limits / misc -------------------------------------------------------
+
+    def wait(self) -> int:
+        fault = self._enter("wait")
+        if fault is not None:
+            return fault.retval
+        return 0  # no children in the simulated world
+
+    def getrlimit(self, resource: str = "NOFILE") -> int:
+        """Returns the limit, or -1 on failure (C fills a struct)."""
+        fault = self._enter("getrlimit")
+        if fault is not None:
+            return fault.retval
+        if resource == "NOFILE":
+            return self.fs.max_open_files
+        return 1 << 20
+
+    def setrlimit(self, resource: str, value: int) -> int:
+        fault = self._enter("setrlimit")
+        if fault is not None:
+            return fault.retval
+        if resource == "NOFILE":
+            self.fs.max_open_files = value
+        return 0
+
+    def clock_gettime(self) -> int:
+        """Returns a monotonic tick, or -1 on failure."""
+        fault = self._enter("clock_gettime")
+        if fault is not None:
+            return fault.retval
+        self._clock += 1
+        return self._clock
+
+    def setlocale(self, locale: str) -> str | None:
+        fault = self._enter("setlocale")
+        if fault is not None:
+            return None
+        self.locale = locale
+        return locale
+
+    def bindtextdomain(self, domain: str, directory: str) -> str | None:
+        fault = self._enter("bindtextdomain")
+        if fault is not None:
+            return None
+        return directory
+
+    def textdomain(self, domain: str) -> str | None:
+        fault = self._enter("textdomain")
+        if fault is not None:
+            return None
+        self.text_domain = domain
+        return domain
+
+    def strtol(self, text: str, base: int = 10) -> int:
+        """Returns the parsed value; 0 with errno set on failure."""
+        fault = self._enter("strtol")
+        if fault is not None:
+            return fault.retval
+        try:
+            return int(text.strip(), base)
+        except ValueError:
+            self.errno = Errno.EINVAL
+            return 0
+
+    # -- networking (loopback simulation) --------------------------------------------------
+
+    def socket(self) -> int:
+        fault = self._enter("socket")
+        if fault is not None:
+            return fault.retval
+        sock = self._next_socket
+        self._next_socket += 1
+        self._sockets.add(sock)
+        return sock
+
+    def bind(self, sock: int, port: int) -> int:
+        fault = self._enter("bind")
+        if fault is not None:
+            return fault.retval
+        if sock not in self._sockets:
+            self.errno = Errno.EBADF
+            return -1
+        return 0
+
+    def listen(self, sock: int, backlog: int = 16) -> int:
+        fault = self._enter("listen")
+        if fault is not None:
+            return fault.retval
+        if sock not in self._sockets:
+            self.errno = Errno.EBADF
+            return -1
+        return 0
+
+    def accept(self, sock: int) -> int:
+        """Returns a connection socket, or -1 (EAGAIN when inbox empty)."""
+        fault = self._enter("accept")
+        if fault is not None:
+            return fault.retval
+        if sock not in self._sockets:
+            self.errno = Errno.EBADF
+            return -1
+        if not self.net_inbox:
+            self.errno = Errno.EAGAIN
+            return -1
+        return self._accept_conn()
+
+    def _accept_conn(self) -> int:
+        conn = self._next_socket
+        self._next_socket += 1
+        self._sockets.add(conn)
+        return conn
+
+    def connect(self, sock: int, port: int) -> int:
+        fault = self._enter("connect")
+        if fault is not None:
+            return fault.retval
+        if sock not in self._sockets:
+            self.errno = Errno.EBADF
+            return -1
+        return 0
+
+    def recv(self, sock: int, count: int = 65536) -> bytes | int:
+        """Returns bytes (empty at end-of-stream) or -1 on error."""
+        fault = self._enter("recv")
+        if fault is not None:
+            return fault.retval
+        if sock not in self._sockets:
+            self.errno = Errno.EBADF
+            return -1
+        if not self.net_inbox:
+            return b""
+        return self.net_inbox.pop(0)
+
+    def send(self, sock: int, data: bytes) -> int:
+        fault = self._enter("send")
+        if fault is not None:
+            return fault.retval
+        if sock not in self._sockets:
+            self.errno = Errno.EBADF
+            return -1
+        self.net_outbox.append(data)
+        return len(data)
+
+    def close_socket(self, sock: int) -> int:
+        """Close a socket (counts as a ``close`` call, like C)."""
+        fault = self._enter("close")
+        if fault is not None:
+            return fault.retval
+        if sock not in self._sockets:
+            self.errno = Errno.EBADF
+            return -1
+        self._sockets.discard(sock)
+        return 0
+
+    # -- introspection ------------------------------------------------------------------
+
+    def call_count(self, function: str) -> int:
+        return self.call_counts.get(function, 0)
+
+    @property
+    def first_injection(self) -> InjectionEvent | None:
+        return self.injections[0] if self.injections else None

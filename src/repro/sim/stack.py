@@ -1,0 +1,65 @@
+"""Simulated call stack for programs under test.
+
+The paper's redundancy clustering (§5) compares the *stack traces at
+injection points* with Levenshtein distance.  Real AFEX obtains these
+from the injector; we obtain them from an explicit stack maintained by
+the programs under test, which push a frame for every (simulated C)
+function they enter via :meth:`CallStack.frame`.
+
+Keeping the stack explicit (rather than inspecting the Python
+interpreter stack) makes traces stable across refactorings of the
+simulation code and keeps them looking like the C traces the paper
+clusters, e.g. ``("main", "mi_create", "my_close")``.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator
+
+__all__ = ["CallStack"]
+
+
+class CallStack:
+    """An explicit stack of function-frame names."""
+
+    def __init__(self, root: str = "main") -> None:
+        self._frames: list[str] = [root]
+
+    @contextmanager
+    def frame(self, name: str) -> Iterator[None]:
+        """Push ``name`` for the duration of the ``with`` block.
+
+        The frame is popped even when the block unwinds with a simulated
+        crash, matching how a debugger reports the crash stack: crash
+        signals capture :meth:`snapshot` at raise time.
+        """
+        self._frames.append(name)
+        try:
+            yield
+        finally:
+            self._frames.pop()
+
+    def push(self, name: str) -> None:
+        """Push a frame without a context manager (caller must pop)."""
+        self._frames.append(name)
+
+    def pop(self) -> str:
+        if len(self._frames) == 1:
+            raise IndexError("cannot pop the root frame")
+        return self._frames.pop()
+
+    def snapshot(self) -> tuple[str, ...]:
+        """The current stack, outermost frame first."""
+        return tuple(self._frames)
+
+    @property
+    def depth(self) -> int:
+        return len(self._frames)
+
+    @property
+    def top(self) -> str:
+        return self._frames[-1]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"CallStack({' > '.join(self._frames)})"

@@ -1,0 +1,52 @@
+"""Synchronization primitives for simulated programs.
+
+These exist so that the MySQL double-unlock bug the paper found
+(mi_create.c releasing ``THR_LOCK_myisam`` twice on an error path,
+MySQL bug #53268) can be reproduced faithfully: unlocking a mutex that
+is not held aborts the simulated process, like a ``PTHREAD_MUTEX_ERRORCHECK``
+mutex (or glibc's internal assertion) would.
+"""
+
+from __future__ import annotations
+
+from repro.sim.crashes import AbortCrash, HangDetected
+
+__all__ = ["Mutex"]
+
+
+class Mutex:
+    """An error-checking mutex in a single-threaded simulated world.
+
+    The simulation is single-threaded, so "lock" merely flips state; the
+    interesting behaviours are the *error* behaviours:
+
+    * unlocking an unheld mutex aborts (the double-unlock bug);
+    * locking an already-held mutex self-deadlocks, reported as a hang.
+    """
+
+    def __init__(self, name: str, stack_snapshot=None) -> None:
+        self.name = name
+        self.locked = False
+        self._stack_snapshot = stack_snapshot or (lambda: ())
+        #: number of successful lock acquisitions (for tests/sensors)
+        self.acquisitions = 0
+
+    def lock(self) -> None:
+        if self.locked:
+            raise HangDetected(
+                f"self-deadlock on mutex {self.name!r}", self._stack_snapshot()
+            )
+        self.locked = True
+        self.acquisitions += 1
+
+    def unlock(self) -> None:
+        if not self.locked:
+            raise AbortCrash(
+                f"unlock of unheld mutex {self.name!r} (double unlock)",
+                self._stack_snapshot(),
+            )
+        self.locked = False
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "locked" if self.locked else "unlocked"
+        return f"Mutex({self.name!r}, {state})"

@@ -1,0 +1,74 @@
+"""Systems under test.
+
+Each subpackage is a miniature but *real* program (or server) written
+against the simulated libc, with a default test suite, genuine
+error-handling code, and — where the paper found bugs — faithfully
+planted recovery bugs:
+
+* :mod:`repro.sim.targets.coreutils` — ``ls``, ``ln``, ``mv`` over the
+  simulated filesystem; the 29×19×3 fault space of §7.2-§7.5.
+* :mod:`repro.sim.targets.minidb` — MiniDB, the MySQL stand-in with the
+  double-unlock (bug #53268) and errmsg.sys (bug #25097) recovery bugs.
+* :mod:`repro.sim.targets.httpd` — MiniHttpd, the Apache stand-in with
+  the unchecked-``strdup`` NULL-dereference bug (Fig. 7).
+* :mod:`repro.sim.targets.docstore` — DocStore v0.8 / v2.0, the MongoDB
+  maturity-comparison pair of §7.6.
+
+Imports are lazy so that using one target does not pay for building the
+others' (sometimes large, generated) test suites.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "CoreutilsTarget",
+    "HttpdTarget",
+    "MiniDbTarget",
+    "DocStoreTarget",
+    "target_by_name",
+]
+
+_LAZY = {
+    "CoreutilsTarget": ("repro.sim.targets.coreutils", "CoreutilsTarget"),
+    "HttpdTarget": ("repro.sim.targets.httpd", "HttpdTarget"),
+    "MiniDbTarget": ("repro.sim.targets.minidb", "MiniDbTarget"),
+    "DocStoreTarget": ("repro.sim.targets.docstore", "DocStoreTarget"),
+}
+
+
+def __getattr__(name: str):
+    entry = _LAZY.get(name)
+    if entry is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    module = importlib.import_module(entry[0])
+    value = getattr(module, entry[1])
+    globals()[name] = value
+    return value
+
+
+def target_by_name(name: str):
+    """Instantiate a bundled target by name (used by the CLI and benches)."""
+    if name.startswith("docstore-"):
+        from repro.sim.targets.docstore import DocStoreTarget
+
+        return DocStoreTarget(version=name.split("-", 1)[1])
+    known = ("coreutils", "minidb", "httpd", "docstore")
+    if name == "coreutils":
+        from repro.sim.targets.coreutils import CoreutilsTarget
+
+        return CoreutilsTarget()
+    if name == "minidb":
+        from repro.sim.targets.minidb import MiniDbTarget
+
+        return MiniDbTarget()
+    if name == "httpd":
+        from repro.sim.targets.httpd import HttpdTarget
+
+        return HttpdTarget()
+    if name == "docstore":
+        from repro.sim.targets.docstore import DocStoreTarget
+
+        return DocStoreTarget()
+    raise ValueError(f"unknown target {name!r}; available: {known}")

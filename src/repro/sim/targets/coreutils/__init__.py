@@ -1,0 +1,14 @@
+"""Simulated coreutils: ``ls``, ``ln``, ``mv`` and their default suite."""
+
+from repro.sim.targets.coreutils.ln import ln_main
+from repro.sim.targets.coreutils.ls import ls_main
+from repro.sim.targets.coreutils.mv import mv_main
+from repro.sim.targets.coreutils.target import COREUTILS_FUNCTIONS, CoreutilsTarget
+
+__all__ = [
+    "COREUTILS_FUNCTIONS",
+    "CoreutilsTarget",
+    "ln_main",
+    "ls_main",
+    "mv_main",
+]

@@ -1,0 +1,111 @@
+"""Shared runtime for the simulated coreutils (gnulib analogue).
+
+Mirrors the shape of real coreutils startup and error handling:
+
+* :func:`initialize_main` sets the locale and text domain, *ignoring*
+  failures exactly as real coreutils do — these injections are the
+  "gray columns" visible in the paper's Fig. 1;
+* :func:`xmalloc` is the classic wrapper: allocation failure prints a
+  diagnostic and exits 1 (graceful, but the test still fails — these
+  are the out-of-memory scenarios Table 6 hunts for);
+* stdout is a real stdio stream over ``/dev/stdout``, so output errors
+  (``fputs``/``fclose`` failing with ENOSPC/EIO) are injectable, and
+  :func:`close_stdout` dies on close failure like coreutils'
+  ``close_stdout`` atexit hook.
+"""
+
+from __future__ import annotations
+
+from repro.sim.crashes import ExitProgram
+from repro.sim.heap import NULL
+from repro.sim.process import Env
+
+__all__ = [
+    "STDOUT_PATH",
+    "initialize_main",
+    "xmalloc",
+    "copy_arg",
+    "open_stdout",
+    "emit",
+    "close_stdout",
+    "die",
+    "invoke",
+]
+
+STDOUT_PATH = "/dev/stdout"
+
+
+def initialize_main(env: Env, program: str) -> None:
+    """Locale/i18n startup; failures are deliberately ignored."""
+    libc = env.libc
+    with env.frame("initialize_main"):
+        env.cov.hit("coreutils.init.enter")
+        if libc.setlocale("en_US.UTF-8") is None:
+            # Real coreutils fall back to the C locale silently.
+            env.cov.hit("coreutils.init.locale_fallback")
+        if libc.bindtextdomain(program, "/usr/share/locale") is None:
+            env.cov.hit("coreutils.init.bindtextdomain_failed")
+        if libc.textdomain(program) is None:
+            env.cov.hit("coreutils.init.textdomain_failed")
+
+
+def die(env: Env, program: str, message: str, code: int = 1) -> None:
+    """Print a diagnostic to stderr and exit — the ``error(1, ...)`` idiom."""
+    env.error(f"{program}: {message}")
+    env.exit(code)
+
+
+def xmalloc(env: Env, program: str, size: int) -> int:
+    """``xmalloc``: allocation failure is fatal but graceful."""
+    ptr = env.libc.malloc(size)
+    if ptr == NULL:
+        env.cov.hit("coreutils.xmalloc.oom")
+        die(env, program, "memory exhausted")
+    return ptr
+
+
+def copy_arg(env: Env, program: str, arg: str) -> int:
+    """Copy an argv string onto the heap (how the utilities own args)."""
+    ptr = xmalloc(env, program, len(arg.encode()) + 1)
+    env.libc.heap.store_string(ptr, arg)
+    return ptr
+
+
+def open_stdout(env: Env, program: str) -> int:
+    """Open the stdio stream the utility writes its output to."""
+    stream = env.libc.fopen(STDOUT_PATH, "a")
+    if stream == NULL:
+        env.cov.hit("coreutils.stdout.open_failed")
+        die(env, program, "cannot open standard output", 2)
+    return stream
+
+
+def emit(env: Env, program: str, stream: int, text: str) -> None:
+    """Write one output line; a write error is fatal (exit 1)."""
+    if env.libc.fputs(text + "\n", stream) < 0:
+        env.cov.hit("coreutils.stdout.write_error")
+        die(env, program, "write error")
+
+
+def close_stdout(env: Env, program: str, stream: int) -> None:
+    """Flush-and-close stdout; failure is fatal, like coreutils."""
+    libc = env.libc
+    if libc.fflush(stream) != 0:
+        env.cov.hit("coreutils.stdout.flush_error")
+        die(env, program, "write error: flushing standard output")
+    if libc.fclose(stream) != 0:
+        env.cov.hit("coreutils.stdout.close_error")
+        die(env, program, "write error: closing standard output")
+
+
+def invoke(env: Env, main, args: list[str]) -> int:
+    """Run a utility main and return its exit status (test-script glue).
+
+    Catches only the graceful :class:`ExitProgram` unwind — crashes
+    propagate to the test runner, which records them as crashes.
+    """
+    try:
+        main(env, args)
+    except ExitProgram as exc:
+        return exc.code
+    return 0

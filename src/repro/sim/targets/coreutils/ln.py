@@ -1,0 +1,114 @@
+"""Simulated ``ln``: hard links over the simulated filesystem.
+
+Control flow mirrors coreutils ``ln``: copy the target argument, decide
+whether the destination is a directory, then link each source —
+optionally force-removing an existing destination (``-f``) and
+announcing each link (``-v``).  Diagnostics and exit statuses follow the
+real tool: any failed link degrades the exit status to 1.
+"""
+
+from __future__ import annotations
+
+from repro.sim.process import Env
+from repro.sim.targets.coreutils.common import (
+    close_stdout,
+    copy_arg,
+    die,
+    emit,
+    initialize_main,
+    open_stdout,
+    xmalloc,
+)
+
+__all__ = ["ln_main"]
+
+PROGRAM = "ln"
+
+
+def ln_main(env: Env, args: list[str]) -> None:
+    libc = env.libc
+    with env.frame("ln_main"):
+        env.cov.hit("ln.main.enter")
+        initialize_main(env, PROGRAM)
+        force = "-f" in args
+        verbose = "-v" in args
+        paths = [a for a in args if not a.startswith("-")]
+        if len(paths) < 2:
+            env.cov.hit("ln.main.usage")
+            die(env, PROGRAM, "missing file operand", 1)
+
+        target = paths[-1]
+        sources = paths[:-1]
+        target_ptr = copy_arg(env, PROGRAM, target)  # malloc #1
+
+        st = libc.stat(target)
+        target_is_dir = st is not None and st.is_dir
+        if len(sources) > 1 and not target_is_dir:
+            env.cov.hit("ln.main.target_not_dir")
+            die(env, PROGRAM, f"target '{target}' is not a directory", 1)
+
+        out = open_stdout(env, PROGRAM) if verbose else 0
+        status = 0
+        for src in sources:
+            status = max(
+                status, _do_link(env, src, target, target_is_dir, force, verbose, out)
+            )
+        libc.free(target_ptr)
+        if verbose:
+            close_stdout(env, PROGRAM, out)
+        env.exit(status)
+
+
+def _do_link(
+    env: Env,
+    src: str,
+    target: str,
+    target_is_dir: bool,
+    force: bool,
+    verbose: bool,
+    out: int,
+) -> int:
+    libc = env.libc
+    with env.frame("do_link"):
+        env.cov.hit("ln.link.enter")
+        dest = f"{target.rstrip('/')}/{_basename(src)}" if target_is_dir else target
+        dest_ptr = xmalloc(env, PROGRAM, len(dest.encode()) + 1)  # malloc #2
+        libc.heap.store_string(dest_ptr, dest)
+
+        st = libc.stat(src)
+        if st is None:
+            env.cov.hit("ln.link.src_missing")
+            env.error(
+                f"ln: failed to access '{src}': errno {libc.errno.name}"
+            )
+            libc.free(dest_ptr)
+            return 1
+
+        if force:
+            env.cov.hit("ln.link.force")
+            if libc.stat(dest) is not None:
+                if libc.unlink(dest) != 0:
+                    env.cov.hit("ln.link.force_unlink_failed")
+                    env.error(
+                        f"ln: cannot remove '{dest}': errno {libc.errno.name}"
+                    )
+                    libc.free(dest_ptr)
+                    return 1
+
+        if libc.link(src, dest) != 0:
+            env.cov.hit("ln.link.failed")
+            env.error(
+                f"ln: failed to create hard link '{dest}': errno {libc.errno.name}"
+            )
+            libc.free(dest_ptr)
+            return 1
+
+        if verbose:
+            env.cov.hit("ln.link.verbose")
+            emit(env, PROGRAM, out, f"'{dest}' => '{src}'")
+        libc.free(dest_ptr)
+        return 0
+
+
+def _basename(path: str) -> str:
+    return path.rstrip("/").rsplit("/", 1)[-1]

@@ -1,0 +1,183 @@
+"""Simulated ``ls``: directory listing over the simulated filesystem.
+
+A compact but faithful port of the coreutils ``ls`` control flow: locale
+startup, argument copying, stdio output with fatal write errors, a
+growing entry array (``malloc``/``realloc``), per-entry ``stat`` for
+``-l``, ``opendir``/``readdir``/``closedir`` iteration, and ``chdir``
+based recursion for ``-R``.  Error handling matches the real tool's
+conventions: failure to access a command-line argument exits 2; failure
+to access an entry inside a directory is reported and degrades the exit
+status to 1; ``closedir`` failures are ignored.
+"""
+
+from __future__ import annotations
+
+from repro.sim.errnos import Errno
+from repro.sim.heap import NULL
+from repro.sim.process import Env
+from repro.sim.targets.coreutils.common import (
+    close_stdout,
+    copy_arg,
+    die,
+    emit,
+    initialize_main,
+    open_stdout,
+    xmalloc,
+)
+
+__all__ = ["ls_main"]
+
+PROGRAM = "ls"
+
+
+def ls_main(env: Env, args: list[str]) -> None:
+    libc = env.libc
+    with env.frame("ls_main"):
+        env.cov.hit("ls.main.enter")
+        initialize_main(env, PROGRAM)
+        flags: set[str] = set()
+        paths: list[str] = []
+        for arg in args:
+            if arg.startswith("-"):
+                flags.update(arg[1:])
+            else:
+                paths.append(arg)
+        arg_ptrs = [copy_arg(env, PROGRAM, p) for p in paths]
+        if "R" in flags:
+            env.cov.hit("ls.main.recursive")
+            if libc.getcwd() is None:
+                die(env, PROGRAM, "cannot get current directory", 2)
+        out = open_stdout(env, PROGRAM)
+        if not paths:
+            paths = ["."]
+        status = 0
+        label = len(paths) > 1 or "R" in flags
+        for path in paths:
+            status = max(status, _list_argument(env, out, path, flags, label))
+        for ptr in arg_ptrs:
+            libc.free(ptr)
+        close_stdout(env, PROGRAM, out)
+        env.exit(status)
+
+
+def _list_argument(env: Env, out: int, path: str, flags: set[str], label: bool) -> int:
+    """List one command-line argument (file or directory)."""
+    libc = env.libc
+    with env.frame("list_argument"):
+        st = libc.stat(path)
+        if st is None:
+            env.cov.hit("ls.arg.stat_failed")
+            env.error(f"ls: cannot access '{path}': errno {libc.errno.name}")
+            return 2
+        if not st.is_dir:
+            env.cov.hit("ls.arg.plain_file")
+            emit(env, PROGRAM, out, _format_entry(path, st, flags))
+            return 0
+        return _list_directory(env, out, path, flags, label)
+
+
+def _list_directory(env: Env, out: int, path: str, flags: set[str], label: bool) -> int:
+    libc = env.libc
+    with env.frame("list_directory"):
+        env.cov.hit("ls.dir.enter")
+        if label:
+            emit(env, PROGRAM, out, f"{path}:")
+        dirp = libc.opendir(path)
+        if dirp == NULL:
+            env.cov.hit("ls.dir.opendir_failed")
+            env.error(f"ls: cannot open directory '{path}': errno {libc.errno.name}")
+            return 2
+
+        # Growing entry array, as real ls grows its cwd_file vector.
+        capacity = 4
+        array = xmalloc(env, PROGRAM, capacity * 8)
+        names: list[str] = []
+        libc.errno = Errno.OK
+        while True:
+            name = libc.readdir(dirp)
+            if name is None:
+                break
+            if name.startswith(".") and "a" not in flags:
+                env.cov.hit("ls.dir.skip_hidden")
+                continue
+            if len(names) == capacity:
+                env.cov.hit("ls.dir.grow")
+                capacity *= 2
+                new_array = libc.realloc(array, capacity * 8)
+                if new_array == NULL:
+                    env.cov.hit("ls.dir.grow_oom")
+                    die(env, PROGRAM, "memory exhausted")
+                array = new_array
+            names.append(name)
+        read_error = libc.errno is Errno.EBADF
+        if libc.closedir(dirp) != 0:
+            # Real ls ignores closedir failures.
+            env.cov.hit("ls.dir.closedir_failed")
+        if read_error:
+            env.cov.hit("ls.dir.readdir_failed")
+            env.error(f"ls: reading directory '{path}': errno EBADF")
+            libc.free(array)
+            return 1
+
+        names.sort()
+        status = 0
+        for name in names:
+            if "l" in flags:
+                env.cov.hit("ls.dir.long_entry")
+                full = _join(path, name)
+                st = libc.stat(full)
+                if st is None:
+                    env.cov.hit("ls.dir.entry_stat_failed")
+                    env.error(f"ls: cannot access '{full}': errno {libc.errno.name}")
+                    status = 1
+                    continue
+                emit(env, PROGRAM, out, _format_entry(name, st, flags))
+            else:
+                emit(env, PROGRAM, out, name)
+        libc.free(array)
+
+        if "R" in flags:
+            status = max(status, _recurse(env, out, path, names, flags))
+        return status
+
+
+def _recurse(env: Env, out: int, path: str, names: list[str], flags: set[str]) -> int:
+    """``-R``: descend into subdirectories via chdir, like fts."""
+    libc = env.libc
+    with env.frame("ls_recurse"):
+        status = 0
+        for name in names:
+            full = _join(path, name)
+            st = libc.stat(full)
+            if st is None:
+                env.cov.hit("ls.recurse.stat_failed")
+                env.error(f"ls: cannot access '{full}': errno {libc.errno.name}")
+                status = 1
+                continue
+            if not st.is_dir:
+                continue
+            env.cov.hit("ls.recurse.descend")
+            if libc.chdir(full) != 0:
+                env.cov.hit("ls.recurse.chdir_failed")
+                env.error(f"ls: cannot chdir into '{full}': errno {libc.errno.name}")
+                status = 1
+                continue
+            status = max(status, _list_directory(env, out, ".", flags, True))
+            if libc.chdir("/work") != 0:
+                # Cannot return to the starting directory: fatal, as in fts.
+                env.cov.hit("ls.recurse.chdir_back_failed")
+                die(env, PROGRAM, "cannot return to starting directory", 2)
+        return status
+
+
+def _format_entry(name: str, st, flags: set[str]) -> str:
+    if "l" in flags:
+        kind = "d" if st.is_dir else "-"
+        return f"{kind}rw-r--r-- {st.nlink} {st.size:>6} {name}"
+    return name
+
+
+def _join(path: str, name: str) -> str:
+    if path == ".":
+        return name
+    return path.rstrip("/") + "/" + name

@@ -1,0 +1,184 @@
+"""Simulated ``mv``: rename with cross-filesystem copy fallback.
+
+The interesting recovery structure (and the reason the paper's fault
+space rewards exploring ``mv``): a failed ``rename`` with ``EXDEV``
+triggers a full copy-then-unlink fallback — open/read/write/close with
+an EINTR retry loop, partial-copy cleanup, and a close-failure check
+before removing the source (data-integrity critical: removing the
+source after a failed close could lose the file).  None of this code
+runs without fault injection, since the simulated filesystem has a
+single device — exactly the "recovery code is hard to cover" situation
+the paper targets.
+"""
+
+from __future__ import annotations
+
+from repro.sim.errnos import Errno
+from repro.sim.filesystem import O_CREAT, O_RDONLY, O_TRUNC, O_WRONLY
+from repro.sim.process import Env
+from repro.sim.targets.coreutils.common import (
+    close_stdout,
+    copy_arg,
+    die,
+    emit,
+    initialize_main,
+    open_stdout,
+    xmalloc,
+)
+
+__all__ = ["mv_main"]
+
+PROGRAM = "mv"
+_COPY_CHUNK = 4096
+
+
+def mv_main(env: Env, args: list[str]) -> None:
+    libc = env.libc
+    with env.frame("mv_main"):
+        env.cov.hit("mv.main.enter")
+        initialize_main(env, PROGRAM)
+        verbose = "-v" in args
+        backup = "-b" in args
+        paths = [a for a in args if not a.startswith("-")]
+        if len(paths) < 2:
+            env.cov.hit("mv.main.usage")
+            die(env, PROGRAM, "missing file operand", 1)
+
+        target = paths[-1]
+        sources = paths[:-1]
+        target_ptr = copy_arg(env, PROGRAM, target)  # malloc #1
+
+        st = libc.stat(target)
+        target_is_dir = st is not None and st.is_dir
+        if len(sources) > 1 and not target_is_dir:
+            env.cov.hit("mv.main.target_not_dir")
+            die(env, PROGRAM, f"target '{target}' is not a directory", 1)
+
+        out = open_stdout(env, PROGRAM) if verbose else 0
+        status = 0
+        for src in sources:
+            dest = (
+                f"{target.rstrip('/')}/{_basename(src)}" if target_is_dir else target
+            )
+            status = max(status, _do_move(env, src, dest, backup, verbose, out))
+        libc.free(target_ptr)
+        if verbose:
+            close_stdout(env, PROGRAM, out)
+        env.exit(status)
+
+
+def _do_move(
+    env: Env, src: str, dest: str, backup: bool, verbose: bool, out: int
+) -> int:
+    libc = env.libc
+    with env.frame("do_move"):
+        env.cov.hit("mv.move.enter")
+        scratch = xmalloc(env, PROGRAM, 256)  # malloc #2 (path scratch buffer)
+        libc.heap.store_string(scratch, dest)
+
+        if backup:
+            env.cov.hit("mv.move.backup")
+            if libc.stat(dest) is not None:
+                if libc.rename(dest, dest + "~") != 0:
+                    env.cov.hit("mv.move.backup_failed")
+                    env.error(
+                        f"mv: cannot backup '{dest}': errno {libc.errno.name}"
+                    )
+                    libc.free(scratch)
+                    return 1
+
+        if libc.rename(src, dest) == 0:
+            env.cov.hit("mv.move.rename_ok")
+            if verbose:
+                emit(env, PROGRAM, out, f"renamed '{src}' -> '{dest}'")
+            libc.free(scratch)
+            return 0
+
+        if libc.errno is not Errno.EXDEV:
+            env.cov.hit("mv.move.rename_failed")
+            env.error(
+                f"mv: cannot move '{src}' to '{dest}': errno {libc.errno.name}"
+            )
+            libc.free(scratch)
+            return 1
+
+        # EXDEV: cross-device move — fall back to copy + unlink.
+        env.cov.hit("mv.move.exdev_fallback")
+        status = _copy_then_unlink(env, src, dest)
+        if status == 0 and verbose:
+            emit(env, PROGRAM, out, f"copied '{src}' -> '{dest}'")
+        libc.free(scratch)
+        return status
+
+
+def _copy_then_unlink(env: Env, src: str, dest: str) -> int:
+    """The recovery path: copy the file, verify durability, remove source."""
+    libc = env.libc
+    with env.frame("copy_then_unlink"):
+        env.cov.hit("mv.copy.enter")
+        in_fd = libc.open(src, O_RDONLY)
+        if in_fd < 0:
+            env.cov.hit("mv.copy.open_src_failed")
+            env.error(f"mv: cannot open '{src}': errno {libc.errno.name}")
+            return 1
+        out_fd = libc.open(dest, O_CREAT | O_WRONLY | O_TRUNC)
+        if out_fd < 0:
+            env.cov.hit("mv.copy.open_dest_failed")
+            env.error(f"mv: cannot create '{dest}': errno {libc.errno.name}")
+            libc.close(in_fd)
+            return 1
+
+        while True:
+            data = libc.read(in_fd, _COPY_CHUNK)
+            if data == -1:
+                if libc.errno is Errno.EINTR:
+                    env.cov.hit("mv.copy.read_retry")
+                    continue
+                env.cov.hit("mv.copy.read_failed")
+                env.error(f"mv: error reading '{src}': errno {libc.errno.name}")
+                return _abort_copy(env, in_fd, out_fd, dest)
+            if not data:
+                break
+            written = libc.write(out_fd, data)
+            if written < 0:
+                if libc.errno is Errno.EINTR:
+                    env.cov.hit("mv.copy.write_retry")
+                    # Retry the same chunk once; a second failure aborts.
+                    written = libc.write(out_fd, data)
+                if written < 0:
+                    env.cov.hit("mv.copy.write_failed")
+                    env.error(
+                        f"mv: error writing '{dest}': errno {libc.errno.name}"
+                    )
+                    return _abort_copy(env, in_fd, out_fd, dest)
+
+        if libc.close(in_fd) != 0:
+            env.cov.hit("mv.copy.close_src_failed")  # harmless, ignored
+        if libc.close(out_fd) != 0:
+            # Data may not have reached the destination: do NOT unlink src.
+            env.cov.hit("mv.copy.close_dest_failed")
+            env.error(f"mv: error closing '{dest}': errno {libc.errno.name}")
+            libc.unlink(dest)
+            return 1
+        if libc.unlink(src) != 0:
+            env.cov.hit("mv.copy.unlink_src_failed")
+            env.error(f"mv: cannot remove '{src}': errno {libc.errno.name}")
+            return 1
+        env.cov.hit("mv.copy.ok")
+        return 0
+
+
+def _abort_copy(env: Env, in_fd: int, out_fd: int, dest: str) -> int:
+    """Clean up a half-finished copy without losing the source."""
+    libc = env.libc
+    with env.frame("abort_copy"):
+        env.cov.hit("mv.copy.abort")
+        libc.close(in_fd)
+        libc.close(out_fd)
+        if libc.unlink(dest) != 0:
+            env.cov.hit("mv.copy.abort_unlink_failed")
+        return 1
+
+
+def _basename(path: str) -> str:
+    return path.rstrip("/").rsplit("/", 1)[-1]

@@ -1,0 +1,402 @@
+"""The coreutils target: 29 tests over ls/ln/mv, 19 libc functions.
+
+This reproduces the paper's Φ_coreutils setup exactly in shape:
+``X_test = (1..29)`` (11 ls + 9 ln + 9 mv tests, grouped by utility as
+real suites group by functionality), ``X_func`` a 19-function subset of
+libc ordered by category, and ``X_call = (0, 1, 2)`` where 0 means "no
+injection" — 29 × 19 × 3 = 1,653 faults (§7.2).
+
+Test bodies are the paper's "default test suite": each prepares nothing
+itself (fixtures run in :meth:`CoreutilsTarget.setup`, before injection
+is armed), invokes a utility, and asserts on exit status, produced
+output, and filesystem state.  Three tests are *expected-failure* tests
+(missing operands, existing destination) — under memory-fault injection
+these keep passing, which is what makes exactly 28 of the 36
+ln/mv malloc faults test-failing, the count Table 6 searches for.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.sim.process import Env
+from repro.sim.targets.coreutils.common import invoke
+from repro.sim.targets.coreutils.ln import ln_main
+from repro.sim.targets.coreutils.ls import ls_main
+from repro.sim.targets.coreutils.mv import mv_main
+from repro.sim.testsuite import Target, TestCase, TestSuite
+
+__all__ = ["CoreutilsTarget", "COREUTILS_FUNCTIONS"]
+
+#: The 19-function X_func axis, grouped by category so neighbouring
+#: values are related (the locality the Gaussian mutation exploits, §3).
+COREUTILS_FUNCTIONS: tuple[str, ...] = (
+    "malloc",
+    "realloc",
+    "open",
+    "close",
+    "read",
+    "write",
+    "fopen",
+    "fclose",
+    "fputs",
+    "fflush",
+    "stat",
+    "opendir",
+    "readdir",
+    "closedir",
+    "chdir",
+    "getcwd",
+    "rename",
+    "link",
+    "setlocale",
+)
+
+
+def _stdout_text(env: Env) -> str:
+    return env.fs.read_file("/dev/stdout").decode()
+
+
+# --------------------------------------------------------------------------
+# fixtures (run before injection is armed) and bodies (run under injection)
+# --------------------------------------------------------------------------
+
+def _fx_none(env: Env) -> None:
+    pass
+
+
+def _mkfiles(*specs: tuple[str, bytes]) -> Callable[[Env], None]:
+    def fixture(env: Env) -> None:
+        for path, data in specs:
+            env.fs.create_file(path, data)
+    return fixture
+
+
+def _mk(dirs: tuple[str, ...] = (), files: tuple[tuple[str, bytes], ...] = ()):
+    def fixture(env: Env) -> None:
+        for d in dirs:
+            env.fs.mkdir(d)
+        for path, data in files:
+            env.fs.create_file(path, data)
+    return fixture
+
+
+# -- ls ---------------------------------------------------------------------
+
+def _ls_empty(env: Env) -> None:
+    code = invoke(env, ls_main, ["e"])
+    env.check(code == 0, f"ls exited {code}")
+    env.check(_stdout_text(env) == "", "expected no output for empty dir")
+
+
+def _ls_files(env: Env) -> None:
+    code = invoke(env, ls_main, ["d"])
+    env.check(code == 0, f"ls exited {code}")
+    env.check(_stdout_text(env) == "a\nb\nc\n", "bad listing")
+
+
+def _ls_missing(env: Env) -> None:
+    code = invoke(env, ls_main, ["nope"])
+    env.check(code == 2, f"expected exit 2 for missing dir, got {code}")
+    env.check(any("cannot access" in e for e in env.stderr), "no diagnostic")
+
+
+def _ls_all(env: Env) -> None:
+    code = invoke(env, ls_main, ["-a", "d"])
+    env.check(code == 0, f"ls exited {code}")
+    out = _stdout_text(env)
+    env.check(".hidden" in out and "visible" in out, "missing entries with -a")
+
+
+def _ls_long(env: Env) -> None:
+    code = invoke(env, ls_main, ["-l", "d"])
+    env.check(code == 0, f"ls exited {code}")
+    out = _stdout_text(env)
+    env.check("5 one" in out.replace("     ", " ") or " 5 one" in out, "no size for 'one'")
+    env.check(out.count("\n") == 2, "expected 2 long lines")
+
+
+def _ls_long_big(env: Env) -> None:
+    code = invoke(env, ls_main, ["-l", "d"])
+    env.check(code == 0, f"ls exited {code}")
+    env.check(_stdout_text(env).count("\n") == 12, "expected 12 entries")
+
+
+def _ls_multi(env: Env) -> None:
+    code = invoke(env, ls_main, ["d1", "d2"])
+    env.check(code == 0, f"ls exited {code}")
+    out = _stdout_text(env)
+    env.check("d1:" in out and "d2:" in out, "missing directory labels")
+
+
+def _ls_file_arg(env: Env) -> None:
+    code = invoke(env, ls_main, ["plain"])
+    env.check(code == 0, f"ls exited {code}")
+    env.check("plain" in _stdout_text(env), "file argument not listed")
+
+
+def _ls_recursive(env: Env) -> None:
+    code = invoke(env, ls_main, ["-R", "d"])
+    env.check(code == 0, f"ls exited {code}")
+    env.check("deep" in _stdout_text(env), "recursion did not reach 'deep'")
+
+
+def _ls_sorted(env: Env) -> None:
+    code = invoke(env, ls_main, ["d"])
+    env.check(code == 0, f"ls exited {code}")
+    lines = [line for line in _stdout_text(env).splitlines() if line]
+    env.check(lines == sorted(lines), "output not sorted")
+    env.check(len(lines) == 10, f"expected 10 entries, got {len(lines)}")
+
+
+def _ls_long_mixed(env: Env) -> None:
+    code = invoke(env, ls_main, ["-l", "d"])
+    env.check(code == 0, f"ls exited {code}")
+    out = _stdout_text(env)
+    env.check(any(line.startswith("d") for line in out.splitlines()), "no dir flag")
+    env.check(any(line.startswith("-") for line in out.splitlines()), "no file flag")
+
+
+# -- ln ---------------------------------------------------------------------
+
+def _ln_simple(env: Env) -> None:
+    code = invoke(env, ln_main, ["src", "dst"])
+    env.check(code == 0, f"ln exited {code}")
+    env.check(env.fs.is_file("dst"), "dst not created")
+    env.check(env.fs.stat("dst").nlink == 2, "link count not bumped")
+
+
+def _ln_into_dir(env: Env) -> None:
+    code = invoke(env, ln_main, ["f", "d"])
+    env.check(code == 0, f"ln exited {code}")
+    env.check(env.fs.is_file("d/f"), "link not created inside directory")
+
+
+def _ln_existing_dest(env: Env) -> None:
+    # Expected failure: ln refuses to clobber without -f.
+    code = invoke(env, ln_main, ["a", "b"])
+    env.check(code != 0, "ln should refuse to overwrite existing dest")
+    env.check(env.fs.read_file("b") == b"old", "dest was clobbered")
+
+
+def _ln_force(env: Env) -> None:
+    code = invoke(env, ln_main, ["-f", "a", "b"])
+    env.check(code == 0, f"ln exited {code}")
+    env.check(env.fs.read_file("b") == b"new", "force link has wrong content")
+
+
+def _ln_multi(env: Env) -> None:
+    code = invoke(env, ln_main, ["x", "y", "d"])
+    env.check(code == 0, f"ln exited {code}")
+    env.check(env.fs.is_file("d/x") and env.fs.is_file("d/y"), "links missing")
+
+
+def _ln_missing_src(env: Env) -> None:
+    # Expected failure: the source does not exist.
+    code = invoke(env, ln_main, ["ghost", "dst"])
+    env.check(code != 0, "ln should fail for a missing source")
+    env.check(not env.fs.exists("dst"), "dst should not exist")
+
+
+def _ln_verbose(env: Env) -> None:
+    code = invoke(env, ln_main, ["-v", "s", "t"])
+    env.check(code == 0, f"ln exited {code}")
+    env.check("=>" in _stdout_text(env), "verbose output missing")
+
+
+def _ln_usage(env: Env) -> None:
+    # Expected failure: missing operand (dies before any allocation).
+    code = invoke(env, ln_main, ["solo"])
+    env.check(code != 0, "ln should fail with a single operand")
+
+
+def _ln_force_verbose(env: Env) -> None:
+    code = invoke(env, ln_main, ["-f", "-v", "a", "b"])
+    env.check(code == 0, f"ln exited {code}")
+    env.check("=>" in _stdout_text(env), "verbose output missing")
+    env.check(env.fs.read_file("b") == b"aaa", "wrong content after force link")
+
+
+# -- mv ---------------------------------------------------------------------
+
+def _mv_rename(env: Env) -> None:
+    code = invoke(env, mv_main, ["a", "b"])
+    env.check(code == 0, f"mv exited {code}")
+    env.check(env.fs.is_file("b") and not env.fs.exists("a"), "rename incomplete")
+
+
+def _mv_into_dir(env: Env) -> None:
+    code = invoke(env, mv_main, ["f", "d"])
+    env.check(code == 0, f"mv exited {code}")
+    env.check(env.fs.is_file("d/f") and not env.fs.exists("f"), "move incomplete")
+
+
+def _mv_overwrite(env: Env) -> None:
+    code = invoke(env, mv_main, ["a", "b"])
+    env.check(code == 0, f"mv exited {code}")
+    env.check(env.fs.read_file("b") == b"fresh", "overwrite lost data")
+
+
+def _mv_verbose(env: Env) -> None:
+    code = invoke(env, mv_main, ["-v", "a", "b"])
+    env.check(code == 0, f"mv exited {code}")
+    out = _stdout_text(env)
+    env.check("renamed" in out or "copied" in out, "verbose output missing")
+
+
+def _mv_multi(env: Env) -> None:
+    code = invoke(env, mv_main, ["x", "y", "d"])
+    env.check(code == 0, f"mv exited {code}")
+    env.check(env.fs.is_file("d/x") and env.fs.is_file("d/y"), "moves missing")
+
+
+def _mv_missing(env: Env) -> None:
+    # Expected failure: missing source.
+    code = invoke(env, mv_main, ["ghost", "dst"])
+    env.check(code != 0, "mv should fail for a missing source")
+
+
+def _mv_backup(env: Env) -> None:
+    code = invoke(env, mv_main, ["-b", "a", "b"])
+    env.check(code == 0, f"mv exited {code}")
+    env.check(env.fs.read_file("b~") == b"old", "backup missing or wrong")
+    env.check(env.fs.read_file("b") == b"new", "dest has wrong content")
+
+
+def _mv_dir(env: Env) -> None:
+    code = invoke(env, mv_main, ["d1", "d2"])
+    env.check(code == 0, f"mv exited {code}")
+    env.check(env.fs.is_file("d2/inner"), "directory contents lost")
+    env.check(not env.fs.exists("d1"), "source directory still present")
+
+
+def _mv_large(env: Env) -> None:
+    code = invoke(env, mv_main, ["big", "big2"])
+    env.check(code == 0, f"mv exited {code}")
+    env.check(
+        env.fs.read_file("big2") == bytes(range(256)) * 40,
+        "large file corrupted by move",
+    )
+
+
+class CoreutilsTarget(Target):
+    """ls/ln/mv with the 29-test default suite (Φ_coreutils, §7.2)."""
+
+    name = "coreutils"
+    version = "8.1"
+
+    #: (name, group, fixture, body) — ids are assigned in order.
+    _DEFS: tuple[tuple[str, str, Callable[[Env], None], Callable[[Env], None]], ...] = (
+        # ls (tests 1-11)
+        ("ls-empty-dir", "ls", _mk(dirs=("e",)), _ls_empty),
+        ("ls-few-files", "ls",
+         _mk(dirs=("d",), files=(("d/a", b"1"), ("d/b", b"2"), ("d/c", b"3"))),
+         _ls_files),
+        ("ls-missing-dir", "ls", _fx_none, _ls_missing),
+        ("ls-all-hidden", "ls",
+         _mk(dirs=("d",), files=(("d/.hidden", b""), ("d/visible", b""))),
+         _ls_all),
+        ("ls-long", "ls",
+         _mk(dirs=("d",), files=(("d/one", b"12345"), ("d/two", b"x"))),
+         _ls_long),
+        ("ls-long-big", "ls",
+         _mk(dirs=("d",),
+             files=tuple((f"d/f{i:02d}", b"x" * i) for i in range(12))),
+         _ls_long_big),
+        ("ls-multiple-dirs", "ls",
+         _mk(dirs=("d1", "d2"), files=(("d1/p", b""), ("d2/q", b""))),
+         _ls_multi),
+        ("ls-file-argument", "ls", _mkfiles(("plain", b"data")), _ls_file_arg),
+        ("ls-recursive", "ls",
+         _mk(dirs=("d", "d/sub"), files=(("d/top", b""), ("d/sub/deep", b""))),
+         _ls_recursive),
+        ("ls-sorted-many", "ls",
+         _mk(dirs=("d",),
+             files=tuple((f"d/{n}", b"") for n in
+                         ("pear", "apple", "fig", "kiwi", "lime", "plum",
+                          "date", "mango", "melon", "grape"))),
+         _ls_sorted),
+        ("ls-long-mixed", "ls",
+         _mk(dirs=("d", "d/subdir"), files=(("d/file", b"abc"),)),
+         _ls_long_mixed),
+        # ln (tests 12-20)
+        ("ln-simple", "ln", _mkfiles(("src", b"s")), _ln_simple),
+        ("ln-into-dir", "ln", _mk(dirs=("d",), files=(("f", b"f"),)), _ln_into_dir),
+        ("ln-existing-dest", "ln",
+         _mkfiles(("a", b"new"), ("b", b"old")), _ln_existing_dest),
+        ("ln-force", "ln", _mkfiles(("a", b"new"), ("b", b"old")), _ln_force),
+        ("ln-multi-into-dir", "ln",
+         _mk(dirs=("d",), files=(("x", b"x"), ("y", b"y"))), _ln_multi),
+        ("ln-missing-source", "ln", _fx_none, _ln_missing_src),
+        ("ln-verbose", "ln", _mkfiles(("s", b"s")), _ln_verbose),
+        ("ln-usage-error", "ln", _fx_none, _ln_usage),
+        ("ln-force-verbose", "ln",
+         _mkfiles(("a", b"aaa"), ("b", b"bbb")), _ln_force_verbose),
+        # mv (tests 21-29)
+        ("mv-rename", "mv", _mkfiles(("a", b"data")), _mv_rename),
+        ("mv-into-dir", "mv", _mk(dirs=("d",), files=(("f", b"f"),)), _mv_into_dir),
+        ("mv-overwrite", "mv",
+         _mkfiles(("a", b"fresh"), ("b", b"stale")), _mv_overwrite),
+        ("mv-verbose", "mv", _mkfiles(("a", b"v")), _mv_verbose),
+        ("mv-multi-into-dir", "mv",
+         _mk(dirs=("d",), files=(("x", b"x"), ("y", b"y"))), _mv_multi),
+        ("mv-missing-source", "mv", _fx_none, _mv_missing),
+        ("mv-backup", "mv", _mkfiles(("a", b"new"), ("b", b"old")), _mv_backup),
+        ("mv-dir-rename", "mv",
+         _mk(dirs=("d1",), files=(("d1/inner", b"i"),)), _mv_dir),
+        ("mv-large-file", "mv",
+         _mkfiles(("big", bytes(range(256)) * 40)), _mv_large),
+    )
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._fixtures: dict[int, Callable[[Env], None]] = {}
+
+    def build_suite(self) -> TestSuite:
+        tests = []
+        for index, (name, group, fixture, body) in enumerate(self._DEFS, start=1):
+            tests.append(TestCase(id=index, name=name, group=group, body=body))
+            self._fixtures[index] = fixture
+        return TestSuite(tests)
+
+    def setup(self, env: Env, test: TestCase) -> None:
+        env.fs.mkdir("/dev")
+        env.fs.create_file("/dev/stdout")
+        env.fs.mkdir("/work")
+        env.fs.chdir("/work")
+        self.suite  # ensure fixtures dict is populated
+        self._fixtures[test.id](env)
+
+    def libc_functions(self) -> tuple[str, ...]:
+        return COREUTILS_FUNCTIONS
+
+    #: per-mv-test content blobs that must never vanish: a move may leave
+    #: the data at the source or the destination, but "under no
+    #: circumstances should a file transfer be only partially completed"
+    #: (§7's fault-injection-oriented assertion, verbatim).
+    _PROTECTED_CONTENT: dict[int, tuple[bytes, ...]] = {
+        21: (b"data",),
+        22: (b"f",),
+        23: (b"fresh",),
+        24: (b"v",),
+        25: (b"x", b"y"),
+        27: (b"new", b"old"),
+        28: (b"i",),
+        29: (bytes(range(256)) * 40,),
+    }
+
+    def invariants(self, env: Env, test: TestCase) -> list[str]:
+        """mv must never lose source data, no matter which call failed."""
+        protected = self._PROTECTED_CONTENT.get(test.id)
+        if not protected:
+            return []
+        present = [data for _, data in env.fs.iter_files()]
+        violations = []
+        for blob in protected:
+            if blob not in present:
+                label = blob[:16].decode(errors="replace")
+                violations.append(
+                    f"file content {label!r}... ({len(blob)} bytes) exists "
+                    "at neither source nor destination — data lost"
+                )
+        return violations

@@ -1,0 +1,18 @@
+"""DocStore: the MongoDB maturity-comparison pair (v0.8 / v2.0)."""
+
+from repro.sim.targets.docstore.store import (
+    CONFIG_PATH,
+    DATA_PATH,
+    JOURNAL_PATH,
+    DocStore,
+)
+from repro.sim.targets.docstore.target import DOCSTORE_FUNCTIONS, DocStoreTarget
+
+__all__ = [
+    "CONFIG_PATH",
+    "DATA_PATH",
+    "DOCSTORE_FUNCTIONS",
+    "DocStore",
+    "DocStoreTarget",
+    "JOURNAL_PATH",
+]

@@ -1,0 +1,306 @@
+"""DocStore: the MongoDB stand-in, at two maturities (§7.6).
+
+The paper compares AFEX on MongoDB v0.8 (pre-production) and v2.0
+(industrial-strength), finding that (a) v2.0's richer feature set means
+*more* interaction with the environment and therefore more failure
+opportunities, (b) AFEX's efficiency advantage over random search
+shrinks as the code matures, and (c) ironically, AFEX could crash v2.0
+but not v0.8.
+
+Both versions expose the same API and run the same workloads; the
+difference is internal:
+
+* **v0.8** keeps documents in memory and persists with a naive
+  single-file snapshot — very few libc calls, minimal error handling
+  (a failed snapshot simply loses data and reports failure).
+* **v2.0** adds a boot-time config file, a durable operation journal
+  (append + fsync per write), journal replay on boot, atomic
+  temp-file + rename snapshots, and file-level statistics — much more
+  environment interaction, and almost all of it carefully checked.
+  The *one* unchecked path is journal replay: the replay buffer's
+  ``malloc`` result is used without a NULL check, so an allocation
+  failure during recovery-from-journal segfaults v2.0.  v0.8 has no
+  replay code at all, hence no way to crash it.
+"""
+
+from __future__ import annotations
+
+from repro.sim.errnos import Errno
+from repro.sim.filesystem import O_CREAT, O_RDONLY, O_TRUNC, O_WRONLY
+from repro.sim.heap import NULL
+from repro.sim.process import Env
+
+__all__ = ["DocStore", "DATA_PATH", "JOURNAL_PATH", "CONFIG_PATH"]
+
+DATA_PATH = "/data/docstore.db"
+JOURNAL_PATH = "/data/journal"
+CONFIG_PATH = "/etc/docstore.conf"
+
+
+class DocStore:
+    """One simulated document store bound to a test Env."""
+
+    def __init__(self, env: Env, version: str = "2.0") -> None:
+        if version not in ("0.8", "2.0"):
+            raise ValueError(f"unsupported DocStore version {version!r}")
+        self.env = env
+        self.version = version
+        self.collections: dict[str, list[str]] = {}
+        self.journal_stream = 0
+        self.config: dict[str, str] = {}
+        self.errors: list[str] = []
+        self.replayed_ops = 0
+        #: payloads of snapshots the store *acknowledged* (returned True
+        #: for) — the durability contract invariant checks enforce.
+        self.acked_snapshots: list[bytes] = []
+
+    @property
+    def modern(self) -> bool:
+        return self.version == "2.0"
+
+    # -- boot ---------------------------------------------------------------
+
+    def boot(self) -> bool:
+        env = self.env
+        with env.frame("docstore_boot"):
+            env.cov.hit(f"docstore.{self.version}.boot")
+            if not self.modern:
+                return True  # v0.8: no config, no journal, nothing to do
+            if not self._read_config():
+                return False
+            if env.libc.stat(JOURNAL_PATH) is not None:
+                self._replay_journal()
+            return self._open_journal()
+
+    def _read_config(self) -> bool:
+        env = self.env
+        libc = env.libc
+        with env.frame("read_config"):
+            stream = libc.fopen(CONFIG_PATH, "r")
+            if stream == NULL:
+                env.cov.hit("docstore.config.missing")
+                # v2.0 handles this: fall back to defaults.
+                self.config = {"durability": "full"}
+                return True
+            while True:
+                line = libc.fgets(stream)
+                if line is None:
+                    if libc.ferror(stream):
+                        env.cov.hit("docstore.config.read_error")
+                        self.errors.append("config read error")
+                        libc.fclose(stream)
+                        return False
+                    break
+                key, _, value = line.strip().partition("=")
+                if key:
+                    self.config[key] = value
+            libc.fclose(stream)
+            env.cov.hit("docstore.config.ok")
+            return True
+
+    def _replay_journal(self) -> None:
+        """v2.0 journal replay — contains the unchecked-malloc crash bug."""
+        env = self.env
+        libc = env.libc
+        with env.frame("journal_replay"):
+            env.cov.hit("docstore.replay.enter")
+            fd = libc.open(JOURNAL_PATH, O_RDONLY)
+            if fd < 0:
+                env.cov.hit("docstore.replay.open_failed")
+                self.errors.append("journal open failed")
+                return
+            st = libc.stat(JOURNAL_PATH)
+            size = st.size if st is not None else 4096
+            # BUG: replay buffer allocation is not checked for NULL —
+            # an OOM during crash recovery crashes the recovery itself.
+            buffer_ptr = libc.malloc(size + 1)
+            offset = 0
+            while True:
+                chunk = libc.read(fd, 256)
+                if chunk == -1:
+                    if libc.errno is Errno.EINTR:
+                        continue
+                    env.cov.hit("docstore.replay.read_failed")
+                    self.errors.append("journal read failed")
+                    break
+                if not chunk:
+                    break
+                libc.heap.store(buffer_ptr, offset, bytes(chunk))  # segfault if NULL
+                offset += len(chunk)
+            libc.close(fd)
+            if offset:
+                raw = libc.heap.load(buffer_ptr, 0, offset)
+                for line in raw.decode(errors="replace").splitlines():
+                    op, _, rest = line.partition(" ")
+                    collection, _, doc = rest.partition(" ")
+                    if op == "insert" and collection:
+                        self.collections.setdefault(collection, []).append(doc)
+                        self.replayed_ops += 1
+                    elif op == "remove" and collection:
+                        docs = self.collections.get(collection, [])
+                        if doc in docs:
+                            docs.remove(doc)
+                        self.replayed_ops += 1
+            if buffer_ptr != NULL:
+                libc.free(buffer_ptr)
+            env.cov.hit("docstore.replay.done")
+
+    def _open_journal(self) -> bool:
+        env = self.env
+        libc = env.libc
+        with env.frame("journal_open"):
+            self.journal_stream = libc.fopen(JOURNAL_PATH, "a")
+            if self.journal_stream == NULL:
+                env.cov.hit("docstore.journal.open_failed")
+                self.errors.append("cannot open journal")
+                return False
+            env.cov.hit("docstore.journal.open")
+            return True
+
+    # -- operations ------------------------------------------------------------
+
+    def insert(self, collection: str, doc: str) -> bool:
+        env = self.env
+        with env.frame("doc_insert"):
+            env.cov.hit(f"docstore.{self.version}.insert")
+            if self.modern and not self._journal_write(f"insert {collection} {doc}"):
+                return False
+            self.collections.setdefault(collection, []).append(doc)
+            return True
+
+    def find(self, collection: str, needle: str) -> list[str]:
+        env = self.env
+        with env.frame("doc_find"):
+            env.cov.hit(f"docstore.{self.version}.find")
+            return [d for d in self.collections.get(collection, []) if needle in d]
+
+    def remove(self, collection: str, doc: str) -> bool:
+        env = self.env
+        with env.frame("doc_remove"):
+            env.cov.hit(f"docstore.{self.version}.remove")
+            docs = self.collections.get(collection, [])
+            if doc not in docs:
+                self.errors.append("no such document")
+                return False
+            if self.modern and not self._journal_write(f"remove {collection} {doc}"):
+                return False
+            docs.remove(doc)
+            return True
+
+    def _journal_write(self, entry: str) -> bool:
+        env = self.env
+        libc = env.libc
+        with env.frame("journal_append"):
+            if self.journal_stream == 0:
+                self.errors.append("journal not open")
+                return False
+            if libc.fputs(entry + "\n", self.journal_stream) < 0:
+                env.cov.hit("docstore.journal.write_failed")
+                self.errors.append("journal write failed")
+                return False
+            if self.config.get("durability", "full") == "full":
+                if libc.fflush(self.journal_stream) != 0:
+                    env.cov.hit("docstore.journal.flush_failed")
+                    self.errors.append("journal flush failed")
+                    return False
+            env.cov.hit("docstore.journal.append")
+            return True
+
+    # -- persistence ---------------------------------------------------------------
+
+    def snapshot(self) -> bool:
+        if self.modern:
+            return self._snapshot_atomic()
+        return self._snapshot_naive()
+
+    def _snapshot_naive(self) -> bool:
+        """v0.8: overwrite the data file in place.  Crude but simple."""
+        env = self.env
+        libc = env.libc
+        with env.frame("snapshot_naive"):
+            env.cov.hit("docstore.0.8.snapshot")
+            fd = libc.open(DATA_PATH, O_CREAT | O_WRONLY | O_TRUNC)
+            if fd < 0:
+                self.errors.append("snapshot open failed")
+                return False
+            payload = self._serialize()
+            if payload and libc.write(fd, payload) < 0:
+                # v0.8's handling is poor: the file is already truncated,
+                # so a failed write has destroyed the previous snapshot.
+                env.cov.hit("docstore.0.8.snapshot_write_failed")
+                self.errors.append("snapshot write failed")
+                libc.close(fd)
+                return False
+            libc.close(fd)  # return value ignored in v0.8
+            self.acked_snapshots.append(payload)
+            return True
+
+    def _snapshot_atomic(self) -> bool:
+        """v2.0: temp file + fsync + atomic rename."""
+        env = self.env
+        libc = env.libc
+        with env.frame("snapshot_atomic"):
+            env.cov.hit("docstore.2.0.snapshot")
+            tmp = DATA_PATH + ".tmp"
+            fd = libc.open(tmp, O_CREAT | O_WRONLY | O_TRUNC)
+            if fd < 0:
+                self.errors.append("snapshot open failed")
+                return False
+            payload = self._serialize()
+            if payload and libc.write(fd, payload) < 0:
+                env.cov.hit("docstore.2.0.snapshot_write_failed")
+                self.errors.append("snapshot write failed")
+                libc.close(fd)
+                libc.unlink(tmp)
+                return False
+            if libc.fsync(fd) != 0:
+                env.cov.hit("docstore.2.0.snapshot_fsync_failed")
+                self.errors.append("snapshot fsync failed")
+                libc.close(fd)
+                libc.unlink(tmp)
+                return False
+            if libc.close(fd) != 0:
+                env.cov.hit("docstore.2.0.snapshot_close_failed")
+                self.errors.append("snapshot close failed")
+                libc.unlink(tmp)
+                return False
+            if libc.rename(tmp, DATA_PATH) != 0:
+                env.cov.hit("docstore.2.0.snapshot_rename_failed")
+                self.errors.append("snapshot rename failed")
+                libc.unlink(tmp)
+                return False
+            env.cov.hit("docstore.2.0.snapshot_ok")
+            self.acked_snapshots.append(payload)
+            return True
+
+    def _serialize(self) -> bytes:
+        lines = []
+        for collection in sorted(self.collections):
+            for doc in self.collections[collection]:
+                lines.append(f"{collection} {doc}")
+        return ("\n".join(lines) + "\n").encode() if lines else b""
+
+    # -- admin ------------------------------------------------------------------------
+
+    def stats(self) -> dict[str, int]:
+        env = self.env
+        libc = env.libc
+        with env.frame("doc_stats"):
+            env.cov.hit(f"docstore.{self.version}.stats")
+            counts = {c: len(d) for c, d in self.collections.items()}
+            if self.modern:
+                st = libc.stat(JOURNAL_PATH)
+                counts["journal_bytes"] = st.size if st is not None else -1
+                st = libc.stat(DATA_PATH)
+                counts["data_bytes"] = st.size if st is not None else -1
+            return counts
+
+    def shutdown(self) -> None:
+        env = self.env
+        libc = env.libc
+        with env.frame("docstore_shutdown"):
+            if self.journal_stream:
+                if libc.fflush(self.journal_stream) != 0:
+                    env.cov.hit("docstore.shutdown.flush_failed")
+                libc.fclose(self.journal_stream)
+                self.journal_stream = 0

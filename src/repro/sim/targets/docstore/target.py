@@ -1,0 +1,204 @@
+"""The DocStore target: identical 60-test workload for v0.8 and v2.0.
+
+Per §7.6, both versions are "expose[d] to identical setup and
+workloads": the suite below is version-agnostic, and the target's
+``version`` parameter selects which implementation runs it.
+Φ_docstore = 60 × 16 × 30 = 28,800 faults per version.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.sim.process import Env
+from repro.sim.targets.docstore.store import (
+    CONFIG_PATH,
+    DATA_PATH,
+    JOURNAL_PATH,
+    DocStore,
+)
+from repro.sim.testsuite import Target, TestCase, TestSuite
+
+__all__ = ["DocStoreTarget", "DOCSTORE_FUNCTIONS"]
+
+#: X_func for the DocStore space.
+DOCSTORE_FUNCTIONS: tuple[str, ...] = (
+    "malloc",
+    "open",
+    "close",
+    "read",
+    "write",
+    "fsync",
+    "fopen",
+    "fclose",
+    "fgets",
+    "fputs",
+    "fflush",
+    "ferror",
+    "stat",
+    "unlink",
+    "rename",
+    "setlocale",
+)
+
+
+def _booted(env: Env, version: str) -> DocStore:
+    store = DocStore(env, version)
+    env.state["store"] = store  # visible to post-mortem invariant checks
+    if not store.boot():
+        env.exit(1)
+    return store
+
+
+def _insert_body(version: str, i: int) -> Callable[[Env], None]:
+    docs = 2 + i * 2
+
+    def body(env: Env) -> None:
+        store = _booted(env, version)
+        for d in range(docs):
+            env.check(store.insert("events", f"doc-{d}"), f"insert {d} failed")
+        env.check(len(store.find("events", "doc-")) == docs, "count mismatch")
+        env.check(store.snapshot(), "snapshot failed")
+        store.shutdown()
+        env.check(
+            env.fs.read_file(DATA_PATH).count(b"doc-") == docs,
+            "snapshot content wrong",
+        )
+    return body
+
+
+def _find_body(version: str, i: int) -> Callable[[Env], None]:
+    docs = 4 + i
+
+    def body(env: Env) -> None:
+        store = _booted(env, version)
+        for d in range(docs):
+            env.check(store.insert("users", f"user-{d % 3}-{d}"), "insert failed")
+        hits = store.find("users", "user-0-")
+        expected = sum(1 for d in range(docs) if d % 3 == 0)
+        env.check(len(hits) == expected, f"found {len(hits)}, expected {expected}")
+        store.shutdown()
+    return body
+
+
+def _remove_body(version: str, i: int) -> Callable[[Env], None]:
+    docs = 3 + i
+
+    def body(env: Env) -> None:
+        store = _booted(env, version)
+        for d in range(docs):
+            env.check(store.insert("queue", f"job-{d}"), "insert failed")
+        env.check(store.remove("queue", "job-0"), "remove failed")
+        env.check(not store.remove("queue", "job-zzz"), "ghost remove should fail")
+        env.check(len(store.find("queue", "job-")) == docs - 1, "count wrong")
+        store.shutdown()
+    return body
+
+
+def _persist_body(version: str, i: int) -> Callable[[Env], None]:
+    docs = 2 + i
+    with_journal = i % 3 == 2  # every third test boots over an old journal
+
+    def body(env: Env) -> None:
+        store = _booted(env, version)
+        if with_journal and store.modern:
+            env.check(store.replayed_ops > 0, "journal replay found nothing")
+        for d in range(docs):
+            env.check(store.insert("logs", f"entry-{d}"), "insert failed")
+        env.check(store.snapshot(), "snapshot failed")
+        env.check(store.snapshot(), "second snapshot failed")
+        store.shutdown()
+        env.check(env.fs.is_file(DATA_PATH), "data file missing")
+    return body
+
+
+def _admin_body(version: str, i: int) -> Callable[[Env], None]:
+    docs = 1 + i
+
+    def body(env: Env) -> None:
+        store = _booted(env, version)
+        for d in range(docs):
+            env.check(store.insert("metrics", f"m-{d}"), "insert failed")
+        env.check(store.snapshot(), "snapshot failed")
+        counts = store.stats()
+        env.check(counts.get("metrics") == docs, "stats count wrong")
+        if store.modern:
+            env.check(counts.get("data_bytes", -1) > 0, "data stats missing")
+        store.shutdown()
+    return body
+
+
+#: group name -> (builder, count); totals 60 tests.
+_GROUPS: tuple[tuple[str, Callable[[str, int], Callable[[Env], None]], int], ...] = (
+    ("insert", _insert_body, 15),
+    ("find", _find_body, 10),
+    ("remove", _remove_body, 10),
+    ("persist", _persist_body, 15),
+    ("admin", _admin_body, 10),
+)
+
+
+class DocStoreTarget(Target):
+    """DocStore at a chosen maturity ("0.8" or "2.0")."""
+
+    name = "docstore"
+
+    def __init__(self, version: str = "2.0") -> None:
+        if version not in ("0.8", "2.0"):
+            raise ValueError(f"unsupported DocStore version {version!r}")
+        super().__init__()
+        self.version = version
+        self._journal_tests: set[int] = set()
+
+    def build_suite(self) -> TestSuite:
+        tests: list[TestCase] = []
+        test_id = 1
+        for group, builder, count in _GROUPS:
+            for i in range(count):
+                if group == "persist" and i % 3 == 2:
+                    self._journal_tests.add(test_id)
+                tests.append(TestCase(
+                    id=test_id,
+                    name=f"{group}-{i:02d}",
+                    group=group,
+                    body=builder(self.version, i),
+                ))
+                test_id += 1
+        return TestSuite(tests)
+
+    def setup(self, env: Env, test: TestCase) -> None:
+        fs = env.fs
+        fs.mkdir("/etc")
+        fs.mkdir("/data")
+        fs.create_file(CONFIG_PATH, b"durability=full\ncache=64\n")
+        self.suite  # populate _journal_tests
+        if test.id in self._journal_tests:
+            fs.create_file(
+                JOURNAL_PATH,
+                b"insert logs recovered-0\ninsert logs recovered-1\n",
+            )
+
+    def libc_functions(self) -> tuple[str, ...]:
+        return DOCSTORE_FUNCTIONS
+
+    def invariants(self, env: Env, test) -> list[str]:
+        """The snapshot-durability contract (§7's assertion style).
+
+        Once ``snapshot()`` has acknowledged success, the on-disk data
+        file must contain an acknowledged snapshot — no matter what
+        failed afterwards.  v2.0's atomic temp-file + rename upholds
+        this; v0.8's truncate-in-place does not: a later failed snapshot
+        destroys the acknowledged one (silent data loss).
+        """
+        store = env.state.get("store")
+        if store is None or not store.acked_snapshots:
+            return []
+        if not env.fs.exists(DATA_PATH):
+            return ["acknowledged snapshot vanished from disk"]
+        content = env.fs.read_file(DATA_PATH)
+        if content not in store.acked_snapshots:
+            return [
+                "acknowledged snapshot destroyed: data file holds "
+                f"{len(content)} bytes matching no acknowledged state"
+            ]
+        return []

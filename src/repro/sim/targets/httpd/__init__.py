@@ -1,0 +1,12 @@
+"""MiniHttpd: the Apache httpd stand-in with the Fig. 7 strdup bug."""
+
+from repro.sim.targets.httpd.server import BootError, HttpdServer, KNOWN_MODULES
+from repro.sim.targets.httpd.target import HTTPD_FUNCTIONS, HttpdTarget
+
+__all__ = [
+    "BootError",
+    "HTTPD_FUNCTIONS",
+    "HttpdServer",
+    "HttpdTarget",
+    "KNOWN_MODULES",
+]

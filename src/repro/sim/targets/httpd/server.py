@@ -1,0 +1,379 @@
+"""MiniHttpd: the Apache httpd stand-in.
+
+A small web server with Apache's architectural shape: a config parser
+(``fopen``/``fgets`` over ``/etc/httpd.conf``), a module registry, a
+listener socket, a request pipeline routed through handler modules, and
+an access log.  Error handling matches the paper's description of
+Apache: "extensive checking code for error conditions like NULL returns
+from malloc throughout its code base; the recovery code for an
+out-of-memory error generally logs the error and shuts down the server"
+— every ``malloc`` here is checked and recovers gracefully.
+
+**The planted bug** (paper Fig. 7, config.c:578): module *short name*
+registration does ``short_name = strdup(sym_name)`` and immediately
+writes ``short_name[len] = '\\0'`` **without checking for NULL**.  When
+``strdup`` fails with ENOMEM during module registration, the server
+segfaults before any recovery/logging code runs — exactly the
+hard-to-diagnose crash AFEX found.  ``strdup`` calls made by the config
+parser *are* checked, so only a band of the ``call`` axis crashes:
+that is real structure for the explorer to find.
+"""
+
+from __future__ import annotations
+
+from repro.sim.errnos import Errno
+from repro.sim.filesystem import O_RDONLY
+from repro.sim.heap import NULL
+from repro.sim.process import Env
+
+__all__ = ["HttpdServer", "BootError"]
+
+
+class BootError(Exception):
+    """Server failed to boot gracefully (logged + clean shutdown)."""
+
+    def __init__(self, reason: str) -> None:
+        super().__init__(reason)
+        self.reason = reason
+
+
+#: handler modules known to the server; configs choose a subset.
+KNOWN_MODULES = (
+    "mod_core",
+    "mod_mime",
+    "mod_dir",
+    "mod_log_config",
+    "mod_alias",
+    "mod_auth_basic",
+    "mod_authz_host",
+    "mod_autoindex",
+    "mod_cgi",
+    "mod_deflate",
+    "mod_env",
+    "mod_headers",
+    "mod_include",
+    "mod_negotiation",
+    "mod_rewrite",
+    "mod_setenvif",
+)
+
+
+class HttpdServer:
+    """One simulated server process bound to a test's Env."""
+
+    def __init__(self, env: Env) -> None:
+        self.env = env
+        self.config: dict[str, str] = {}
+        self.modules: list[str] = []
+        #: heap pointers of module short names (the Fig. 7 array).
+        self.module_short_names: list[int] = []
+        self.listen_sock = -1
+        self.log_stream = 0
+        self.booted = False
+        self.requests_served = 0
+        self.requests_failed = 0
+
+    # -- boot ----------------------------------------------------------------
+
+    def boot(self, config_path: str = "/etc/httpd.conf") -> None:
+        """Parse config, register modules, open log, bind the listener.
+
+        Raises :class:`BootError` for handled failures (the graceful
+        shutdown path).  The strdup bug can segfault here instead.
+        """
+        env = self.env
+        with env.frame("server_boot"):
+            env.cov.hit("httpd.boot.enter")
+            self._read_config(config_path)
+            self._register_modules()
+            self._open_log()
+            self._open_listener()
+            self.booted = True
+            env.cov.hit("httpd.boot.ok")
+
+    #: fallback directive values when the config is missing or truncated.
+    _DEFAULTS = {
+        "Listen": "80",
+        "DocumentRoot": "/srv/www",  # the compiled-in htdocs default
+        "CustomLog": "/var/log/access_log",
+        "LoadModules": "mod_core",
+    }
+
+    def _read_config(self, path: str) -> None:
+        """Parse the config, degrading gracefully like real httpd.
+
+        An unreadable or truncated config is *not* fatal: whatever
+        directives were parsed are kept and standard defaults fill the
+        gaps.  This is what makes config-path faults *test-dependent*
+        (a truncated read hurts exactly the tests whose behaviour
+        depends on the directives after the truncation point), giving
+        the test and call axes the structure Table 4 ablates.  Only a
+        configuration explicitly naming an unknown module aborts the
+        boot.
+        """
+        env = self.env
+        libc = env.libc
+        with env.frame("ap_read_config"):
+            env.cov.hit("httpd.config.enter")
+            stream = libc.fopen(path, "r")
+            if stream == NULL:
+                env.cov.hit("httpd.config.open_failed")
+                env.error(f"httpd: cannot open {path}, using defaults")
+            else:
+                while True:
+                    line = libc.fgets(stream)
+                    if line is None:
+                        if libc.ferror(stream):
+                            # Truncated config: keep what we have.
+                            env.cov.hit("httpd.config.read_error")
+                            env.error("httpd: error reading configuration, "
+                                      "continuing with partial config")
+                        break
+                    line = line.strip()
+                    if not line or line.startswith("#"):
+                        continue
+                    key, _, value = line.partition(" ")
+                    # Apache keeps directive values in pools; model as
+                    # strdup *with* a NULL check — this is the checked
+                    # band of the strdup call axis.
+                    value_ptr = libc.strdup(value)
+                    if value_ptr == NULL:
+                        # Transient pool pressure: drop the directive and
+                        # keep parsing (defaults may cover it) — graceful,
+                        # and *test-dependent*: only tests whose behaviour
+                        # needs this directive will notice.
+                        env.cov.hit("httpd.config.oom")
+                        env.error(f"httpd: out of memory for directive "
+                                  f"{key!r}, skipping")
+                        continue
+                    self.config[key] = libc.heap.load_string(value_ptr)
+                    env.cov.hit("httpd.config.directive")
+                if libc.fclose(stream) != 0:
+                    env.cov.hit("httpd.config.close_failed")
+                    # Non-fatal: config already parsed.
+            for key, value in self._DEFAULTS.items():
+                if key not in self.config:
+                    env.cov.hit("httpd.config.defaulted")
+                    self.config[key] = value
+
+    #: modules compiled into the server; the rest load as DSOs.
+    _PRELINKED_COUNT = 5
+
+    def _register_modules(self) -> None:
+        """Register configured modules.  The Fig. 7 bug lives here.
+
+        Like Apache, modules arrive via two code paths — compiled-in
+        ("prelinked") modules and dynamically loaded (DSO) ones — and
+        both funnel into ``ap_add_module``, which contains the unchecked
+        ``strdup``.  The same single bug therefore manifests under
+        *distinct* stack traces, which is what the paper's redundancy
+        clustering (§7.4) has to tell apart from genuinely different
+        bugs.
+        """
+        env = self.env
+        env.cov.hit("httpd.modules.enter")
+        wanted = [
+            name.strip()
+            for name in self.config.get("LoadModules", "mod_core").split(",")
+        ]
+        for sym_name in wanted:
+            if sym_name not in KNOWN_MODULES:
+                env.cov.hit("httpd.modules.unknown")
+                raise BootError(f"unknown module {sym_name!r}")
+        prelinked = wanted[: self._PRELINKED_COUNT]
+        dso = wanted[self._PRELINKED_COUNT:]
+        with env.frame("ap_setup_prelinked_modules"):
+            for sym_name in prelinked:
+                self._add_module(sym_name)
+        if dso:
+            env.cov.hit("httpd.modules.dso")
+            with env.frame("mod_so_load"):
+                for sym_name in dso:
+                    self._add_module(sym_name)
+
+    def _add_module(self, sym_name: str) -> None:
+        env = self.env
+        libc = env.libc
+        with env.frame("ap_add_module"):
+            # config.c:578 — no NULL check on strdup's result...
+            short_name = libc.strdup(sym_name)
+            # config.c:579 — ...so this store segfaults on ENOMEM.
+            libc.heap.store_byte(short_name, len(sym_name), 0)
+            self.module_short_names.append(short_name)
+            self.modules.append(sym_name)
+            env.cov.hit("httpd.modules.registered")
+
+    def _open_log(self) -> None:
+        env = self.env
+        libc = env.libc
+        with env.frame("open_error_log"):
+            path = self.config.get("CustomLog", "/var/log/access_log")
+            self.log_stream = libc.fopen(path, "a")
+            if self.log_stream == NULL:
+                env.cov.hit("httpd.log.open_failed")
+                raise BootError(f"cannot open log {path}: errno {libc.errno.name}")
+            env.cov.hit("httpd.log.open_ok")
+
+    def _open_listener(self) -> None:
+        env = self.env
+        libc = env.libc
+        with env.frame("make_sock"):
+            sock = libc.socket()
+            if sock < 0:
+                env.cov.hit("httpd.sock.socket_failed")
+                raise BootError(f"socket: errno {libc.errno.name}")
+            if libc.bind(sock, int(self.config.get("Listen", "80"))) != 0:
+                env.cov.hit("httpd.sock.bind_failed")
+                raise BootError(f"bind: errno {libc.errno.name}")
+            if libc.listen(sock) != 0:
+                env.cov.hit("httpd.sock.listen_failed")
+                raise BootError(f"listen: errno {libc.errno.name}")
+            self.listen_sock = sock
+            env.cov.hit("httpd.sock.ok")
+
+    # -- request handling ------------------------------------------------------
+
+    def serve_pending(self) -> int:
+        """Accept and serve every queued request; returns requests served."""
+        env = self.env
+        libc = env.libc
+        with env.frame("child_main"):
+            served = 0
+            while libc.net_inbox:
+                conn = libc.accept(self.listen_sock)
+                if conn < 0:
+                    if libc.errno is Errno.EINTR:
+                        env.cov.hit("httpd.accept.eintr_retry")
+                        continue
+                    env.cov.hit("httpd.accept.failed")
+                    break
+                self._handle_connection(conn)
+                served += 1
+            return served
+
+    def _handle_connection(self, conn: int) -> None:
+        env = self.env
+        libc = env.libc
+        with env.frame("process_connection"):
+            env.cov.hit("httpd.request.enter")
+            raw = libc.recv(conn)
+            if raw == -1:
+                env.cov.hit("httpd.request.recv_failed")
+                self._log("recv-error")
+                self.requests_failed += 1
+                libc.close_socket(conn)
+                return
+            request = bytes(raw).decode(errors="replace")
+            method, _, path = request.partition(" ")
+            path = path.strip() or "/"
+            if method != "GET":
+                env.cov.hit("httpd.request.bad_method")
+                self._respond(conn, 405, b"method not allowed")
+                return
+            self._serve_path(conn, path)
+
+    @staticmethod
+    def _handler_for(path: str) -> str:
+        """Which module's handler serves this request.
+
+        Requests flow through different handler modules by content type
+        (as Apache's handler dispatch does), so faults injected while
+        serving different content produce *distinct* stack traces — the
+        diversity the §7.4 redundancy clustering measures.
+        """
+        if path == "/" or path.endswith("/"):
+            return "mod_dir_handler"
+        if path.endswith(".html"):
+            return "mod_mime_handler"
+        if path.endswith(".bin"):
+            return "core_content_handler"
+        return "default_handler"
+
+    def _serve_path(self, conn: int, path: str) -> None:
+        env = self.env
+        libc = env.libc
+        with env.frame(self._handler_for(path)):
+            docroot = self.config.get("DocumentRoot", "/srv/www")
+            full = docroot.rstrip("/") + ("/index.html" if path == "/" else path)
+            st = libc.stat(full)
+            if st is None:
+                env.cov.hit("httpd.request.not_found")
+                self._respond(conn, 404, b"not found")
+                return
+            # Request buffer: checked malloc, graceful OOM recovery.
+            buffer_ptr = libc.malloc(st.size + 1)
+            if buffer_ptr == NULL:
+                env.cov.hit("httpd.request.oom")
+                self._log("oom")
+                self._respond(conn, 500, b"out of memory")
+                self.shutdown()
+                env.exit(1)  # graceful shutdown on OOM, as Apache does
+            fd = libc.open(full, O_RDONLY)
+            if fd < 0:
+                env.cov.hit("httpd.request.open_failed")
+                libc.free(buffer_ptr)
+                self._respond(conn, 403, b"forbidden")
+                return
+            body = b""
+            while True:
+                chunk = libc.read(fd, 1024)
+                if chunk == -1:
+                    if libc.errno is Errno.EINTR:
+                        env.cov.hit("httpd.request.read_retry")
+                        continue
+                    env.cov.hit("httpd.request.read_failed")
+                    libc.close(fd)
+                    libc.free(buffer_ptr)
+                    self._respond(conn, 500, b"io error")
+                    return
+                if not chunk:
+                    break
+                body += bytes(chunk)
+            if libc.close(fd) != 0:
+                env.cov.hit("httpd.request.close_failed")  # non-fatal
+            libc.heap.store(buffer_ptr, 0, body[: st.size])
+            self._respond(conn, 200, body)
+            libc.free(buffer_ptr)
+            env.cov.hit("httpd.request.ok")
+
+    def _respond(self, conn: int, status: int, body: bytes) -> None:
+        env = self.env
+        libc = env.libc
+        with env.frame("ap_send_response"):
+            payload = f"HTTP/1.1 {status}\r\n\r\n".encode() + body
+            if libc.send(conn, payload) < 0:
+                env.cov.hit("httpd.response.send_failed")
+                self.requests_failed += 1
+            else:
+                if status == 200:
+                    self.requests_served += 1
+                else:
+                    self.requests_failed += 1
+                env.cov.hit("httpd.response.sent")
+            self._log(f"{status}")
+            libc.close_socket(conn)
+
+    def _log(self, entry: str) -> None:
+        env = self.env
+        libc = env.libc
+        with env.frame("ap_log_transaction"):
+            if self.log_stream == 0:
+                return
+            if libc.fputs(entry + "\n", self.log_stream) < 0:
+                env.cov.hit("httpd.log.write_failed")  # logged failure ignored
+
+    # -- shutdown -----------------------------------------------------------------
+
+    def shutdown(self) -> None:
+        env = self.env
+        libc = env.libc
+        with env.frame("ap_terminate"):
+            if self.log_stream:
+                if libc.fflush(self.log_stream) != 0:
+                    env.cov.hit("httpd.shutdown.flush_failed")
+                libc.fclose(self.log_stream)
+                self.log_stream = 0
+            if self.listen_sock >= 0:
+                libc.close_socket(self.listen_sock)
+                self.listen_sock = -1
+            env.cov.hit("httpd.shutdown.done")

@@ -1,0 +1,360 @@
+"""The MiniHttpd target: 58 tests, 19 libc functions, calls 1-10.
+
+Φ_httpd = 58 × 19 × 10 = 11,020 faults, matching the paper's Apache
+space (§7).  Tests are grouped by functionality — boot/config, module
+loading, static serving, logging, protocol errors, and multi-request
+sessions — so the ``X_test`` axis has the group structure the explorer
+exploits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.sim.process import Env
+from repro.sim.targets.httpd.server import BootError, HttpdServer
+from repro.sim.testsuite import Target, TestCase, TestSuite
+
+__all__ = ["HttpdTarget", "HTTPD_FUNCTIONS"]
+
+#: X_func for the httpd space, grouped by category.
+HTTPD_FUNCTIONS: tuple[str, ...] = (
+    "malloc",
+    "send",
+    "strdup",
+    "open",
+    "close",
+    "read",
+    "write",
+    "fopen",
+    "fclose",
+    "fgets",
+    "fputs",
+    "fflush",
+    "stat",
+    "ferror",
+    "socket",
+    "bind",
+    "listen",
+    "accept",
+    "recv",
+)
+
+_DEFAULT_MODULES = "mod_core,mod_mime,mod_dir,mod_log_config,mod_alias"
+
+
+@dataclass(frozen=True)
+class _HttpdTestDef:
+    """A parametric httpd test: config + content + requests + expectations."""
+
+    name: str
+    group: str
+    config: tuple[tuple[str, str], ...]
+    files: tuple[tuple[str, bytes], ...] = ()
+    requests: tuple[str, ...] = ()
+    #: expected count of 200 responses among the replies.
+    expect_ok: int = 0
+    #: expected total replies (requests that got *some* response).
+    expect_replies: int = 0
+    #: substrings that must appear in the access log, in order of mention.
+    expect_log: tuple[str, ...] = ()
+    #: if True the test expects the server to fail to boot.
+    expect_boot_failure: bool = False
+    extra_checks: Callable[[Env, HttpdServer], None] | None = None
+
+
+def _run_server(env: Env, definition: _HttpdTestDef) -> None:
+    """The shared test body: boot, serve, shut down, assert."""
+    server = HttpdServer(env)
+    with env.frame("httpd_main"):
+        try:
+            server.boot()
+        except BootError as exc:
+            env.cov.hit("httpd.test.boot_failed")
+            env.error(f"httpd: {exc.reason}")
+            server.shutdown()
+            if definition.expect_boot_failure:
+                env.cov.hit("httpd.test.boot_failed_expected")
+                return  # test passes: the failure was the point
+            env.exit(1)
+        if definition.expect_boot_failure:
+            env.check(False, "server booted despite invalid configuration")
+        for request in definition.requests:
+            env.libc.net_inbox.append(request.encode())
+        server.serve_pending()
+        server.shutdown()
+
+    replies = [r.decode(errors="replace") for r in env.libc.net_outbox]
+    ok = sum(1 for r in replies if r.startswith("HTTP/1.1 200"))
+    env.check(
+        len(replies) == definition.expect_replies,
+        f"expected {definition.expect_replies} replies, got {len(replies)}",
+    )
+    env.check(
+        ok == definition.expect_ok,
+        f"expected {definition.expect_ok} OK responses, got {ok}",
+    )
+    if definition.expect_log:
+        log = env.fs.read_file("/var/log/access_log").decode()
+        for needle in definition.expect_log:
+            env.check(needle in log, f"log entry {needle!r} missing")
+    if definition.extra_checks is not None:
+        definition.extra_checks(env, server)
+
+
+def _check_modules(count: int) -> Callable[[Env, HttpdServer], None]:
+    def check(env: Env, server: HttpdServer) -> None:
+        env.check(
+            len(server.modules) == count,
+            f"expected {count} modules, got {len(server.modules)}",
+        )
+    return check
+
+
+def _pad(config: tuple[tuple[str, str], ...], n: int):
+    """Append n tuning directives, shifting later call numbers smoothly."""
+    return config + tuple(
+        (f"Tune{i}", f"v{i}") for i in range(n)
+    )
+
+
+def _build_defs() -> tuple[_HttpdTestDef, ...]:
+    defs: list[_HttpdTestDef] = []
+    base_config = (
+        ("Listen", "80"),
+        ("DocumentRoot", "/srv/www"),
+        ("CustomLog", "/var/log/access_log"),
+        ("LoadModules", _DEFAULT_MODULES),
+    )
+    index = (("/srv/www/index.html", b"<html>it works</html>"),)
+
+    # -- boot/config group (10 tests) --------------------------------------
+    defs.append(_HttpdTestDef(
+        "boot-minimal", "config", base_config, index,
+        ("GET /",), expect_ok=1, expect_replies=1,
+    ))
+    defs.append(_HttpdTestDef(
+        "boot-alt-port", "config",
+        base_config[1:] + (("Listen", "8080"),), index,
+        ("GET /",), expect_ok=1, expect_replies=1,
+    ))
+    defs.append(_HttpdTestDef(
+        "boot-comments-in-config", "config",
+        base_config + (("#", "comment line"),), index,
+        ("GET /",), expect_ok=1, expect_replies=1,
+    ))
+    defs.append(_HttpdTestDef(
+        "boot-default-docroot", "config",
+        (("Listen", "80"), ("LoadModules", "mod_core")), index,
+        ("GET /",), expect_ok=1, expect_replies=1,
+    ))
+    defs.append(_HttpdTestDef(
+        "boot-unknown-module", "config",
+        base_config[:3] + (("LoadModules", "mod_bogus"),),
+        expect_boot_failure=True,
+    ))
+    defs.append(_HttpdTestDef(
+        "boot-many-directives", "config",
+        base_config + tuple((f"Define{i}", f"value{i}") for i in range(8)),
+        index, ("GET /",), expect_ok=1, expect_replies=1,
+    ))
+    defs.append(_HttpdTestDef(
+        "boot-no-requests", "config", base_config, index,
+        (), expect_ok=0, expect_replies=0,
+    ))
+    defs.append(_HttpdTestDef(
+        "boot-empty-docroot", "config", base_config, (),
+        ("GET /",), expect_ok=0, expect_replies=1,
+        expect_log=("404",),
+    ))
+    defs.append(_HttpdTestDef(
+        "boot-deep-docroot", "config",
+        base_config[:1] + (("DocumentRoot", "/srv/www/deep/er"),) + base_config[2:],
+        (("/srv/www/deep/er/index.html", b"deep"),),
+        ("GET /",), expect_ok=1, expect_replies=1,
+    ))
+    defs.append(_HttpdTestDef(
+        "boot-then-single-404", "config", base_config, index,
+        ("GET /missing.html",), expect_ok=0, expect_replies=1,
+        expect_log=("404",),
+    ))
+
+    # -- module-loading group (10 tests) ------------------------------------
+    module_counts = (1, 2, 3, 4, 5, 6, 8, 10, 12, 16)
+    from repro.sim.targets.httpd.server import KNOWN_MODULES
+
+    for count in module_counts:
+        chosen = ",".join(KNOWN_MODULES[:count])
+        defs.append(_HttpdTestDef(
+            f"modules-{count:02d}", "modules",
+            base_config[:3] + (("LoadModules", chosen),), index,
+            ("GET /",), expect_ok=1, expect_replies=1,
+            extra_checks=_check_modules(count),
+        ))
+
+    # -- static serving group (15 tests) --------------------------------------
+    sizes = (1, 64, 512, 1024, 1536, 2048, 4096)
+    for i, size in enumerate(sizes):
+        body = bytes((j % 251 for j in range(size)))
+        defs.append(_HttpdTestDef(
+            f"static-size-{size:04d}", "static",
+            _pad(base_config, i), index + ((f"/srv/www/f{i}.bin", body),),
+            (f"GET /f{i}.bin",), expect_ok=1, expect_replies=1,
+        ))
+    for i, count in enumerate((2, 3, 4)):
+        files = tuple(
+            (f"/srv/www/page{j}.html", f"page {j}".encode()) for j in range(count)
+        )
+        defs.append(_HttpdTestDef(
+            f"static-multi-{count}", "static", base_config, index + files,
+            tuple(f"GET /page{j}.html" for j in range(count)),
+            expect_ok=count, expect_replies=count,
+        ))
+    defs.append(_HttpdTestDef(
+        "static-index-implicit", "static", base_config, index,
+        ("GET /",), expect_ok=1, expect_replies=1,
+    ))
+    defs.append(_HttpdTestDef(
+        "static-mixed-hits", "static", base_config,
+        index + (("/srv/www/a.html", b"A"),),
+        ("GET /a.html", "GET /missing", "GET /a.html"),
+        expect_ok=2, expect_replies=3, expect_log=("404",),
+    ))
+    defs.append(_HttpdTestDef(
+        "static-nested-path", "static", base_config,
+        index + (("/srv/www/sub/leaf.html", b"leaf"),),
+        ("GET /sub/leaf.html",), expect_ok=1, expect_replies=1,
+    ))
+    defs.append(_HttpdTestDef(
+        "static-all-missing", "static", base_config, index,
+        ("GET /x", "GET /y"), expect_ok=0, expect_replies=2,
+    ))
+    defs.append(_HttpdTestDef(
+        "static-large-then-404", "static", base_config,
+        index + (("/srv/www/big.bin", b"z" * 3000),),
+        ("GET /big.bin", "GET /gone"), expect_ok=1, expect_replies=2,
+    ))
+
+    # -- logging group (8 tests) -------------------------------------------------
+    for i, hits in enumerate((1, 2, 3, 5)):
+        defs.append(_HttpdTestDef(
+            f"log-{hits}-hits", "logging", base_config, index,
+            tuple("GET /" for _ in range(hits)),
+            expect_ok=hits, expect_replies=hits,
+            expect_log=tuple("200" for _ in range(1)),
+        ))
+    defs.append(_HttpdTestDef(
+        "log-alt-path", "logging",
+        base_config[:2] + (("CustomLog", "/var/log/alt_log"),
+                           ("LoadModules", _DEFAULT_MODULES)),
+        index, ("GET /",), expect_ok=1, expect_replies=1,
+        extra_checks=lambda env, server: env.check(
+            b"200" in env.fs.read_file("/var/log/alt_log"),
+            "alternate log not written",
+        ),
+    ))
+    defs.append(_HttpdTestDef(
+        "log-mixed-status", "logging", base_config, index,
+        ("GET /", "GET /gone"), expect_ok=1, expect_replies=2,
+        expect_log=("200", "404"),
+    ))
+    defs.append(_HttpdTestDef(
+        "log-405", "logging", base_config, index,
+        ("POST /",), expect_ok=0, expect_replies=1, expect_log=("405",),
+    ))
+    defs.append(_HttpdTestDef(
+        "log-empty-run", "logging", base_config, index,
+        (), expect_ok=0, expect_replies=0,
+    ))
+
+    # -- protocol-error group (7 tests) --------------------------------------------
+    defs.append(_HttpdTestDef(
+        "proto-post", "protocol", base_config, index,
+        ("POST /submit",), expect_ok=0, expect_replies=1,
+    ))
+    defs.append(_HttpdTestDef(
+        "proto-put", "protocol", base_config, index,
+        ("PUT /x",), expect_ok=0, expect_replies=1,
+    ))
+    defs.append(_HttpdTestDef(
+        "proto-delete", "protocol", base_config, index,
+        ("DELETE /x",), expect_ok=0, expect_replies=1,
+    ))
+    defs.append(_HttpdTestDef(
+        "proto-garbage", "protocol", base_config, index,
+        ("XYZZY",), expect_ok=0, expect_replies=1,
+    ))
+    defs.append(_HttpdTestDef(
+        "proto-empty-path", "protocol", base_config, index,
+        ("GET ",), expect_ok=1, expect_replies=1,  # empty path -> "/"
+    ))
+    defs.append(_HttpdTestDef(
+        "proto-mixed", "protocol", base_config, index,
+        ("GET /", "POST /", "GET /"), expect_ok=2, expect_replies=3,
+    ))
+    defs.append(_HttpdTestDef(
+        "proto-many-bad", "protocol", base_config, index,
+        ("POST /", "PUT /", "DELETE /"), expect_ok=0, expect_replies=3,
+    ))
+
+    # -- session group (8 tests): longer request trains ---------------------------
+    for i, train in enumerate((4, 6, 8, 10, 12, 16, 20, 24)):
+        defs.append(_HttpdTestDef(
+            f"session-{train:02d}-requests", "session",
+            _pad(base_config, i), index,
+            tuple("GET /" for _ in range(train)),
+            expect_ok=train, expect_replies=train,
+        ))
+
+    return tuple(defs)
+
+
+class HttpdTarget(Target):
+    """MiniHttpd and its 58-test default suite (Φ_httpd, §7.1)."""
+
+    name = "httpd"
+    version = "2.3.8"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._defs = _build_defs()
+
+    def build_suite(self) -> TestSuite:
+        tests = []
+        for index, definition in enumerate(self._defs, start=1):
+            tests.append(TestCase(
+                id=index,
+                name=definition.name,
+                group=definition.group,
+                body=_make_body(definition),
+            ))
+        return TestSuite(tests)
+
+    def setup(self, env: Env, test: TestCase) -> None:
+        definition = self._defs[test.id - 1]
+        fs = env.fs
+        fs.mkdir("/etc")
+        fs.mkdir("/var")
+        fs.mkdir("/var/log")
+        fs.mkdir("/srv")
+        fs.mkdir("/srv/www")
+        config_lines = [f"{key} {value}" for key, value in definition.config]
+        fs.create_file("/etc/httpd.conf", ("\n".join(config_lines) + "\n").encode())
+        for path, data in definition.files:
+            parent_parts = path.split("/")[1:-1]
+            built = ""
+            for part in parent_parts:
+                built += "/" + part
+                if not fs.exists(built):
+                    fs.mkdir(built)
+            fs.create_file(path, data)
+
+    def libc_functions(self) -> tuple[str, ...]:
+        return HTTPD_FUNCTIONS
+
+
+def _make_body(definition: _HttpdTestDef) -> Callable[[Env], None]:
+    def body(env: Env) -> None:
+        _run_server(env, definition)
+    return body

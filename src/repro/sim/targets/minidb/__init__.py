@@ -1,0 +1,17 @@
+"""MiniDB: the MySQL stand-in with the paper's two recovery bugs."""
+
+from repro.sim.targets.minidb.engine import DATADIR, ERRMSG_PATH, ERROR_CODES, MiniDb
+from repro.sim.targets.minidb.target import GROUP_SIZES, MINIDB_FUNCTIONS, MiniDbTarget
+from repro.sim.targets.minidb.wal import BINLOG_PATH, Binlog
+
+__all__ = [
+    "BINLOG_PATH",
+    "Binlog",
+    "DATADIR",
+    "ERRMSG_PATH",
+    "ERROR_CODES",
+    "GROUP_SIZES",
+    "MINIDB_FUNCTIONS",
+    "MiniDb",
+    "MiniDbTarget",
+]

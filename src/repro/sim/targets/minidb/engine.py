@@ -1,0 +1,192 @@
+"""MiniDB server core: boot, error messages, connection pool.
+
+The MySQL 5.1 stand-in.  Two recovery bugs from the paper are planted
+faithfully:
+
+**errmsg.sys bug** (MySQL bug #25097, §7.1): ``init_errmessage`` reads
+the error-message catalog at boot.  If the read fails, the recovery code
+*correctly logs* the failure — and then the server proceeds anyway,
+leaving the in-heap message table unallocated (NULL).  The first time
+any statement needs an error message, ``my_error`` dereferences that
+NULL pointer and the server segfaults.  A single injected ``read``
+failure at boot thus crashes exactly those tests whose workload raises
+a database error — a ridge along the test axis that the fitness-guided
+explorer can latch onto.
+
+**connection-pool hang** (an unchecked ``getrlimit``): pool sizing
+trusts ``getrlimit``'s return value.  In C the ``-1`` error return,
+stored into an unsigned count, becomes huge; here the sizing loop
+(``while slots_initialized != slots``) never terminates and trips the
+step-budget hang detector.  This is the "hang bug" class the §6.4
+impact metric scores at 10 points.
+
+The double-unlock bug (MySQL bug #53268, Fig. 6) lives in
+:mod:`repro.sim.targets.minidb.storage`.
+"""
+
+from __future__ import annotations
+
+from repro.sim.errnos import Errno
+from repro.sim.filesystem import O_RDONLY
+from repro.sim.heap import NULL
+from repro.sim.process import Env
+from repro.sim.sync import Mutex
+
+__all__ = ["MiniDb", "ERRMSG_PATH", "DATADIR", "ERROR_CODES"]
+
+ERRMSG_PATH = "/usr/share/minidb/errmsg.sys"
+DATADIR = "/var/minidb"
+LOG_PATH = "/var/minidb/minidb.log"
+
+#: error codes -> index into the errmsg catalog (32 bytes per message).
+ERROR_CODES = {
+    "ER_NO_SUCH_TABLE": 0,
+    "ER_TABLE_EXISTS": 1,
+    "ER_DUP_KEY": 2,
+    "ER_OUT_OF_MEMORY": 3,
+    "ER_DISK_FULL": 4,
+    "ER_LOCK_FAILED": 5,
+    "ER_BAD_STATEMENT": 6,
+    "ER_NET_ERROR": 7,
+}
+_MSG_SLOT = 32
+
+
+class MiniDb:
+    """One simulated mysqld process bound to a test Env."""
+
+    def __init__(self, env: Env) -> None:
+        self.env = env
+        self.thr_lock = Mutex("THR_LOCK_myisam", env.stack.snapshot)
+        #: heap pointer to the parsed error-message table (NULL = the bug).
+        self.errmsg_ptr: int = NULL
+        self.log_stream: int = 0
+        self.tables: dict[str, int] = {}  # name -> column count (catalog cache)
+        self.booted = False
+        self.statement_errors: list[str] = []
+
+    # -- boot -------------------------------------------------------------------
+
+    def boot(self) -> bool:
+        """Start the server; returns False on a handled boot failure."""
+        env = self.env
+        with env.frame("mysqld_main"):
+            env.cov.hit("minidb.boot.enter")
+            self._init_errmessage()
+            if not self._open_log():
+                env.cov.hit("minidb.boot.log_failed")
+                return False
+            self.booted = True
+            env.cov.hit("minidb.boot.ok")
+            return True
+
+    def _init_errmessage(self) -> None:
+        """Load errmsg.sys.  Contains MySQL bug #25097."""
+        env = self.env
+        libc = env.libc
+        with env.frame("init_errmessage"):
+            env.cov.hit("minidb.errmsg.enter")
+            fd = libc.open(ERRMSG_PATH, O_RDONLY)
+            if fd < 0:
+                # Recovery code: correct logging of the failure...
+                env.cov.hit("minidb.errmsg.open_failed")
+                env.error(f"minidb: cannot open {ERRMSG_PATH}")
+                # ...but execution continues with errmsg_ptr == NULL.
+                return
+            data = libc.read(fd, len(ERROR_CODES) * _MSG_SLOT)
+            if data == -1:
+                # Recovery code: "it correctly logs any encountered error
+                # if the read fails" (§7.1) — and then proceeds anyway.
+                env.cov.hit("minidb.errmsg.read_failed")
+                env.error(f"minidb: error reading {ERRMSG_PATH}: "
+                          f"errno {libc.errno.name}")
+            else:
+                env.cov.hit("minidb.errmsg.loaded")
+                self.errmsg_ptr = libc.malloc(len(ERROR_CODES) * _MSG_SLOT)
+                if self.errmsg_ptr != NULL:
+                    libc.heap.store(self.errmsg_ptr, 0, bytes(data))
+                else:
+                    env.cov.hit("minidb.errmsg.oom")
+                    env.error("minidb: out of memory loading error messages")
+            if libc.close(fd) != 0:
+                env.cov.hit("minidb.errmsg.close_failed")  # harmless here
+
+    def _open_log(self) -> bool:
+        env = self.env
+        libc = env.libc
+        with env.frame("open_general_log"):
+            self.log_stream = libc.fopen(LOG_PATH, "a")
+            if self.log_stream == NULL:
+                env.error(f"minidb: cannot open log: errno {libc.errno.name}")
+                return False
+            env.cov.hit("minidb.log.open")
+            return True
+
+    # -- error reporting (the #25097 crash site) ------------------------------------
+
+    def report_error(self, code: str) -> str:
+        """``my_error``: look up + log an error message.
+
+        Dereferences the errmsg table — segfaults if init_errmessage's
+        recovery path left it NULL.
+        """
+        env = self.env
+        libc = env.libc
+        with env.frame("my_error"):
+            env.cov.hit("minidb.error.report")
+            slot = ERROR_CODES.get(code, len(ERROR_CODES) - 1)
+            # MySQL bug #25097: no NULL check on the message table.
+            raw = libc.heap.load(self.errmsg_ptr, slot * _MSG_SLOT, _MSG_SLOT)
+            message = raw.split(b"\x00", 1)[0].decode(errors="replace") or code
+            self.statement_errors.append(code)
+            self.log(f"ERROR {code}: {message}")
+            return message
+
+    def log(self, entry: str) -> None:
+        env = self.env
+        libc = env.libc
+        with env.frame("general_log_write"):
+            if self.log_stream == 0:
+                return
+            if libc.fputs(entry + "\n", self.log_stream) < 0:
+                env.cov.hit("minidb.log.write_failed")  # logging is best-effort
+
+    # -- connection pool (the hang bug) -----------------------------------------------
+
+    def size_connection_pool(self, requested: int = 32) -> int:
+        """Size the connection pool from RLIMIT_NOFILE.
+
+        Planted hang: ``getrlimit``'s -1 error return is used unchecked
+        as the slot count (in C it would wrap to SIZE_MAX); the
+        initialization loop then never terminates.
+        """
+        env = self.env
+        libc = env.libc
+        with env.frame("init_connection_pool"):
+            env.cov.hit("minidb.pool.enter")
+            slots = libc.getrlimit("NOFILE")
+            # BUG: no `if slots < 0` check.
+            if slots > requested:
+                slots = requested
+            initialized = 0
+            while initialized != slots:
+                libc.clock_gettime()  # stamp each slot's creation time
+                initialized += 1
+            env.cov.hit("minidb.pool.sized")
+            return slots
+
+    # -- shutdown --------------------------------------------------------------------
+
+    def shutdown(self) -> None:
+        env = self.env
+        libc = env.libc
+        with env.frame("mysqld_shutdown"):
+            if self.log_stream:
+                if libc.fflush(self.log_stream) != 0:
+                    env.cov.hit("minidb.shutdown.flush_failed")
+                libc.fclose(self.log_stream)
+                self.log_stream = 0
+            if self.errmsg_ptr != NULL:
+                libc.free(self.errmsg_ptr)
+                self.errmsg_ptr = NULL
+            env.cov.hit("minidb.shutdown.done")

@@ -1,0 +1,75 @@
+"""MiniDB network front-end: the connection/ping path.
+
+Includes the deliberately *timing-flaky* retry logic that gives the
+paper's impact-precision metric (§5) something real to measure: when a
+``recv`` fails with ECONNRESET, the server decides whether the client
+reconnected in time by consulting per-run scheduling jitter
+(``env.rng``, seeded by the trial number).  The same injected fault
+therefore sometimes degrades to a handled retry and sometimes to a
+statement error — its impact varies across trials, i.e. it has finite
+precision, unlike the fully deterministic storage faults.
+"""
+
+from __future__ import annotations
+
+from repro.sim.errnos import Errno
+from repro.sim.process import Env
+from repro.sim.targets.minidb.engine import MiniDb
+
+__all__ = ["serve_pings"]
+
+
+def serve_pings(env: Env, db: MiniDb, count: int, flaky: bool = False) -> int:
+    """Accept ``count`` queued client pings; returns how many succeeded.
+
+    Callers enqueue ``count`` ping payloads into ``env.libc.net_inbox``
+    beforehand (the test harness plays the clients).
+    """
+    libc = env.libc
+    with env.frame("net_serve"):
+        env.cov.hit("minidb.net.enter")
+        sock = libc.socket()
+        if sock < 0:
+            env.cov.hit("minidb.net.socket_failed")
+            db.report_error("ER_NET_ERROR")
+            return 0
+        if libc.bind(sock, 3306) != 0 or libc.listen(sock) != 0:
+            env.cov.hit("minidb.net.bind_failed")
+            db.report_error("ER_NET_ERROR")
+            libc.close_socket(sock)
+            return 0
+        served = 0
+        for _ in range(count):
+            conn = libc.accept(sock)
+            if conn < 0:
+                if libc.errno is Errno.EINTR:
+                    env.cov.hit("minidb.net.accept_retry")
+                    conn = libc.accept(sock)
+                if conn < 0:
+                    env.cov.hit("minidb.net.accept_failed")
+                    db.report_error("ER_NET_ERROR")
+                    continue
+            payload = libc.recv(conn)
+            if payload == -1:
+                if (
+                    flaky
+                    and libc.errno is Errno.ECONNRESET
+                    and env.rng.random() < 0.5
+                ):
+                    # The client's reconnect raced in: retry wins.
+                    env.cov.hit("minidb.net.flaky_retry")
+                    payload = libc.recv(conn)
+                if payload == -1:
+                    env.cov.hit("minidb.net.recv_failed")
+                    db.report_error("ER_NET_ERROR")
+                    libc.close_socket(conn)
+                    continue
+            if libc.send(conn, b"OK " + bytes(payload)) < 0:
+                env.cov.hit("minidb.net.send_failed")
+                db.report_error("ER_NET_ERROR")
+            else:
+                served += 1
+                env.cov.hit("minidb.net.pong")
+            libc.close_socket(conn)
+        libc.close_socket(sock)
+        return served

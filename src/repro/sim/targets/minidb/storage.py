@@ -1,0 +1,377 @@
+"""MiniDB storage engine (the MyISAM analogue).
+
+Tables live as ``<name>.MYI`` (index header) + ``<name>.MYD`` (data
+rows) under the data directory.  Rows are newline-terminated
+pipe-separated text records; indexes are sorted value lists rewritten on
+insert.  Every environment interaction goes through the simulated libc,
+so the whole engine is injectable.
+
+**The Fig. 6 double-unlock bug (MySQL bug #53268)** is planted in
+:func:`mi_create`, preserving the original's control flow: a single
+shared error-recovery block releases ``THR_LOCK_myisam`` — correct for
+every failure *before* the success-path unlock, wrong for a failure of
+the final ``my_close``, which jumps to the recovery block *after* the
+lock was already released and aborts in the mutex error check.
+"""
+
+from __future__ import annotations
+
+from repro.sim.crashes import AbortCrash
+from repro.sim.errnos import Errno
+from repro.sim.filesystem import O_APPEND, O_CREAT, O_RDONLY, O_TRUNC, O_WRONLY
+from repro.sim.heap import NULL
+from repro.sim.process import Env
+from repro.sim.targets.minidb.engine import DATADIR, MiniDb
+
+__all__ = [
+    "mi_create",
+    "mi_drop",
+    "insert_row",
+    "select_rows",
+    "update_rows",
+    "delete_rows",
+    "create_index",
+    "index_lookup",
+]
+
+_MYI_HEADER = b"MYI\x01"
+
+
+def _myi(name: str) -> str:
+    return f"{DATADIR}/{name}.MYI"
+
+
+def _myd(name: str) -> str:
+    return f"{DATADIR}/{name}.MYD"
+
+
+def _mnx(name: str, column: int) -> str:
+    return f"{DATADIR}/{name}.{column}.MNX"
+
+
+def mi_create(env: Env, db: MiniDb, name: str, columns: int) -> bool:
+    """Create a table.  Faithful port of the buggy mi_create.c flow.
+
+    Returns True on success; False for handled failures (after
+    reporting a statement error).  Can abort the process via the planted
+    double-unlock when the final close fails.
+    """
+    libc = env.libc
+    with env.frame("mi_create"):
+        env.cov.hit("minidb.create.enter")
+        if name in db.tables:
+            env.cov.hit("minidb.create.exists")
+            db.report_error("ER_TABLE_EXISTS")
+            return False
+
+        db.thr_lock.lock()
+
+        file = libc.open(_myi(name), O_CREAT | O_WRONLY | O_TRUNC)
+        if file < 0:
+            env.cov.hit("minidb.create.open_failed")
+            # Error before the success-path unlock: recovery block is correct.
+            return _mi_create_err(env, db, name)
+
+        header = _MYI_HEADER + bytes([columns]) + b"\x00" * 27
+        if libc.write(file, header) < 0:
+            env.cov.hit("minidb.create.write_failed")
+            libc.close(file)
+            return _mi_create_err(env, db, name)
+
+        # mi_create.c:830 — unlock on the success path...
+        db.thr_lock.unlock()
+        # mi_create.c:831 — ...then close, jumping to the shared recovery
+        # block if it fails:
+        if libc.close(file) != 0:
+            env.cov.hit("minidb.create.close_failed")
+            return _mi_create_err(env, db, name)  # BUG: double unlock
+
+        data_fd = libc.open(_myd(name), O_CREAT | O_WRONLY | O_TRUNC)
+        if data_fd < 0:
+            env.cov.hit("minidb.create.data_open_failed")
+            libc.unlink(_myi(name))
+            db.report_error("ER_DISK_FULL")
+            return False
+        if libc.close(data_fd) != 0:
+            env.cov.hit("minidb.create.data_close_failed")  # empty file: benign
+
+        db.tables[name] = columns
+        db.log(f"CREATE TABLE {name} ({columns} cols)")
+        env.cov.hit("minidb.create.ok")
+        return True
+
+
+def _mi_create_err(env: Env, db: MiniDb, name: str) -> bool:
+    """mi_create.c:836 — the single shared error-recovery block."""
+    libc = env.libc
+    with env.frame("mi_create_err"):
+        env.cov.hit("minidb.create.recovery")
+        # mi_create.c:837 — release the lock.  Correct for early failures;
+        # a double unlock (-> abort) when reached after the line-830 unlock.
+        db.thr_lock.unlock()
+        libc.unlink(_myi(name))
+        db.report_error("ER_DISK_FULL")
+        return False
+
+
+def mi_drop(env: Env, db: MiniDb, name: str) -> bool:
+    libc = env.libc
+    with env.frame("mi_drop"):
+        env.cov.hit("minidb.drop.enter")
+        if name not in db.tables:
+            env.cov.hit("minidb.drop.missing")
+            db.report_error("ER_NO_SUCH_TABLE")
+            return False
+        ok = True
+        if libc.unlink(_myi(name)) != 0:
+            env.cov.hit("minidb.drop.unlink_myi_failed")
+            ok = False
+        if libc.unlink(_myd(name)) != 0:
+            env.cov.hit("minidb.drop.unlink_myd_failed")
+            ok = False
+        del db.tables[name]
+        if not ok:
+            db.report_error("ER_DISK_FULL")
+            return False
+        db.log(f"DROP TABLE {name}")
+        env.cov.hit("minidb.drop.ok")
+        return True
+
+
+def insert_row(env: Env, db: MiniDb, name: str, values: tuple[str, ...]) -> bool:
+    libc = env.libc
+    with env.frame("mi_write"):
+        env.cov.hit("minidb.insert.enter")
+        if name not in db.tables:
+            db.report_error("ER_NO_SUCH_TABLE")
+            return False
+        record = ("|".join(values) + "\n").encode()
+        buffer_ptr = libc.malloc(len(record))
+        if buffer_ptr == NULL:
+            env.cov.hit("minidb.insert.oom")
+            db.report_error("ER_OUT_OF_MEMORY")
+            return False
+        libc.heap.store(buffer_ptr, 0, record)
+        fd = libc.open(_myd(name), O_WRONLY | O_APPEND)
+        if fd < 0:
+            env.cov.hit("minidb.insert.open_failed")
+            libc.free(buffer_ptr)
+            db.report_error("ER_DISK_FULL")
+            return False
+        written = libc.write(fd, record)
+        if written < 0 and libc.errno is Errno.EINTR:
+            env.cov.hit("minidb.insert.write_retry")
+            written = libc.write(fd, record)
+        if written < 0:
+            env.cov.hit("minidb.insert.write_failed")
+            libc.close(fd)
+            libc.free(buffer_ptr)
+            db.report_error("ER_DISK_FULL")
+            return False
+        libc.free(buffer_ptr)
+        if libc.close(fd) != 0:
+            env.cov.hit("minidb.insert.close_failed")
+            db.report_error("ER_DISK_FULL")
+            return False
+        db.log(f"INSERT {name}")
+        env.cov.hit("minidb.insert.ok")
+        return True
+
+
+def _read_all_rows(env: Env, db: MiniDb, name: str) -> list[tuple[str, ...]] | None:
+    """Shared scan; None signals a reported statement error."""
+    libc = env.libc
+    with env.frame("mi_scan"):
+        fd = libc.open(_myd(name), O_RDONLY)
+        if fd < 0:
+            env.cov.hit("minidb.scan.open_failed")
+            db.report_error("ER_NO_SUCH_TABLE")
+            return None
+        raw = b""
+        while True:
+            chunk = libc.read(fd, 512)
+            if chunk == -1:
+                if libc.errno is Errno.EINTR:
+                    env.cov.hit("minidb.scan.read_retry")
+                    continue
+                env.cov.hit("minidb.scan.read_failed")
+                libc.close(fd)
+                db.report_error("ER_DISK_FULL")
+                return None
+            if not chunk:
+                break
+            raw += bytes(chunk)
+        if libc.close(fd) != 0:
+            env.cov.hit("minidb.scan.close_failed")  # data already read
+        rows = [
+            tuple(line.split("|"))
+            for line in raw.decode(errors="replace").splitlines()
+            if line
+        ]
+        return rows
+
+
+def select_rows(
+    env: Env, db: MiniDb, name: str, column: int | None = None, value: str | None = None
+) -> list[tuple[str, ...]] | None:
+    with env.frame("mi_rkey" if column is not None else "mi_rrnd"):
+        env.cov.hit("minidb.select.enter")
+        if name not in db.tables:
+            db.report_error("ER_NO_SUCH_TABLE")
+            return None
+        rows = _read_all_rows(env, db, name)
+        if rows is None:
+            return None
+        if column is not None:
+            rows = [r for r in rows if len(r) > column and r[column] == value]
+            env.cov.hit("minidb.select.filtered")
+        db.log(f"SELECT {name} -> {len(rows)} rows")
+        env.cov.hit("minidb.select.ok")
+        return rows
+
+
+def _rewrite_rows(env: Env, db: MiniDb, name: str, rows: list[tuple[str, ...]]) -> bool:
+    """Write rows to a temp file and rename over — crash-safe update."""
+    libc = env.libc
+    with env.frame("mi_rewrite"):
+        tmp = _myd(name) + ".TMD"
+        fd = libc.open(tmp, O_CREAT | O_WRONLY | O_TRUNC)
+        if fd < 0:
+            env.cov.hit("minidb.rewrite.open_failed")
+            db.report_error("ER_DISK_FULL")
+            return False
+        payload = "".join("|".join(r) + "\n" for r in rows).encode()
+        if payload and libc.write(fd, payload) < 0:
+            env.cov.hit("minidb.rewrite.write_failed")
+            libc.close(fd)
+            libc.unlink(tmp)
+            db.report_error("ER_DISK_FULL")
+            return False
+        if libc.fsync(fd) != 0:
+            # Deliberate abort: a failed fsync means the on-disk state is
+            # unknowable, so continuing risks silent corruption (the same
+            # policy InnoDB applies — srv_fatal_semaphore / fsync panic).
+            env.cov.hit("minidb.rewrite.fsync_failed")
+            raise AbortCrash(
+                "fsync failed during table rewrite — aborting to avoid "
+                "corrupting the data file",
+                env.stack.snapshot(),
+            )
+        if libc.close(fd) != 0:
+            env.cov.hit("minidb.rewrite.close_failed")
+            libc.unlink(tmp)
+            db.report_error("ER_DISK_FULL")
+            return False
+        if libc.rename(tmp, _myd(name)) != 0:
+            env.cov.hit("minidb.rewrite.rename_failed")
+            libc.unlink(tmp)
+            db.report_error("ER_DISK_FULL")
+            return False
+        env.cov.hit("minidb.rewrite.ok")
+        return True
+
+
+def update_rows(
+    env: Env, db: MiniDb, name: str, column: int, old: str, new: str
+) -> int:
+    """Returns the number of updated rows, or -1 on a statement error."""
+    with env.frame("mi_update"):
+        env.cov.hit("minidb.update.enter")
+        if name not in db.tables:
+            db.report_error("ER_NO_SUCH_TABLE")
+            return -1
+        rows = _read_all_rows(env, db, name)
+        if rows is None:
+            return -1
+        changed = 0
+        updated: list[tuple[str, ...]] = []
+        for row in rows:
+            if len(row) > column and row[column] == old:
+                row = row[:column] + (new,) + row[column + 1:]
+                changed += 1
+            updated.append(row)
+        if changed and not _rewrite_rows(env, db, name, updated):
+            return -1
+        db.log(f"UPDATE {name}: {changed} rows")
+        env.cov.hit("minidb.update.ok")
+        return changed
+
+
+def delete_rows(env: Env, db: MiniDb, name: str, column: int, value: str) -> int:
+    """Returns the number of deleted rows, or -1 on a statement error."""
+    with env.frame("mi_delete"):
+        env.cov.hit("minidb.delete.enter")
+        if name not in db.tables:
+            db.report_error("ER_NO_SUCH_TABLE")
+            return -1
+        rows = _read_all_rows(env, db, name)
+        if rows is None:
+            return -1
+        kept = [r for r in rows if not (len(r) > column and r[column] == value)]
+        deleted = len(rows) - len(kept)
+        if deleted and not _rewrite_rows(env, db, name, kept):
+            return -1
+        db.log(f"DELETE {name}: {deleted} rows")
+        env.cov.hit("minidb.delete.ok")
+        return deleted
+
+
+def create_index(env: Env, db: MiniDb, name: str, column: int) -> bool:
+    libc = env.libc
+    with env.frame("mi_create_index"):
+        env.cov.hit("minidb.index.enter")
+        if name not in db.tables:
+            db.report_error("ER_NO_SUCH_TABLE")
+            return False
+        rows = _read_all_rows(env, db, name)
+        if rows is None:
+            return False
+        keys = sorted(r[column] for r in rows if len(r) > column)
+        fd = libc.open(_mnx(name, column), O_CREAT | O_WRONLY | O_TRUNC)
+        if fd < 0:
+            env.cov.hit("minidb.index.open_failed")
+            db.report_error("ER_DISK_FULL")
+            return False
+        payload = ("\n".join(keys) + "\n").encode() if keys else b""
+        if payload and libc.write(fd, payload) < 0:
+            env.cov.hit("minidb.index.write_failed")
+            libc.close(fd)
+            libc.unlink(_mnx(name, column))
+            db.report_error("ER_DISK_FULL")
+            return False
+        if libc.close(fd) != 0:
+            env.cov.hit("minidb.index.close_failed")
+            db.report_error("ER_DISK_FULL")
+            return False
+        db.log(f"CREATE INDEX {name}.{column}")
+        env.cov.hit("minidb.index.ok")
+        return True
+
+
+def index_lookup(env: Env, db: MiniDb, name: str, column: int, value: str) -> int:
+    """Count key occurrences via the index file; -1 on statement error."""
+    libc = env.libc
+    with env.frame("mi_rkey_index"):
+        env.cov.hit("minidb.lookup.enter")
+        fd = libc.open(_mnx(name, column), O_RDONLY)
+        if fd < 0:
+            env.cov.hit("minidb.lookup.no_index")
+            db.report_error("ER_BAD_STATEMENT")
+            return -1
+        raw = b""
+        while True:
+            chunk = libc.read(fd, 256)
+            if chunk == -1:
+                if libc.errno is Errno.EINTR:
+                    continue
+                env.cov.hit("minidb.lookup.read_failed")
+                libc.close(fd)
+                db.report_error("ER_DISK_FULL")
+                return -1
+            if not chunk:
+                break
+            raw += bytes(chunk)
+        libc.close(fd)
+        keys = raw.decode(errors="replace").splitlines()
+        env.cov.hit("minidb.lookup.ok")
+        return sum(1 for k in keys if k == value)

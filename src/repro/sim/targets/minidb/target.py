@@ -1,0 +1,329 @@
+"""The MiniDB target: 1,147 generated tests over 19 functions × 100 calls.
+
+Φ_MySQL = 1,147 × 19 × 100 = 2,179,300 faults — the same size and axes
+as the paper's MySQL space (§7, "X_test = (1..1147) and
+X_call = (1..100)").  The suite is generated parametrically, grouped by
+subsystem (connect / create / insert / select / update / delete / index
+/ binlog / errmsg / admin) exactly as real MySQL's suite groups by
+functionality; the grouping is what puts exploitable structure on the
+test axis.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.sim.process import Env
+from repro.sim.targets.minidb.engine import ERRMSG_PATH, ERROR_CODES, MiniDb
+from repro.sim.targets.minidb.net import serve_pings
+from repro.sim.targets.minidb.storage import (
+    create_index,
+    delete_rows,
+    index_lookup,
+    insert_row,
+    mi_create,
+    mi_drop,
+    select_rows,
+    update_rows,
+)
+from repro.sim.targets.minidb.wal import BINLOG_PATH, Binlog
+from repro.sim.testsuite import Target, TestCase, TestSuite
+
+__all__ = ["MiniDbTarget", "MINIDB_FUNCTIONS"]
+
+#: X_func for the MiniDB space (19 functions, category-grouped order).
+MINIDB_FUNCTIONS: tuple[str, ...] = (
+    "malloc",
+    "open",
+    "close",
+    "read",
+    "write",
+    "fsync",
+    "fopen",
+    "fclose",
+    "fputs",
+    "fflush",
+    "stat",
+    "unlink",
+    "rename",
+    "getrlimit",
+    "clock_gettime",
+    "socket",
+    "accept",
+    "recv",
+    "send",
+)
+
+#: group name -> number of generated tests; totals 1,147.
+GROUP_SIZES = {
+    "connect": 50,
+    "create": 150,
+    "insert": 200,
+    "select": 200,
+    "update": 100,
+    "delete": 100,
+    "index": 100,
+    "binlog": 80,
+    "errmsg": 47,
+    "admin": 120,
+}
+
+
+def _booted(env: Env) -> MiniDb:
+    """Boot a server; a handled boot failure fails the test."""
+    db = MiniDb(env)
+    if not db.boot():
+        env.exit(1)
+    return db
+
+
+# --------------------------------------------------------------------------
+# per-group test bodies (each builder returns a closure over its params)
+# --------------------------------------------------------------------------
+
+def _connect_body(i: int) -> Callable[[Env], None]:
+    pings = 1 + i % 12
+    flaky = i % 10 >= 7
+
+    def body(env: Env) -> None:
+        db = _booted(env)
+        for p in range(pings):
+            env.libc.net_inbox.append(f"ping-{p}".encode())
+        served = serve_pings(env, db, pings, flaky=flaky)
+        db.shutdown()
+        env.check(served == pings, f"served {served}/{pings} pings")
+    return body
+
+
+def _create_body(i: int) -> Callable[[Env], None]:
+    columns = 1 + i % 8
+    tables = 1 + i % 3
+
+    def body(env: Env) -> None:
+        db = _booted(env)
+        for t in range(tables):
+            ok = mi_create(env, db, f"t{t}", columns)
+            env.check(ok, f"create t{t} failed")
+        env.check(len(db.tables) == tables, "catalog count wrong")
+        for t in range(tables):
+            env.check(env.fs.is_file(f"/var/minidb/t{t}.MYI"), f"t{t}.MYI missing")
+        db.shutdown()
+    return body
+
+
+def _insert_body(i: int) -> Callable[[Env], None]:
+    rows = 10 + (i % 40) * 3
+    scratch = i % 2 == 1  # half the tests warm up a scratch table first
+
+    def body(env: Env) -> None:
+        db = _booted(env)
+        if scratch:
+            env.check(mi_create(env, db, "scratch", 1), "scratch create failed")
+        env.check(mi_create(env, db, "t", 2), "create failed")
+        for r in range(rows):
+            env.check(insert_row(env, db, "t", (f"k{r}", f"v{r}")), f"insert {r} failed")
+        got = select_rows(env, db, "t")
+        env.check(got is not None and len(got) == rows,
+                  f"expected {rows} rows, got {got if got is None else len(got)}")
+        db.shutdown()
+    return body
+
+
+def _select_body(i: int) -> Callable[[Env], None]:
+    rows = 10 + (i % 30) * 3
+    column = i % 2
+
+    def body(env: Env) -> None:
+        db = _booted(env)
+        env.check(mi_create(env, db, "t", 2), "create failed")
+        for r in range(rows):
+            env.check(insert_row(env, db, "t", (f"k{r % 3}", f"v{r}")), "insert failed")
+        needle = "k0" if column == 0 else f"v{rows - 1}"
+        got = select_rows(env, db, "t", column, needle)
+        expected = (
+            sum(1 for r in range(rows) if r % 3 == 0) if column == 0 else 1
+        )
+        env.check(got is not None and len(got) == expected,
+                  f"filtered select expected {expected}")
+        db.shutdown()
+    return body
+
+
+def _update_body(i: int) -> Callable[[Env], None]:
+    rows = 10 + (i % 25) * 4
+
+    def body(env: Env) -> None:
+        db = _booted(env)
+        env.check(mi_create(env, db, "t", 2), "create failed")
+        for r in range(rows):
+            env.check(insert_row(env, db, "t", ("old", f"v{r}")), "insert failed")
+        changed = update_rows(env, db, "t", 0, "old", "new")
+        env.check(changed == rows, f"updated {changed}/{rows}")
+        got = select_rows(env, db, "t", 0, "new")
+        env.check(got is not None and len(got) == rows, "post-update select wrong")
+        db.shutdown()
+    return body
+
+
+def _delete_body(i: int) -> Callable[[Env], None]:
+    rows = 10 + (i % 25) * 4
+
+    def body(env: Env) -> None:
+        db = _booted(env)
+        env.check(mi_create(env, db, "t", 2), "create failed")
+        for r in range(rows):
+            key = "drop" if r % 2 == 0 else "keep"
+            env.check(insert_row(env, db, "t", (key, f"v{r}")), "insert failed")
+        expected_deleted = sum(1 for r in range(rows) if r % 2 == 0)
+        deleted = delete_rows(env, db, "t", 0, "drop")
+        env.check(deleted == expected_deleted,
+                  f"deleted {deleted}, expected {expected_deleted}")
+        got = select_rows(env, db, "t")
+        env.check(got is not None and len(got) == rows - expected_deleted,
+                  "post-delete count wrong")
+        db.shutdown()
+    return body
+
+
+def _index_body(i: int) -> Callable[[Env], None]:
+    rows = 10 + (i % 20) * 5
+
+    def body(env: Env) -> None:
+        db = _booted(env)
+        env.check(mi_create(env, db, "t", 2), "create failed")
+        for r in range(rows):
+            env.check(insert_row(env, db, "t", (f"k{r % 2}", f"v{r}")), "insert failed")
+        env.check(create_index(env, db, "t", 0), "create index failed")
+        count = index_lookup(env, db, "t", 0, "k0")
+        expected = sum(1 for r in range(rows) if r % 2 == 0)
+        env.check(count == expected, f"index lookup {count} != {expected}")
+        db.shutdown()
+    return body
+
+
+def _binlog_body(i: int) -> Callable[[Env], None]:
+    entries = 10 + (i % 55) * 2
+    rotate = i % 4 == 3
+
+    def body(env: Env) -> None:
+        db = _booted(env)
+        binlog = Binlog(env, db)
+        for e in range(entries):
+            env.check(binlog.append(f"txn-{e}"), f"binlog append {e} failed")
+        if rotate:
+            env.check(binlog.rotate(), "binlog rotation failed")
+            env.check(env.fs.is_file(f"{BINLOG_PATH}.1"), "archived binlog missing")
+        binlog.close()
+        db.shutdown()
+        if not rotate:
+            content = env.fs.read_file(BINLOG_PATH).decode()
+            env.check(content.count("txn-") == entries, "binlog entries missing")
+    return body
+
+
+def _errmsg_body(i: int) -> Callable[[Env], None]:
+    """Tests that deliberately provoke statement errors.
+
+    These are the tests whose workload reaches ``my_error`` — the crash
+    site of the planted errmsg.sys bug — even without any *further*
+    injected fault.
+    """
+    kind = i % 4
+
+    def body(env: Env) -> None:
+        db = _booted(env)
+        if kind == 0:
+            got = select_rows(env, db, "missing")
+            env.check(got is None, "select from missing table should error")
+        elif kind == 1:
+            env.check(mi_create(env, db, "dup", 2), "first create failed")
+            env.check(not mi_create(env, db, "dup", 2),
+                      "duplicate create should error")
+        elif kind == 2:
+            env.check(not mi_drop(env, db, "ghost"), "drop missing should error")
+        else:
+            env.check(mi_create(env, db, "t", 2), "create failed")
+            env.check(index_lookup(env, db, "t", 0, "x") == -1,
+                      "lookup without index should error")
+        env.check(bool(db.statement_errors), "no statement error recorded")
+        db.shutdown()
+    return body
+
+
+def _admin_body(i: int) -> Callable[[Env], None]:
+    kind = i % 4
+
+    def body(env: Env) -> None:
+        db = _booted(env)
+        libc = env.libc
+        if kind == 0:
+            # Connection-pool sizing: reaches the unchecked-getrlimit hang.
+            slots = db.size_connection_pool(requested=8 + i % 16)
+            env.check(slots > 0, "pool sized to zero")
+        elif kind == 1:
+            # Table statistics via stat().
+            env.check(mi_create(env, db, "t", 2), "create failed")
+            st = libc.stat("/var/minidb/t.MYD")
+            env.check(st is not None, "cannot stat data file")
+            st_index = libc.stat("/var/minidb/t.MYI")
+            env.check(st_index is not None and st_index.size > 0,
+                      "index header missing")
+        elif kind == 2:
+            # Flush: general log durability.
+            db.log("admin flush marker")
+            env.check(libc.fflush(db.log_stream) == 0, "log flush failed")
+        else:
+            # Tighten and restore the descriptor limit.
+            before = libc.getrlimit("NOFILE")
+            env.check(before > 0, "getrlimit failed")
+            env.check(libc.setrlimit("NOFILE", before) == 0, "setrlimit failed")
+        db.shutdown()
+    return body
+
+
+_BUILDERS: dict[str, Callable[[int], Callable[[Env], None]]] = {
+    "connect": _connect_body,
+    "create": _create_body,
+    "insert": _insert_body,
+    "select": _select_body,
+    "update": _update_body,
+    "delete": _delete_body,
+    "index": _index_body,
+    "binlog": _binlog_body,
+    "errmsg": _errmsg_body,
+    "admin": _admin_body,
+}
+
+
+class MiniDbTarget(Target):
+    """MiniDB 5.1 and its generated 1,147-test suite (Φ_MySQL, §7.1)."""
+
+    name = "minidb"
+    version = "5.1.44"
+
+    def build_suite(self) -> TestSuite:
+        tests: list[TestCase] = []
+        test_id = 1
+        for group, size in GROUP_SIZES.items():
+            builder = _BUILDERS[group]
+            for i in range(size):
+                tests.append(TestCase(
+                    id=test_id,
+                    name=f"{group}-{i:03d}",
+                    group=group,
+                    body=builder(i),
+                ))
+                test_id += 1
+        return TestSuite(tests)
+
+    def setup(self, env: Env, test: TestCase) -> None:
+        fs = env.fs
+        for d in ("/usr", "/usr/share", "/usr/share/minidb", "/var", "/var/minidb"):
+            fs.mkdir(d)
+        catalog = b"".join(
+            f"error {name}".encode().ljust(32, b"\x00") for name in ERROR_CODES
+        )
+        fs.create_file(ERRMSG_PATH, catalog)
+
+    def libc_functions(self) -> tuple[str, ...]:
+        return MINIDB_FUNCTIONS

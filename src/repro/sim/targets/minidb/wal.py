@@ -1,0 +1,104 @@
+"""MiniDB binary log (the binlog/WAL analogue).
+
+A dedicated append-only stream with explicit durability points
+(``fflush`` per transaction group) and rotation (close + rename +
+reopen).  Failures on the durability path are statement errors; rotation
+is written so that a failed rename leaves the old log intact (real
+recovery code worth exercising).
+"""
+
+from __future__ import annotations
+
+from repro.sim.crashes import AbortCrash
+from repro.sim.heap import NULL
+from repro.sim.process import Env
+from repro.sim.targets.minidb.engine import DATADIR, MiniDb
+
+__all__ = ["Binlog"]
+
+BINLOG_PATH = f"{DATADIR}/binlog"
+
+
+class Binlog:
+    """The server's binary log, opened lazily."""
+
+    def __init__(self, env: Env, db: MiniDb) -> None:
+        self.env = env
+        self.db = db
+        self.stream = 0
+        self.rotations = 0
+
+    def open(self) -> bool:
+        env = self.env
+        libc = env.libc
+        with env.frame("binlog_open"):
+            self.stream = libc.fopen(BINLOG_PATH, "a")
+            if self.stream == NULL:
+                env.cov.hit("minidb.binlog.open_failed")
+                self.db.report_error("ER_DISK_FULL")
+                return False
+            env.cov.hit("minidb.binlog.open")
+            return True
+
+    def append(self, entry: str, durable: bool = True) -> bool:
+        """Append one transaction record.
+
+        A failed binlog write is *fatal by design*: replicas must never
+        diverge from the primary, so the server deliberately aborts
+        (MySQL's ``binlog_error_action=ABORT_SERVER``).  The paper notes
+        that many of the MySQL "crashes" AFEX counts "result from MySQL
+        aborting the current operation due to the injected fault" — this
+        is that class of crash.
+        """
+        env = self.env
+        libc = env.libc
+        with env.frame("binlog_append"):
+            if self.stream == 0 and not self.open():
+                return False
+            if libc.fputs(entry + "\n", self.stream) < 0:
+                env.cov.hit("minidb.binlog.write_failed")
+                raise AbortCrash(
+                    "binlog write failed — aborting server "
+                    "(binlog_error_action=ABORT_SERVER)",
+                    env.stack.snapshot(),
+                )
+            if durable and libc.fflush(self.stream) != 0:
+                env.cov.hit("minidb.binlog.flush_failed")
+                raise AbortCrash(
+                    "binlog flush failed — aborting server "
+                    "(binlog_error_action=ABORT_SERVER)",
+                    env.stack.snapshot(),
+                )
+            env.cov.hit("minidb.binlog.appended")
+            return True
+
+    def rotate(self) -> bool:
+        """Close, archive as ``binlog.<n>``, reopen a fresh log."""
+        env = self.env
+        libc = env.libc
+        with env.frame("binlog_rotate"):
+            env.cov.hit("minidb.binlog.rotate")
+            if self.stream != 0:
+                if libc.fclose(self.stream) != 0:
+                    env.cov.hit("minidb.binlog.rotate_close_failed")
+                    # Stream is gone either way (glibc semantics).
+                self.stream = 0
+            archived = f"{BINLOG_PATH}.{self.rotations + 1}"
+            if libc.rename(BINLOG_PATH, archived) != 0:
+                env.cov.hit("minidb.binlog.rotate_rename_failed")
+                # Old log stays in place; reopen it and report the error.
+                self.open()
+                self.db.report_error("ER_DISK_FULL")
+                return False
+            self.rotations += 1
+            return self.open()
+
+    def close(self) -> None:
+        env = self.env
+        libc = env.libc
+        with env.frame("binlog_close"):
+            if self.stream != 0:
+                if libc.fflush(self.stream) != 0:
+                    env.cov.hit("minidb.binlog.close_flush_failed")
+                libc.fclose(self.stream)
+                self.stream = 0

@@ -1,0 +1,6 @@
+"""Small shared utilities: deterministic RNG handling and text tables."""
+
+from repro.util.rng import derive_rng, ensure_rng
+from repro.util.tables import TextTable
+
+__all__ = ["derive_rng", "ensure_rng", "TextTable"]

@@ -1,0 +1,39 @@
+"""Deterministic random-number handling.
+
+The paper's search algorithms are stochastic, and the evaluation compares
+strategies against each other; to make those comparisons reproducible,
+*no* module in this package touches the global :mod:`random` state.
+Every stochastic component receives a :class:`random.Random` instance,
+and derived components receive independent streams via
+:func:`derive_rng` so that, e.g., adding extra sampling to one strategy
+does not perturb another strategy's stream.
+"""
+
+from __future__ import annotations
+
+import random
+
+__all__ = ["ensure_rng", "derive_rng"]
+
+
+def ensure_rng(rng: random.Random | int | None) -> random.Random:
+    """Coerce ``rng`` into a :class:`random.Random`.
+
+    Accepts an existing generator (returned unchanged), an integer seed,
+    or ``None`` (a fresh, OS-seeded generator).
+    """
+    if isinstance(rng, random.Random):
+        return rng
+    if rng is None:
+        return random.Random()
+    return random.Random(rng)
+
+
+def derive_rng(rng: random.Random, label: str) -> random.Random:
+    """Derive an independent, deterministic sub-stream from ``rng``.
+
+    The sub-stream is keyed by ``label`` and by a draw from the parent so
+    that distinct labels (and distinct parents) produce distinct streams.
+    """
+    seed = f"{rng.getrandbits(64)}/{label}"
+    return random.Random(seed)

@@ -1,0 +1,68 @@
+"""Fixed-width text tables used by benchmarks and reports.
+
+The paper's evaluation is communicated through small tables (Tables 1-6);
+benchmark harnesses in :mod:`benchmarks` print the reproduced rows with
+this formatter so the output can be compared side-by-side with the paper.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+__all__ = ["TextTable"]
+
+
+class TextTable:
+    """A minimal fixed-width table with a header row and aligned columns.
+
+    >>> t = TextTable(["metric", "fitness", "random"])
+    >>> t.add_row(["# crashes", 464, 51])
+    >>> print(t.render())  # doctest: +NORMALIZE_WHITESPACE
+    metric     | fitness | random
+    -----------+---------+-------
+    # crashes  | 464     | 51
+    """
+
+    def __init__(self, headers: Sequence[str], title: str = "") -> None:
+        self.title = title
+        self.headers = [str(h) for h in headers]
+        self.rows: list[list[str]] = []
+
+    def add_row(self, cells: Iterable[object]) -> None:
+        """Append a row; cells are stringified with ``format_cell``."""
+        row = [self.format_cell(c) for c in cells]
+        if len(row) != len(self.headers):
+            raise ValueError(
+                f"row has {len(row)} cells, table has {len(self.headers)} columns"
+            )
+        self.rows.append(row)
+
+    @staticmethod
+    def format_cell(cell: object) -> str:
+        if isinstance(cell, float):
+            return f"{cell:.2f}"
+        return str(cell)
+
+    def _widths(self) -> list[int]:
+        widths = [len(h) for h in self.headers]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        return widths
+
+    def render(self) -> str:
+        """Render the table as a string (no trailing newline)."""
+        widths = self._widths()
+        lines = []
+        if self.title:
+            lines.append(self.title)
+        header = " | ".join(h.ljust(w) for h, w in zip(self.headers, widths))
+        lines.append(header.rstrip())
+        lines.append("-+-".join("-" * w for w in widths))
+        for row in self.rows:
+            line = " | ".join(c.ljust(w) for c, w in zip(row, widths))
+            lines.append(line.rstrip())
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.render()

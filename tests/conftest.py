@@ -1,0 +1,36 @@
+"""Shared fixtures: targets are built once per session (suite generation
+for MiniDB creates 1,147 closures; no need to repeat it per test)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.targets.coreutils import CoreutilsTarget
+from repro.sim.targets.docstore import DocStoreTarget
+from repro.sim.targets.httpd import HttpdTarget
+from repro.sim.targets.minidb import MiniDbTarget
+
+
+@pytest.fixture(scope="session")
+def coreutils() -> CoreutilsTarget:
+    return CoreutilsTarget()
+
+
+@pytest.fixture(scope="session")
+def httpd() -> HttpdTarget:
+    return HttpdTarget()
+
+
+@pytest.fixture(scope="session")
+def minidb() -> MiniDbTarget:
+    return MiniDbTarget()
+
+
+@pytest.fixture(scope="session")
+def docstore_old() -> DocStoreTarget:
+    return DocStoreTarget(version="0.8")
+
+
+@pytest.fixture(scope="session")
+def docstore_new() -> DocStoreTarget:
+    return DocStoreTarget(version="2.0")

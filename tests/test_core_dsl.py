@@ -1,0 +1,156 @@
+"""Tests for the fault-space description language (Fig. 3/4)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.dsl import format_fault_space, parse_fault_space, tokenize
+from repro.core.faultspace import FaultSpace
+from repro.errors import DslError
+
+PAPER_FIG4 = """
+function : { malloc, calloc, realloc }
+errno : { ENOMEM }
+retval : { 0 }
+callNumber : [ 1 , 100 ] ;
+
+function : { read }
+errno : { EINTR }
+retVal : { -1 }
+callNumber : [ 1 , 50 ] ;
+"""
+
+
+class TestTokenizer:
+    def test_tokenizes_punctuation_and_words(self):
+        tokens = tokenize("f : { a , b } ;")
+        assert [t.kind for t in tokens] == [
+            "ident", ":", "{", "ident", ",", "ident", "}", ";",
+        ]
+
+    def test_numbers(self):
+        tokens = tokenize("[ 10 , 20 ]")
+        assert [t.text for t in tokens] == ["[", "10", ",", "20", "]"]
+
+    def test_negative_numbers(self):
+        tokens = tokenize("{ -1 }")
+        assert tokens[1].kind == "number" and tokens[1].text == "-1"
+
+    def test_comments_stripped(self):
+        assert tokenize("a # comment here\n") == tokenize("a\n")
+
+    def test_positions_reported(self):
+        token = tokenize("  abc")[0]
+        assert token.line == 1 and token.column == 3
+
+    def test_bad_character_raises_with_location(self):
+        with pytest.raises(DslError) as excinfo:
+            tokenize("a : { $ }")
+        assert excinfo.value.line == 1
+
+
+class TestParser:
+    def test_paper_fig4_example(self):
+        space = parse_fault_space(PAPER_FIG4)
+        assert len(space.subspaces) == 2
+        mem, io = space.subspaces
+        assert mem.axis("function").values == ("malloc", "calloc", "realloc")
+        assert mem.axis("errno").values == ("ENOMEM",)
+        assert len(mem.axis("callNumber")) == 100
+        assert io.axis("function").values == ("read",)
+        assert len(io.axis("callNumber")) == 50
+        # total size: 3*1*1*100 + 1*1*1*50
+        assert space.size() == 350
+
+    def test_subtype_labels_subspace(self):
+        space = parse_fault_space("disk\nfunction : { read, write } ;")
+        assert space.subspaces[0].label == "disk"
+
+    def test_multiple_subtypes_joined(self):
+        space = parse_fault_space("disk io\nf : { a, b } ;")
+        assert space.subspaces[0].label == "disk.io"
+
+    def test_anonymous_subspaces_get_unique_labels(self):
+        space = parse_fault_space("f : { a, b } ;\ng : { c, d } ;")
+        labels = [s.label for s in space.subspaces]
+        assert len(set(labels)) == 2
+
+    def test_point_interval(self):
+        space = parse_fault_space("call : [ 2 , 5 ] ;")
+        assert space.subspaces[0].axis("call").values == (2, 3, 4, 5)
+
+    def test_subinterval_axis(self):
+        space = parse_fault_space("span : < 1 , 3 > ;")
+        values = space.subspaces[0].axis("span").values
+        assert (1, 3) in values and (2, 2) in values
+        assert len(values) == 6
+
+    def test_singleton_set_allowed(self):
+        space = parse_fault_space("errno : { ENOMEM } ;")
+        assert space.subspaces[0].axis("errno").values == ("ENOMEM",)
+
+    def test_empty_input_rejected(self):
+        with pytest.raises(DslError):
+            parse_fault_space("")
+
+    def test_unterminated_subspace_rejected(self):
+        with pytest.raises(DslError):
+            parse_fault_space("f : { a, b }")
+
+    def test_subspace_without_parameters_rejected(self):
+        with pytest.raises(DslError):
+            parse_fault_space("justalabel ;")
+
+    def test_empty_interval_rejected(self):
+        with pytest.raises(DslError):
+            parse_fault_space("call : [ 5 , 2 ] ;")
+
+    def test_missing_comma_in_set_rejected(self):
+        with pytest.raises(DslError):
+            parse_fault_space("f : { a b } ;")
+
+    def test_wrong_bracket_rejected(self):
+        with pytest.raises(DslError):
+            parse_fault_space("f : ( a ) ;")
+
+    def test_interval_with_ident_rejected(self):
+        with pytest.raises(DslError):
+            parse_fault_space("call : [ a , b ] ;")
+
+
+class TestWriter:
+    def test_roundtrip_paper_example(self):
+        space = parse_fault_space(PAPER_FIG4)
+        text = format_fault_space(space)
+        again = parse_fault_space(text)
+        assert again.size() == space.size()
+        assert [s.axis_names for s in again.subspaces] == \
+               [s.axis_names for s in space.subspaces]
+
+    def test_contiguous_int_axis_renders_as_interval(self):
+        space = FaultSpace.product(call=range(1, 11))
+        assert "[ 1 , 10 ]" in format_fault_space(space)
+
+    def test_string_axis_renders_as_set(self):
+        space = FaultSpace.product(f=["a", "b"])
+        assert "{ a, b }" in format_fault_space(space)
+
+    def test_subinterval_axis_renders_as_angle_interval(self):
+        space = parse_fault_space("span : < 2 , 4 > ;")
+        assert "< 2 , 4 >" in format_fault_space(space)
+
+    @given(
+        st.lists(st.sampled_from(["alpha", "beta", "gamma", "delta"]),
+                 min_size=1, max_size=4, unique=True),
+        st.integers(min_value=1, max_value=20),
+        st.integers(min_value=1, max_value=20),
+    )
+    def test_roundtrip_property(self, names, low, span):
+        space = FaultSpace.product(
+            function=names, call=range(low, low + span)
+        )
+        again = parse_fault_space(format_fault_space(space))
+        assert again.size() == space.size()
+        assert set(f.values for f in again.enumerate()) == \
+               set(f.values for f in space.enumerate())

@@ -1,0 +1,339 @@
+"""Tests for axes, faults, and fault spaces (§2 machinery)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.axis import Axis
+from repro.core.fault import Fault
+from repro.core.faultspace import FaultSpace, Subspace
+from repro.errors import FaultSpaceError
+
+
+class TestAxis:
+    def test_index_value_roundtrip(self):
+        axis = Axis("f", ["open", "close", "read"])
+        assert axis.index_of("close") == 1
+        assert axis.value_at(1) == "close"
+        assert len(axis) == 3
+
+    def test_duplicate_values_rejected(self):
+        with pytest.raises(FaultSpaceError):
+            Axis("f", ["a", "a"])
+
+    def test_empty_axis_rejected(self):
+        with pytest.raises(FaultSpaceError):
+            Axis("f", [])
+
+    def test_unknown_value_rejected(self):
+        with pytest.raises(FaultSpaceError):
+            Axis("f", ["a"]).index_of("b")
+
+    def test_out_of_range_index_rejected(self):
+        with pytest.raises(FaultSpaceError):
+            Axis("f", ["a"]).value_at(1)
+
+    def test_from_range_inclusive(self):
+        axis = Axis.from_range("call", 0, 2)
+        assert axis.values == (0, 1, 2)
+
+    def test_from_range_empty_rejected(self):
+        with pytest.raises(FaultSpaceError):
+            Axis.from_range("call", 5, 4)
+
+    def test_from_subintervals(self):
+        axis = Axis.from_subintervals("span", 1, 3)
+        assert axis.values == ((1, 1), (1, 2), (1, 3), (2, 2), (2, 3), (3, 3))
+
+    def test_shuffled_preserves_value_set(self):
+        axis = Axis("f", list(range(10)))
+        shuffled = axis.shuffled(random.Random(1))
+        assert set(shuffled.values) == set(axis.values)
+        assert shuffled.values != axis.values  # overwhelmingly likely
+
+    def test_restricted_keeps_order(self):
+        axis = Axis("f", ["a", "b", "c", "d"])
+        assert axis.restricted(["d", "b"]).values == ("b", "d")
+
+    def test_restricted_unknown_value_rejected(self):
+        with pytest.raises(FaultSpaceError):
+            Axis("f", ["a"]).restricted(["z"])
+
+    def test_equality_and_hash(self):
+        assert Axis("f", [1, 2]) == Axis("f", [1, 2])
+        assert Axis("f", [1, 2]) != Axis("f", [2, 1])
+        assert hash(Axis("f", [1, 2])) == hash(Axis("f", [1, 2]))
+
+
+class TestFault:
+    def test_of_constructor_and_access(self):
+        fault = Fault.of("sub", test=3, function="read")
+        assert fault.value("test") == 3
+        assert fault.get("missing") is None
+        with pytest.raises(KeyError):
+            fault.value("missing")
+
+    def test_as_dict(self):
+        fault = Fault.of(test=1, call=2)
+        assert fault.as_dict() == {"test": 1, "call": 2}
+
+    def test_replace_clones(self):
+        fault = Fault.of(test=1, call=2)
+        clone = fault.replace("call", 9)
+        assert clone.value("call") == 9
+        assert fault.value("call") == 2
+        with pytest.raises(KeyError):
+            fault.replace("nope", 1)
+
+    def test_hashable_and_equal(self):
+        assert Fault.of(a=1) == Fault.of(a=1)
+        assert hash(Fault.of(a=1)) == hash(Fault.of(a=1))
+        assert Fault.of(a=1) != Fault.of(a=2)
+
+    def test_str_rendering(self):
+        assert "test=3" in str(Fault.of(test=3))
+
+
+@pytest.fixture
+def space() -> FaultSpace:
+    return FaultSpace.product(
+        test=range(1, 5),           # 4
+        function=["open", "close", "read"],  # 3
+        call=[0, 1, 2],             # 3
+    )
+
+
+class TestFaultSpace:
+    def test_size(self, space):
+        assert space.size() == 4 * 3 * 3
+
+    def test_enumerate_is_complete_and_unique(self, space):
+        faults = list(space.enumerate())
+        assert len(faults) == space.size()
+        assert len(set(faults)) == space.size()
+
+    def test_contains(self, space):
+        fault = next(space.enumerate())
+        assert space.contains(fault)
+        assert not space.contains(Fault.of(test=99, function="open", call=0))
+        assert not space.contains(Fault.of("other", test=1))
+
+    def test_random_fault_in_space(self, space):
+        rng = random.Random(3)
+        for _ in range(20):
+            assert space.contains(space.random_fault(rng))
+
+    def test_distance_is_manhattan(self, space):
+        a = Fault.of(test=1, function="open", call=0)
+        b = Fault.of(test=3, function="read", call=1)
+        assert space.distance(a, b) == 2 + 2 + 1
+
+    def test_distance_zero_to_self(self, space):
+        fault = space.random_fault(1)
+        assert space.distance(fault, fault) == 0
+
+    def test_vicinity_radius_zero_is_self(self, space):
+        fault = Fault.of(test=2, function="close", call=1)
+        assert list(space.vicinity(fault, 0)) == [fault]
+
+    def test_vicinity_respects_distance(self, space):
+        fault = Fault.of(test=2, function="close", call=1)
+        for neighbour in space.vicinity(fault, 2):
+            assert space.distance(fault, neighbour) <= 2
+
+    def test_vicinity_count_interior_point(self, space):
+        # In 3D at an interior point with enough room, |vicinity(1)| = 7.
+        fault = Fault.of(test=2, function="close", call=1)
+        assert len(list(space.vicinity(fault, 1))) == 7
+
+    def test_negative_radius_rejected(self, space):
+        with pytest.raises(FaultSpaceError):
+            list(space.vicinity(space.random_fault(1), -1))
+
+    def test_axis_names(self, space):
+        assert space.axis_names() == ("test", "function", "call")
+
+
+class TestHoles:
+    def test_holes_excluded_everywhere(self):
+        space = FaultSpace.product(
+            "sub",
+            valid=lambda attrs: attrs["call"] != 1,
+            call=[0, 1, 2],
+            function=["a", "b"],
+        )
+        faults = list(space.enumerate())
+        assert all(f.value("call") != 1 for f in faults)
+        assert len(faults) == 4
+        hole = Fault.of("sub", call=1, function="a")
+        assert not space.contains(hole)
+        rng = random.Random(0)
+        for _ in range(20):
+            assert space.subspaces[0].random_fault(rng).value("call") != 1
+
+    def test_size_counts_grid_points_including_holes(self):
+        space = FaultSpace.product(
+            valid=lambda attrs: attrs["call"] == 0, call=[0, 1, 2]
+        )
+        # size() is the addressable grid; enumerate() skips the holes.
+        assert space.size() == 3
+        assert len(list(space.enumerate())) == 1
+
+    def test_all_holes_sampling_fails_loudly(self):
+        space = FaultSpace.product(valid=lambda attrs: False, call=[0, 1])
+        with pytest.raises(FaultSpaceError):
+            space.subspaces[0].random_fault(random.Random(1), max_tries=10)
+
+
+class TestUnions:
+    def test_union_of_subspaces(self):
+        space = FaultSpace([
+            Subspace("mem", [Axis("function", ["malloc"]), Axis("call", [1, 2])]),
+            Subspace("io", [Axis("function", ["read"]), Axis("call", [1, 2, 3])]),
+        ])
+        assert space.size() == 2 + 3
+        labels = {f.subspace for f in space.enumerate()}
+        assert labels == {"mem", "io"}
+
+    def test_cross_subspace_distance_rejected(self):
+        space = FaultSpace([
+            Subspace("a", [Axis("x", [1, 2])]),
+            Subspace("b", [Axis("x", [1, 2])]),
+        ])
+        fa = Fault.of("a", x=1)
+        fb = Fault.of("b", x=1)
+        with pytest.raises(FaultSpaceError):
+            space.distance(fa, fb)
+
+    def test_duplicate_labels_rejected(self):
+        sub = Subspace("a", [Axis("x", [1])])
+        with pytest.raises(FaultSpaceError):
+            FaultSpace([sub, Subspace("a", [Axis("x", [1])])])
+
+    def test_random_sampling_weighted_by_size(self):
+        space = FaultSpace([
+            Subspace("big", [Axis("x", range(99))]),
+            Subspace("small", [Axis("x", range(1))]),
+        ])
+        rng = random.Random(5)
+        picks = [space.random_fault(rng).subspace for _ in range(300)]
+        assert picks.count("big") > 250
+
+
+class TestTransformations:
+    def test_shuffle_axis_preserves_fault_set(self, space):
+        shuffled = space.shuffle_axis("function", 7)
+        assert set(shuffled.enumerate()) == set(space.enumerate())
+
+    def test_shuffle_changes_geometry(self):
+        space = FaultSpace.product(x=range(50), y=range(2))
+        shuffled = space.shuffle_axis("x", 7)
+        a = Fault.of(x=0, y=0)
+        b = Fault.of(x=1, y=0)
+        # Distance was 1; after shuffling it is overwhelmingly likely larger.
+        assert shuffled.distance(a, b) != 1 or space.distance(a, b) == 1
+
+    def test_shuffle_unknown_axis_rejected(self, space):
+        with pytest.raises(FaultSpaceError):
+            space.shuffle_axis("nope", 1)
+
+    def test_restrict_axis_shrinks_space(self, space):
+        trimmed = space.restrict_axis("function", ["open"])
+        assert trimmed.size() == 4 * 1 * 3
+        assert all(f.value("function") == "open" for f in trimmed.enumerate())
+
+    def test_restrict_unknown_axis_rejected(self, space):
+        with pytest.raises(FaultSpaceError):
+            space.restrict_axis("nope", [])
+
+
+class TestLinearDensity:
+    def test_density_detects_structure(self):
+        # Impact concentrated along the x axis at y=0: walking x at y=0 is
+        # denser than the space average.
+        space = FaultSpace.product(x=range(10), y=range(10))
+
+        def impact(fault):
+            return 1.0 if fault.value("y") == 0 else 0.0
+
+        ridge_point = Fault.of(x=5, y=0)
+        rho_x = space.relative_linear_density(ridge_point, "x", impact)
+        rho_y = space.relative_linear_density(ridge_point, "y", impact)
+        assert rho_x > 1.0
+        assert rho_x > rho_y
+
+    def test_density_uniform_impact_is_one(self):
+        space = FaultSpace.product(x=range(5), y=range(5))
+        rho = space.relative_linear_density(
+            Fault.of(x=2, y=2), "x", lambda f: 1.0
+        )
+        assert rho == pytest.approx(1.0)
+
+    def test_density_with_radius_restricts_reference(self):
+        space = FaultSpace.product(x=range(30), y=range(30))
+
+        def impact(fault):
+            return 1.0 if fault.value("x") < 3 and fault.value("y") < 3 else 0.0
+
+        inside = Fault.of(x=1, y=1)
+        rho_local = space.relative_linear_density(inside, "x", impact, radius=2)
+        assert rho_local > 0.0
+
+    def test_density_zero_reference_returns_zero(self):
+        space = FaultSpace.product(x=range(3), y=range(3))
+        rho = space.relative_linear_density(
+            Fault.of(x=1, y=1), "x", lambda f: 0.0
+        )
+        assert rho == 0.0
+
+    def test_fig1_style_density_example(self, coreutils):
+        """§2's worked example: vertical density at a failing fault > 1."""
+        from repro.reporting import structure_map
+        functions = list(coreutils.libc_functions())
+        grid = structure_map(coreutils, functions, call_number=1)
+        space = FaultSpace.product(
+            test=range(1, 30), function=functions, call=[1]
+        )
+
+        def impact(fault):
+            row = int(fault.value("test")) - 1
+            col = functions.index(fault.value("function"))
+            return 1.0 if grid[row][col] else 0.0
+
+        # malloc fails nearly every test: density along the test axis at a
+        # malloc fault should exceed 1 (the space average is much lower).
+        fault = Fault.of(test=2, function="malloc", call=1)
+        rho = space.relative_linear_density(fault, "test", impact)
+        assert rho > 1.0
+
+
+class TestFaultSpaceProperties:
+    @given(st.integers(min_value=1, max_value=6),
+           st.integers(min_value=1, max_value=6),
+           st.integers(min_value=0, max_value=4))
+    def test_vicinity_symmetric(self, nx, ny, radius):
+        space = FaultSpace.product(x=range(nx), y=range(ny))
+        rng = random.Random(nx * 100 + ny)
+        a = space.random_fault(rng)
+        b = space.random_fault(rng)
+        in_a = b in set(space.vicinity(a, radius))
+        in_b = a in set(space.vicinity(b, radius))
+        assert in_a == in_b
+
+    @given(st.integers(min_value=2, max_value=8),
+           st.integers(min_value=2, max_value=8))
+    def test_distance_triangle_inequality(self, nx, ny):
+        space = FaultSpace.product(x=range(nx), y=range(ny))
+        rng = random.Random(nx * 31 + ny)
+        a, b, c = (space.random_fault(rng) for _ in range(3))
+        assert space.distance(a, c) <= space.distance(a, b) + space.distance(b, c)
+
+    @given(st.integers(min_value=1, max_value=5),
+           st.integers(min_value=1, max_value=5),
+           st.integers(min_value=1, max_value=5))
+    def test_enumeration_matches_size(self, nx, ny, nz):
+        space = FaultSpace.product(x=range(nx), y=range(ny), z=range(nz))
+        assert len(list(space.enumerate())) == space.size()

@@ -1,0 +1,235 @@
+"""Tests for the search strategies (Algorithm 1 and its baselines).
+
+A synthetic structured space — impact concentrated in a rectangular
+"ship" — is used to check the behavioural claims: fitness-guided search
+exploits structure; randomizing the structured axis hurts it; all
+strategies deduplicate; exhaustive search is complete.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.fault import Fault
+from repro.core.faultspace import FaultSpace
+from repro.core.search import (
+    ExhaustiveSearch,
+    FitnessGuidedSearch,
+    GeneticSearch,
+    RandomSearch,
+    strategy_by_name,
+)
+from repro.errors import SearchError
+from repro.injection.plan import InjectionPlan
+from repro.sim.process import RunResult
+
+
+def synthetic_result(failed: bool) -> RunResult:
+    return RunResult(
+        test_id=0, test_name="", plan=InjectionPlan.none(),
+        exit_code=1 if failed else 0, crash_kind=None, crash_message=None,
+        crash_stack=None, injection_stack=None, injected=True,
+        coverage=frozenset(), steps=1,
+    )
+
+
+def ship_impact(fault: Fault) -> float:
+    """A 'battleship': high impact inside a 6x3 rectangle."""
+    x, y = fault.value("x"), fault.value("y")
+    return 10.0 if 10 <= x < 16 and 5 <= y < 8 else 0.0
+
+
+def drive(strategy, space, iterations, seed, impact=ship_impact):
+    """Minimal driver replicating the session loop for a callable impact."""
+    rng = random.Random(seed)
+    strategy.bind(space, rng)
+    executed = []
+    for _ in range(iterations):
+        fault = strategy.propose()
+        if fault is None:
+            break
+        score = impact(fault)
+        strategy.observe(fault, score, synthetic_result(score > 0))
+        executed.append((fault, score))
+    return executed
+
+
+@pytest.fixture
+def ship_space() -> FaultSpace:
+    return FaultSpace.product(x=range(40), y=range(40))
+
+
+class TestFitnessGuided:
+    def test_never_repeats_a_fault(self, ship_space):
+        executed = drive(FitnessGuidedSearch(initial_batch=10), ship_space, 300, 1)
+        faults = [f for f, _ in executed]
+        assert len(set(faults)) == len(faults)
+
+    def test_beats_random_on_structured_space(self, ship_space):
+        hits_fitness = []
+        hits_random = []
+        for seed in range(5):
+            fit = drive(FitnessGuidedSearch(initial_batch=15), ship_space, 200, seed)
+            rnd = drive(RandomSearch(), ship_space, 200, seed)
+            hits_fitness.append(sum(1 for _, s in fit if s > 0))
+            hits_random.append(sum(1 for _, s in rnd if s > 0))
+        assert sum(hits_fitness) > 2 * sum(hits_random)
+
+    def test_initial_batch_is_random_probes(self, ship_space):
+        strategy = FitnessGuidedSearch(initial_batch=20)
+        executed = drive(strategy, ship_space, 20, 3)
+        assert len(executed) == 20  # all proposals succeed pre-guidance
+
+    def test_sensitivity_rewards_the_ridge_axis(self):
+        # A horizontal stripe is a ridge along x: once inside, mutating x
+        # stays on the ridge (fitness stays high) while mutating y usually
+        # falls off.  Sensitivity must learn to prefer x — the Battleship
+        # "orientation inference" of §3.
+        space = FaultSpace.product(x=range(30), y=range(30))
+
+        def stripe(fault: Fault) -> float:
+            return 10.0 if fault.value("y") in (3, 4, 5, 6, 7) else 0.0
+
+        strategy = FitnessGuidedSearch(initial_batch=15)
+        drive(strategy, space, 300, 5, impact=stripe)
+        sens = strategy.sensitivities()
+        assert sens["x"] >= sens["y"]
+
+    def test_exhausts_small_space_and_stops(self):
+        space = FaultSpace.product(x=range(3), y=range(3))
+        executed = drive(FitnessGuidedSearch(initial_batch=4), space, 100, 1)
+        assert len(executed) == 9
+
+    def test_unbound_use_rejected(self):
+        with pytest.raises(SearchError):
+            FitnessGuidedSearch().propose()
+
+    def test_feedback_hook_weighs_fitness(self, ship_space):
+        calls = []
+
+        def zeroing_hook(fault, result, impact):
+            calls.append(fault)
+            return 0.0
+
+        strategy = FitnessGuidedSearch(initial_batch=5, fitness_weight=zeroing_hook)
+        drive(strategy, ship_space, 30, 1)
+        assert len(calls) == 30
+        assert all(c.fitness == 0.0 for c in strategy.priority_snapshot())
+
+    def test_invalid_initial_batch_rejected(self):
+        with pytest.raises(SearchError):
+            FitnessGuidedSearch(initial_batch=0)
+
+    def test_aging_disabled_keeps_fitness(self, ship_space):
+        strategy = FitnessGuidedSearch(initial_batch=5, aging=False)
+        drive(strategy, ship_space, 50, 2)
+        hot = [c for c in strategy.priority_snapshot() if c.impact > 0]
+        assert all(c.fitness == c.impact for c in hot)
+
+    def test_respects_holes(self):
+        space = FaultSpace.product(
+            valid=lambda attrs: attrs["x"] % 2 == 0, x=range(20), y=range(5)
+        )
+        executed = drive(FitnessGuidedSearch(initial_batch=5), space, 40, 1)
+        assert all(f.value("x") % 2 == 0 for f, _ in executed)
+
+
+class TestRandomSearch:
+    def test_unique_samples(self, ship_space):
+        executed = drive(RandomSearch(), ship_space, 400, 1)
+        faults = [f for f, _ in executed]
+        assert len(set(faults)) == 400
+
+    def test_exhausts_space(self):
+        space = FaultSpace.product(x=range(4))
+        executed = drive(RandomSearch(), space, 100, 1,
+                         impact=lambda f: 0.0)
+        assert len(executed) == 4
+
+    def test_deterministic_given_seed(self, ship_space):
+        a = [f for f, _ in drive(RandomSearch(), ship_space, 50, 9)]
+        b = [f for f, _ in drive(RandomSearch(), ship_space, 50, 9)]
+        assert a == b
+
+
+class TestExhaustiveSearch:
+    def test_visits_every_fault_once(self):
+        space = FaultSpace.product(x=range(5), y=range(4))
+        executed = drive(ExhaustiveSearch(), space, 1000, 1)
+        assert len(executed) == 20
+        assert len({f for f, _ in executed}) == 20
+
+    def test_returns_none_after_exhaustion(self):
+        space = FaultSpace.product(x=range(2))
+        strategy = ExhaustiveSearch()
+        drive(strategy, space, 10, 1, impact=lambda f: 0.0)
+        assert strategy.propose() is None
+
+
+class TestGeneticSearch:
+    def test_explores_without_repeats(self, ship_space):
+        executed = drive(GeneticSearch(population_size=10), ship_space, 150, 1)
+        faults = [f for f, _ in executed]
+        assert len(set(faults)) == len(faults)
+
+    def test_finds_some_structure(self, ship_space):
+        hits = 0
+        for seed in range(6):
+            executed = drive(GeneticSearch(population_size=12),
+                             ship_space, 300, seed)
+            hits += sum(1 for _, s in executed if s > 0)
+        assert hits > 0
+
+    def test_validation(self):
+        with pytest.raises(SearchError):
+            GeneticSearch(population_size=2)
+        with pytest.raises(SearchError):
+            GeneticSearch(population_size=10, elite=10)
+
+    def test_crossover_children_respect_holes(self):
+        space = FaultSpace.product(
+            valid=lambda attrs: (attrs["x"] + attrs["y"]) % 3 != 0,
+            x=range(12), y=range(12),
+        )
+        executed = drive(GeneticSearch(population_size=8), space, 60, 2)
+        for fault, _ in executed:
+            assert (fault.value("x") + fault.value("y")) % 3 != 0
+
+
+class TestStrategyRegistry:
+    def test_known_names(self):
+        assert isinstance(strategy_by_name("fitness"), FitnessGuidedSearch)
+        assert isinstance(strategy_by_name("random"), RandomSearch)
+        assert isinstance(strategy_by_name("exhaustive"), ExhaustiveSearch)
+        assert isinstance(strategy_by_name("genetic"), GeneticSearch)
+
+    def test_kwargs_forwarded(self):
+        strategy = strategy_by_name("fitness", initial_batch=7)
+        assert strategy.initial_batch == 7
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ValueError):
+            strategy_by_name("dowsing")
+
+
+class TestStructureAblation:
+    def test_shuffling_structured_axis_hurts_guided_search(self):
+        """The Table 4 mechanism, on a synthetic space."""
+        space = FaultSpace.product(x=range(60), y=range(10))
+
+        def band(fault: Fault) -> float:  # contiguous high-impact x band
+            return 10.0 if 20 <= fault.value("x") < 35 else 0.0
+
+        def hits(space_, seeds=(0, 1, 2, 3)):
+            total = 0
+            for seed in seeds:
+                executed = drive(FitnessGuidedSearch(initial_batch=15),
+                                 space_, 150, seed, impact=band)
+                total += sum(1 for _, s in executed if s > 0)
+            return total
+
+        structured = hits(space)
+        shuffled = hits(space.shuffle_axis("x", 99))
+        assert structured > shuffled

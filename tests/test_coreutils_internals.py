@@ -1,0 +1,224 @@
+"""Unit tests for the simulated coreutils, driven directly."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.injection.plan import AtomicFault, InjectionPlan
+from repro.sim.coverage import Coverage
+from repro.sim.crashes import ExitProgram
+from repro.sim.errnos import Errno
+from repro.sim.filesystem import SimFilesystem
+from repro.sim.libc import SimLibc
+from repro.sim.process import Env
+from repro.sim.stack import CallStack
+from repro.sim.targets.coreutils import ln_main, ls_main, mv_main
+from repro.sim.targets.coreutils.common import invoke
+
+
+@pytest.fixture
+def env() -> Env:
+    fs = SimFilesystem()
+    fs.mkdir("/dev")
+    fs.create_file("/dev/stdout")
+    fs.mkdir("/work")
+    fs.chdir("/work")
+    stack = CallStack()
+    libc = SimLibc(fs, stack)
+    return Env(fs, libc, stack, Coverage(), random.Random(0))
+
+
+def stdout_of(env: Env) -> str:
+    return env.fs.read_file("/dev/stdout").decode()
+
+
+def arm(env: Env, function: str, call: int, errno: Errno, retval: int = -1):
+    already = env.libc.call_count(function)
+    env.libc.set_plan(
+        InjectionPlan((AtomicFault(function, already + call, errno, retval),))
+    )
+
+
+class TestLs:
+    def test_lists_sorted(self, env):
+        env.fs.mkdir("d")
+        for name in ("zeta", "alpha", "mid"):
+            env.fs.create_file(f"d/{name}", b"")
+        assert invoke(env, ls_main, ["d"]) == 0
+        assert stdout_of(env) == "alpha\nmid\nzeta\n"
+
+    def test_hidden_files_need_dash_a(self, env):
+        env.fs.mkdir("d")
+        env.fs.create_file("d/.secret", b"")
+        env.fs.create_file("d/open", b"")
+        invoke(env, ls_main, ["d"])
+        assert ".secret" not in stdout_of(env)
+        env.fs.create_file("/dev/stdout", b"")  # reset output
+        invoke(env, ls_main, ["-a", "d"])
+        assert ".secret" in stdout_of(env)
+
+    def test_long_format_shows_sizes_and_kinds(self, env):
+        env.fs.mkdir("d")
+        env.fs.create_file("d/file", b"12345")
+        env.fs.mkdir("d/sub")
+        invoke(env, ls_main, ["-l", "d"])
+        out = stdout_of(env)
+        assert any(line.startswith("-") and "5" in line for line in out.splitlines())
+        assert any(line.startswith("d") for line in out.splitlines())
+
+    def test_missing_path_exits_2(self, env):
+        assert invoke(env, ls_main, ["nothing"]) == 2
+
+    def test_file_argument_listed_directly(self, env):
+        env.fs.create_file("f", b"x")
+        assert invoke(env, ls_main, ["f"]) == 0
+        assert stdout_of(env).strip() == "f"
+
+    def test_recursive_descends(self, env):
+        env.fs.mkdir("d")
+        env.fs.mkdir("d/inner")
+        env.fs.create_file("d/inner/leaf", b"")
+        assert invoke(env, ls_main, ["-R", "d"]) == 0
+        assert "leaf" in stdout_of(env)
+
+    def test_multiple_args_labelled(self, env):
+        env.fs.mkdir("a")
+        env.fs.mkdir("b")
+        invoke(env, ls_main, ["a", "b"])
+        out = stdout_of(env)
+        assert "a:" in out and "b:" in out
+
+    def test_entry_stat_failure_degrades_to_1(self, env):
+        env.fs.mkdir("d")
+        env.fs.create_file("d/x", b"")
+        env.fs.create_file("d/y", b"")
+        arm(env, "stat", 2, Errno.EACCES)  # stat #1 is the arg itself
+        assert invoke(env, ls_main, ["-l", "d"]) == 1
+
+    def test_stdout_close_failure_is_fatal(self, env):
+        env.fs.mkdir("d")
+        arm(env, "fclose", 1, Errno.EIO)
+        assert invoke(env, ls_main, ["d"]) == 1
+
+
+class TestLn:
+    def test_simple_link_shares_content(self, env):
+        env.fs.create_file("src", b"payload")
+        assert invoke(env, ln_main, ["src", "dst"]) == 0
+        assert env.fs.read_file("dst") == b"payload"
+        assert env.fs.stat("src").nlink == 2
+
+    def test_into_directory_uses_basename(self, env):
+        env.fs.create_file("file", b"")
+        env.fs.mkdir("d")
+        assert invoke(env, ln_main, ["file", "d"]) == 0
+        assert env.fs.is_file("d/file")
+
+    def test_refuses_existing_without_force(self, env):
+        env.fs.create_file("a", b"new")
+        env.fs.create_file("b", b"old")
+        assert invoke(env, ln_main, ["a", "b"]) == 1
+        assert env.fs.read_file("b") == b"old"
+
+    def test_force_replaces(self, env):
+        env.fs.create_file("a", b"new")
+        env.fs.create_file("b", b"old")
+        assert invoke(env, ln_main, ["-f", "a", "b"]) == 0
+        assert env.fs.read_file("b") == b"new"
+
+    def test_multiple_sources_require_directory(self, env):
+        env.fs.create_file("x", b"")
+        env.fs.create_file("y", b"")
+        env.fs.create_file("plain", b"")
+        assert invoke(env, ln_main, ["x", "y", "plain"]) == 1
+
+    def test_verbose_prints_arrow(self, env):
+        env.fs.create_file("s", b"")
+        assert invoke(env, ln_main, ["-v", "s", "t"]) == 0
+        assert "=>" in stdout_of(env)
+
+    def test_usage_error_before_any_work(self, env):
+        assert invoke(env, ln_main, ["only"]) == 1
+        assert env.libc.call_count("malloc") == 0
+
+    def test_partial_batch_reports_but_continues(self, env):
+        env.fs.create_file("x", b"")
+        env.fs.create_file("y", b"")
+        env.fs.mkdir("d")
+        env.fs.create_file("d/x", b"")  # x collides, y should still link
+        assert invoke(env, ln_main, ["x", "y", "d"]) == 1
+        assert env.fs.is_file("d/y")
+
+
+class TestMv:
+    def test_rename_moves(self, env):
+        env.fs.create_file("a", b"1")
+        assert invoke(env, mv_main, ["a", "b"]) == 0
+        assert not env.fs.exists("a") and env.fs.read_file("b") == b"1"
+
+    def test_exdev_falls_back_to_copy(self, env):
+        env.fs.create_file("a", b"cross-device")
+        arm(env, "rename", 1, Errno.EXDEV)
+        assert invoke(env, mv_main, ["a", "b"]) == 0
+        assert env.fs.read_file("b") == b"cross-device"
+        assert not env.fs.exists("a")
+
+    def test_copy_fallback_failure_preserves_source(self, env):
+        env.fs.create_file("a", b"precious")
+        already_rename = env.libc.call_count("rename")
+        already_write = env.libc.call_count("write")
+        env.libc.set_plan(InjectionPlan((
+            AtomicFault("rename", already_rename + 1, Errno.EXDEV, -1),
+            AtomicFault("write", already_write + 1, Errno.ENOSPC, -1,
+                        persistent=True),
+        )))
+        assert invoke(env, mv_main, ["a", "b"]) == 1
+        assert env.fs.read_file("a") == b"precious"
+        assert not env.fs.exists("b")  # partial dest cleaned up
+
+    def test_backup_preserves_old_dest(self, env):
+        env.fs.create_file("a", b"new")
+        env.fs.create_file("b", b"old")
+        assert invoke(env, mv_main, ["-b", "a", "b"]) == 0
+        assert env.fs.read_file("b~") == b"old"
+        assert env.fs.read_file("b") == b"new"
+
+    def test_directory_move(self, env):
+        env.fs.mkdir("d1")
+        env.fs.create_file("d1/inner", b"v")
+        assert invoke(env, mv_main, ["d1", "d2"]) == 0
+        assert env.fs.read_file("d2/inner") == b"v"
+
+    def test_multiple_into_directory(self, env):
+        env.fs.create_file("x", b"")
+        env.fs.create_file("y", b"")
+        env.fs.mkdir("d")
+        assert invoke(env, mv_main, ["x", "y", "d"]) == 0
+        assert env.fs.is_file("d/x") and env.fs.is_file("d/y")
+
+    def test_verbose_reports_mode(self, env):
+        env.fs.create_file("a", b"")
+        assert invoke(env, mv_main, ["-v", "a", "b"]) == 0
+        assert "renamed" in stdout_of(env)
+
+    def test_copy_mode_verbose_says_copied(self, env):
+        env.fs.create_file("a", b"z")
+        arm(env, "rename", 1, Errno.EXDEV)
+        assert invoke(env, mv_main, ["-v", "a", "b"]) == 0
+        assert "copied" in stdout_of(env)
+
+    def test_missing_operand_usage(self, env):
+        assert invoke(env, mv_main, ["one"]) == 1
+
+
+class TestInvokeHelper:
+    def test_invoke_returns_zero_for_clean_main(self, env):
+        assert invoke(env, lambda e, args: None, []) == 0
+
+    def test_invoke_catches_exit_codes(self, env):
+        def main(e, args):
+            raise ExitProgram(7)
+
+        assert invoke(env, main, []) == 7

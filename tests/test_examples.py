@@ -1,0 +1,50 @@
+"""Every shipped example must run end-to-end (they are documentation)."""
+
+from __future__ import annotations
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).parent.parent / "examples"
+
+#: (file, substrings its stdout must contain)
+EXAMPLES = [
+    ("quickstart.py", ("fitness-guided", "Top 5")),
+    ("find_database_crashes.py", ("redundancy clusters", "replay")),
+    ("domain_knowledge.py", ("knowledge level", "speedup")),
+    ("distributed_exploration.py", ("4-node cluster", "speedup")),
+    ("custom_target.py", ("derived fault-space", "data-loss bug")),
+    ("performance_faults.py", ("performance-degrading", "baseline")),
+    ("data_integrity.py", ("durability", "mv no-data-loss")),
+]
+
+
+def _run_example(name: str) -> str:
+    """Import and run an example's main(), capturing its stdout."""
+    import contextlib
+    import io
+
+    spec = importlib.util.spec_from_file_location(
+        f"example_{name[:-3]}", EXAMPLES_DIR / name
+    )
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    try:
+        spec.loader.exec_module(module)
+        buffer = io.StringIO()
+        with contextlib.redirect_stdout(buffer):
+            module.main()
+        return buffer.getvalue()
+    finally:
+        sys.modules.pop(spec.name, None)
+
+
+@pytest.mark.parametrize("name,needles", EXAMPLES,
+                         ids=[e[0] for e in EXAMPLES])
+def test_example_runs_and_reports(name, needles):
+    output = _run_example(name)
+    for needle in needles:
+        assert needle in output, f"{name}: {needle!r} missing from output"

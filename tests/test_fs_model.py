@@ -1,0 +1,218 @@
+"""Model-based (stateful hypothesis) testing of the simulated filesystem.
+
+The entire reproduction stands on `SimFilesystem` behaving like a real
+tree of files.  This state machine mirrors every operation against a
+trivially correct in-memory model (plain dicts) and checks full
+equivalence after each step — including the error cases, where both
+sides must refuse for the same reason.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import settings
+from hypothesis.stateful import (
+    Bundle,
+    RuleBasedStateMachine,
+    invariant,
+    rule,
+)
+from hypothesis import strategies as st
+
+from repro.sim.errnos import Errno
+from repro.sim.filesystem import (
+    O_APPEND,
+    O_CREAT,
+    O_RDONLY,
+    O_TRUNC,
+    O_WRONLY,
+    FsError,
+    SimFilesystem,
+)
+
+NAMES = st.sampled_from(["a", "b", "c", "dd", "ee"])
+PAYLOADS = st.binary(max_size=24)
+
+
+class FilesystemModel(RuleBasedStateMachine):
+    def __init__(self) -> None:
+        super().__init__()
+        self.fs = SimFilesystem()
+        # Inode-accurate model: paths map to inode ids; content lives on
+        # the inode, so hard-link aliasing behaves like the real thing.
+        self.model_paths: dict[str, int] = {}
+        self.model_inodes: dict[int, bytes] = {}
+        self.model_dirs: set[str] = {"/"}
+        self._next_inode = 0
+
+    # -- model helpers ---------------------------------------------------
+
+    @property
+    def model_files(self) -> dict[str, bytes]:
+        return {p: self.model_inodes[i] for p, i in self.model_paths.items()}
+
+    def _model_create(self, path: str, data: bytes) -> None:
+        inode = self.model_paths.get(path)
+        if inode is None:
+            inode = self._next_inode
+            self._next_inode += 1
+            self.model_paths[path] = inode
+        self.model_inodes[inode] = data
+
+    def _model_set(self, path: str, data: bytes) -> None:
+        self.model_inodes[self.model_paths[path]] = data
+
+    def _model_append(self, path: str, data: bytes) -> None:
+        self.model_inodes[self.model_paths[path]] += data
+
+    # -- helpers ------------------------------------------------------------
+
+    def _paths_under(self, name: str) -> str:
+        return f"/{name}"
+
+    # -- rules ----------------------------------------------------------------
+
+    @rule(name=NAMES, data=PAYLOADS)
+    def create_file(self, name, data):
+        path = self._paths_under(name)
+        if path in self.model_dirs:
+            with pytest.raises(FsError):
+                self.fs.create_file(path, data)
+            return
+        self.fs.create_file(path, data)
+        # create_file installs a brand-new file object (breaks any link)
+        if path in self.model_paths:
+            del self.model_paths[path]
+        self._model_create(path, data)
+
+    @rule(name=NAMES)
+    def mkdir(self, name):
+        path = self._paths_under(name)
+        if path in self.model_dirs or path in self.model_files:
+            with pytest.raises(FsError) as excinfo:
+                self.fs.mkdir(path)
+            assert excinfo.value.errno is Errno.EEXIST
+            return
+        self.fs.mkdir(path)
+        self.model_dirs.add(path)
+
+    @rule(name=NAMES, data=PAYLOADS)
+    def overwrite_via_fd(self, name, data):
+        path = self._paths_under(name)
+        if path in self.model_dirs:
+            with pytest.raises(FsError):
+                self.fs.open(path, O_WRONLY | O_CREAT | O_TRUNC)
+            return
+        fd = self.fs.open(path, O_WRONLY | O_CREAT | O_TRUNC)
+        self.fs.write(fd, data)
+        self.fs.close(fd)
+        if path in self.model_paths:
+            self._model_set(path, data)   # through the shared inode
+        else:
+            self._model_create(path, data)
+
+    @rule(name=NAMES, data=PAYLOADS)
+    def append_via_fd(self, name, data):
+        path = self._paths_under(name)
+        if path not in self.model_files:
+            return
+        fd = self.fs.open(path, O_WRONLY | O_APPEND)
+        self.fs.write(fd, data)
+        self.fs.close(fd)
+        self._model_append(path, data)
+
+    @rule(name=NAMES)
+    def read_whole_file(self, name):
+        path = self._paths_under(name)
+        if path in self.model_files:
+            fd = self.fs.open(path, O_RDONLY)
+            out = b""
+            while True:
+                chunk = self.fs.read(fd, 7)
+                if not chunk:
+                    break
+                out += chunk
+            self.fs.close(fd)
+            assert out == self.model_files[path]
+        elif path not in self.model_dirs:
+            with pytest.raises(FsError) as excinfo:
+                self.fs.open(path, O_RDONLY)
+            assert excinfo.value.errno is Errno.ENOENT
+
+    @rule(old=NAMES, new=NAMES)
+    def rename_file(self, old, new):
+        old_path, new_path = self._paths_under(old), self._paths_under(new)
+        if old_path not in self.model_files or old_path == new_path \
+                or new_path in self.model_dirs:
+            return
+        self.fs.rename(old_path, new_path)
+        self.model_paths[new_path] = self.model_paths.pop(old_path)
+
+    @rule(name=NAMES)
+    def unlink(self, name):
+        path = self._paths_under(name)
+        if path in self.model_files:
+            self.fs.unlink(path)
+            del self.model_paths[path]
+        elif path in self.model_dirs:
+            with pytest.raises(FsError) as excinfo:
+                self.fs.unlink(path)
+            assert excinfo.value.errno is Errno.EISDIR
+        else:
+            with pytest.raises(FsError) as excinfo:
+                self.fs.unlink(path)
+            assert excinfo.value.errno is Errno.ENOENT
+
+    @rule(existing=NAMES, link=NAMES)
+    def hard_link(self, existing, link):
+        src, dst = self._paths_under(existing), self._paths_under(link)
+        if src not in self.model_files:
+            return
+        if dst in self.model_files or dst in self.model_dirs:
+            with pytest.raises(FsError):
+                self.fs.link(src, dst)
+            return
+        self.fs.link(src, dst)
+        self.model_paths[dst] = self.model_paths[src]  # shared inode
+
+    @rule(existing=NAMES, link=NAMES, data=PAYLOADS)
+    def write_through_link_visible_everywhere(self, existing, link, data):
+        """Hard links share content: a write through one name must be
+        visible through the other (model approximation: we re-sync both
+        names from the filesystem, then compare)."""
+        src, dst = self._paths_under(existing), self._paths_under(link)
+        if src not in self.model_files or dst in self.model_files \
+                or dst in self.model_dirs:
+            return
+        self.fs.link(src, dst)
+        self.model_paths[dst] = self.model_paths[src]
+        fd = self.fs.open(src, O_WRONLY | O_TRUNC)
+        self.fs.write(fd, data)
+        self.fs.close(fd)
+        assert self.fs.read_file(dst) == data
+        self._model_set(src, data)
+
+    # -- invariants ----------------------------------------------------------------
+
+    @invariant()
+    def files_match_model(self):
+        for path, expected in self.model_files.items():
+            assert self.fs.read_file(path) == expected
+
+    @invariant()
+    def root_listing_matches_model(self):
+        expected = sorted(
+            {p[1:].split("/", 1)[0]
+             for p in (set(self.model_files) | self.model_dirs) if p != "/"}
+        )
+        assert self.fs.listdir("/") == expected
+
+    @invariant()
+    def no_fd_leaks_between_rules(self):
+        assert self.fs.open_fd_count == 0
+
+
+FilesystemModel.TestCase.settings = settings(
+    max_examples=60, stateful_step_count=30, deadline=None
+)
+TestFilesystemModel = FilesystemModel.TestCase

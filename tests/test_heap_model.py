@@ -1,0 +1,116 @@
+"""Model-based (stateful hypothesis) testing of the tracked heap.
+
+The heap is what turns target bugs into observable crashes (NULL deref,
+use-after-free, double free), so its bookkeeping must be exact.  The
+state machine mirrors allocations against a plain-dict model and checks
+content, accounting, and that every misuse raises the right signal.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import Bundle, RuleBasedStateMachine, invariant, rule
+
+from repro.sim.crashes import AbortCrash, SegmentationFault
+from repro.sim.heap import NULL, Heap
+
+SIZES = st.integers(min_value=0, max_value=64)
+PAYLOADS = st.binary(min_size=1, max_size=16)
+
+
+class HeapModel(RuleBasedStateMachine):
+    pointers = Bundle("pointers")
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.heap = Heap()
+        self.live: dict[int, bytearray] = {}
+        self.freed: set[int] = set()
+
+    @rule(target=pointers, size=SIZES)
+    def alloc(self, size):
+        ptr = self.heap.alloc(size)
+        assert ptr != NULL
+        assert ptr not in self.live and ptr not in self.freed
+        self.live[ptr] = bytearray(size)
+        return ptr
+
+    @rule(ptr=pointers)
+    def free(self, ptr):
+        if ptr in self.freed:
+            with pytest.raises(AbortCrash):
+                self.heap.free(ptr)
+            return
+        if ptr not in self.live:
+            return  # consumed by a realloc rule
+        self.heap.free(ptr)
+        del self.live[ptr]
+        self.freed.add(ptr)
+
+    @rule(ptr=pointers, data=PAYLOADS, offset=st.integers(0, 80))
+    def store(self, ptr, data, offset):
+        if ptr in self.freed or ptr not in self.live:
+            if ptr in self.freed:
+                with pytest.raises(SegmentationFault):
+                    self.heap.store(ptr, offset, data)
+            return
+        size = len(self.live[ptr])
+        if offset + len(data) > size:
+            with pytest.raises(SegmentationFault):
+                self.heap.store(ptr, offset, data)
+            return
+        self.heap.store(ptr, offset, data)
+        self.live[ptr][offset:offset + len(data)] = data
+
+    @rule(ptr=pointers)
+    def load_whole(self, ptr):
+        if ptr in self.freed or ptr not in self.live:
+            if ptr in self.freed:
+                with pytest.raises(SegmentationFault):
+                    self.heap.load(ptr, 0, 1)
+            return
+        size = len(self.live[ptr])
+        assert self.heap.load(ptr, 0, size) == bytes(self.live[ptr])
+
+    @rule(target=pointers, ptr=pointers, size=SIZES)
+    def realloc(self, ptr, size):
+        if ptr in self.freed or ptr not in self.live:
+            return ptr
+        old = bytes(self.live[ptr])
+        new_ptr = self.heap.realloc(ptr, size)
+        if new_ptr != ptr:
+            del self.live[ptr]
+            self.freed.add(ptr)
+        keep = min(len(old), size)
+        grown = bytearray(size)
+        grown[:keep] = old[:keep]
+        self.live[new_ptr] = grown
+        self.freed.discard(new_ptr)
+        return new_ptr
+
+    @rule()
+    def null_deref_always_segfaults(self):
+        with pytest.raises(SegmentationFault):
+            self.heap.load(NULL, 0, 1)
+        with pytest.raises(SegmentationFault):
+            self.heap.store_byte(NULL, 0, 1)
+
+    @invariant()
+    def accounting_matches_model(self):
+        assert self.heap.live_allocations == len(self.live)
+        assert self.heap.bytes_in_use == sum(
+            len(data) for data in self.live.values()
+        )
+
+    @invariant()
+    def contents_match_model(self):
+        for ptr, expected in self.live.items():
+            assert self.heap.load(ptr, 0, len(expected)) == bytes(expected)
+
+
+HeapModel.TestCase.settings = settings(
+    max_examples=60, stateful_step_count=30, deadline=None
+)
+TestHeapModel = HeapModel.TestCase

@@ -1,0 +1,276 @@
+"""Unit tests for MiniDB's subsystems, driven directly (not via the suite)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.injection.plan import AtomicFault, InjectionPlan
+from repro.sim.coverage import Coverage
+from repro.sim.crashes import AbortCrash, SegmentationFault
+from repro.sim.errnos import Errno
+from repro.sim.filesystem import SimFilesystem
+from repro.sim.libc import SimLibc
+from repro.sim.process import Env
+from repro.sim.stack import CallStack
+from repro.sim.targets.minidb import BINLOG_PATH, ERRMSG_PATH, ERROR_CODES, MiniDb
+from repro.sim.targets.minidb.net import serve_pings
+from repro.sim.targets.minidb.storage import (
+    create_index,
+    delete_rows,
+    index_lookup,
+    insert_row,
+    mi_create,
+    mi_drop,
+    select_rows,
+    update_rows,
+)
+from repro.sim.targets.minidb.wal import Binlog
+
+
+@pytest.fixture
+def env() -> Env:
+    fs = SimFilesystem()
+    for d in ("/usr", "/usr/share", "/usr/share/minidb", "/var", "/var/minidb"):
+        fs.mkdir(d)
+    catalog = b"".join(
+        f"error {name}".encode().ljust(32, b"\x00") for name in ERROR_CODES
+    )
+    fs.create_file(ERRMSG_PATH, catalog)
+    stack = CallStack()
+    libc = SimLibc(fs, stack)
+    return Env(fs, libc, stack, Coverage(), random.Random(1))
+
+
+@pytest.fixture
+def db(env) -> MiniDb:
+    database = MiniDb(env)
+    assert database.boot()
+    return database
+
+
+def arm(env: Env, function: str, call: int, errno: Errno, retval: int = -1):
+    """Install a plan relative to the CURRENT call counts."""
+    already = env.libc.call_count(function)
+    env.libc.set_plan(
+        InjectionPlan((AtomicFault(function, already + call, errno, retval),))
+    )
+
+
+class TestBoot:
+    def test_boot_loads_errmsg(self, env):
+        db = MiniDb(env)
+        assert db.boot()
+        assert db.errmsg_ptr != 0
+
+    def test_missing_errmsg_file_logged_not_fatal(self, env):
+        env.fs.unlink(ERRMSG_PATH)
+        db = MiniDb(env)
+        assert db.boot()  # the bug: boot continues
+        assert db.errmsg_ptr == 0
+        assert any("cannot open" in line for line in env.stderr)
+
+    def test_error_lookup_works_after_clean_boot(self, db):
+        message = db.report_error("ER_NO_SUCH_TABLE")
+        assert "ER_NO_SUCH_TABLE" in message
+        assert db.statement_errors == ["ER_NO_SUCH_TABLE"]
+
+    def test_error_lookup_crashes_after_failed_errmsg_read(self, env):
+        arm(env, "read", 1, Errno.EIO)
+        db = MiniDb(env)
+        assert db.boot()
+        with pytest.raises(SegmentationFault):
+            db.report_error("ER_DUP_KEY")
+
+    def test_unknown_error_code_uses_last_slot(self, db):
+        message = db.report_error("ER_TOTALLY_NEW")
+        assert message  # falls back, never crashes on unknown codes
+
+
+class TestStorageOps:
+    def test_create_insert_select(self, env, db):
+        assert mi_create(env, db, "t", 2)
+        assert insert_row(env, db, "t", ("a", "1"))
+        assert insert_row(env, db, "t", ("b", "2"))
+        rows = select_rows(env, db, "t")
+        assert rows == [("a", "1"), ("b", "2")]
+
+    def test_duplicate_create_reports_table_exists(self, env, db):
+        assert mi_create(env, db, "t", 1)
+        assert not mi_create(env, db, "t", 1)
+        assert "ER_TABLE_EXISTS" in db.statement_errors
+
+    def test_drop_removes_files(self, env, db):
+        mi_create(env, db, "t", 1)
+        assert mi_drop(env, db, "t")
+        assert not env.fs.exists("/var/minidb/t.MYI")
+        assert not env.fs.exists("/var/minidb/t.MYD")
+        assert "t" not in db.tables
+
+    def test_drop_missing_reports(self, env, db):
+        assert not mi_drop(env, db, "ghost")
+        assert "ER_NO_SUCH_TABLE" in db.statement_errors
+
+    def test_filtered_select(self, env, db):
+        mi_create(env, db, "t", 2)
+        insert_row(env, db, "t", ("k", "one"))
+        insert_row(env, db, "t", ("k", "two"))
+        insert_row(env, db, "t", ("j", "three"))
+        assert len(select_rows(env, db, "t", 0, "k")) == 2
+
+    def test_update_rewrites_atomically(self, env, db):
+        mi_create(env, db, "t", 2)
+        for i in range(4):
+            insert_row(env, db, "t", ("old", str(i)))
+        assert update_rows(env, db, "t", 0, "old", "new") == 4
+        assert len(select_rows(env, db, "t", 0, "new")) == 4
+        # no temp file left behind
+        assert not env.fs.exists("/var/minidb/t.MYD.TMD")
+
+    def test_delete_removes_matching(self, env, db):
+        mi_create(env, db, "t", 2)
+        insert_row(env, db, "t", ("x", "1"))
+        insert_row(env, db, "t", ("y", "2"))
+        assert delete_rows(env, db, "t", 0, "x") == 1
+        assert select_rows(env, db, "t") == [("y", "2")]
+
+    def test_index_roundtrip(self, env, db):
+        mi_create(env, db, "t", 2)
+        for i in range(5):
+            insert_row(env, db, "t", (f"k{i % 2}", str(i)))
+        assert create_index(env, db, "t", 0)
+        assert index_lookup(env, db, "t", 0, "k0") == 3
+        assert index_lookup(env, db, "t", 0, "k1") == 2
+
+    def test_lookup_without_index_errors(self, env, db):
+        mi_create(env, db, "t", 1)
+        assert index_lookup(env, db, "t", 0, "x") == -1
+        assert "ER_BAD_STATEMENT" in db.statement_errors
+
+
+class TestStorageRecovery:
+    def test_create_open_failure_keeps_lock_consistent(self, env, db):
+        arm(env, "open", 1, Errno.EACCES)
+        assert not mi_create(env, db, "t", 1)
+        assert not db.thr_lock.locked  # recovery released it exactly once
+        # and a subsequent create works fine:
+        env.libc.set_plan(InjectionPlan.none())
+        assert mi_create(env, db, "t", 1)
+
+    def test_create_write_failure_unlinks_partial_index(self, env, db):
+        arm(env, "write", 1, Errno.ENOSPC)
+        assert not mi_create(env, db, "t", 1)
+        assert not env.fs.exists("/var/minidb/t.MYI")
+
+    def test_double_unlock_on_failed_final_close(self, env, db):
+        arm(env, "close", 1, Errno.EIO)
+        with pytest.raises(AbortCrash) as excinfo:
+            mi_create(env, db, "t", 1)
+        assert "double unlock" in str(excinfo.value)
+
+    def test_insert_write_failure_no_partial_row(self, env, db):
+        mi_create(env, db, "t", 2)
+        insert_row(env, db, "t", ("keep", "1"))
+        arm(env, "write", 1, Errno.ENOSPC)
+        arm2 = AtomicFault("write", env.libc.call_count("write") + 1,
+                           Errno.ENOSPC, -1, persistent=True)
+        env.libc.set_plan(InjectionPlan((arm2,)))
+        assert not insert_row(env, db, "t", ("lost", "2"))
+        env.libc.set_plan(InjectionPlan.none())
+        assert select_rows(env, db, "t") == [("keep", "1")]
+
+    def test_update_rename_failure_preserves_old_rows(self, env, db):
+        mi_create(env, db, "t", 2)
+        insert_row(env, db, "t", ("old", "1"))
+        arm(env, "rename", 1, Errno.EACCES)
+        assert update_rows(env, db, "t", 0, "old", "new") == -1
+        env.libc.set_plan(InjectionPlan.none())
+        assert select_rows(env, db, "t", 0, "old")  # data intact
+
+
+class TestBinlog:
+    def test_append_and_rotate(self, env, db):
+        binlog = Binlog(env, db)
+        assert binlog.append("txn-1")
+        assert binlog.append("txn-2")
+        assert binlog.rotate()
+        assert binlog.append("txn-3")
+        archived = env.fs.read_file(f"{BINLOG_PATH}.1").decode()
+        assert "txn-1" in archived and "txn-2" in archived
+        current = env.fs.read_file(BINLOG_PATH).decode()
+        assert "txn-3" in current and "txn-1" not in current
+
+    def test_write_failure_aborts_server(self, env, db):
+        binlog = Binlog(env, db)
+        binlog.append("ok")
+        arm(env, "fputs", 1, Errno.ENOSPC)
+        with pytest.raises(AbortCrash) as excinfo:
+            binlog.append("doomed")
+        assert "ABORT_SERVER" in str(excinfo.value)
+
+    def test_rotate_rename_failure_keeps_old_log(self, env, db):
+        binlog = Binlog(env, db)
+        binlog.append("precious")
+        arm(env, "rename", 1, Errno.EACCES)
+        assert not binlog.rotate()
+        assert b"precious" in env.fs.read_file(BINLOG_PATH)
+
+    def test_nondurable_append_skips_flush(self, env, db):
+        binlog = Binlog(env, db)
+        before = env.libc.call_count("fflush")
+        assert binlog.append("fast", durable=False)
+        assert env.libc.call_count("fflush") == before
+
+
+class TestNet:
+    def test_serve_pings_happy_path(self, env, db):
+        for i in range(3):
+            env.libc.net_inbox.append(f"p{i}".encode())
+        assert serve_pings(env, db, 3) == 3
+        assert len(env.libc.net_outbox) == 3
+        assert env.libc.net_outbox[0].startswith(b"OK ")
+
+    def test_recv_failure_counts_as_unserved(self, env, db):
+        env.libc.net_inbox.append(b"p")
+        arm(env, "recv", 1, Errno.ECONNRESET)
+        served = serve_pings(env, db, 1)
+        assert served == 0
+        assert "ER_NET_ERROR" in db.statement_errors
+
+    def test_flaky_retry_depends_on_run_rng(self, env, db):
+        """With flaky=True a reset recv may be retried; over many
+        simulated runs both outcomes occur."""
+        outcomes = set()
+        for trial in range(12):
+            fs = SimFilesystem()
+            for d in ("/usr", "/usr/share", "/usr/share/minidb",
+                      "/var", "/var/minidb"):
+                fs.mkdir(d)
+            fs.create_file(ERRMSG_PATH, b"\x00" * (32 * len(ERROR_CODES)))
+            stack = CallStack()
+            libc = SimLibc(fs, stack)
+            env2 = Env(fs, libc, stack, Coverage(), random.Random(trial))
+            db2 = MiniDb(env2)
+            db2.boot()
+            env2.libc.net_inbox.append(b"p")
+            already = libc.call_count("recv")
+            libc.set_plan(InjectionPlan((
+                AtomicFault("recv", already + 1, Errno.ECONNRESET, -1),
+            )))
+            outcomes.add(serve_pings(env2, db2, 1, flaky=True))
+        assert outcomes == {0, 1}
+
+    def test_socket_failure_reports_net_error(self, env, db):
+        arm(env, "socket", 1, Errno.EMFILE)
+        assert serve_pings(env, db, 1) == 0
+        assert "ER_NET_ERROR" in db.statement_errors
+
+
+class TestConnectionPool:
+    def test_pool_respects_requested_size(self, db):
+        assert db.size_connection_pool(requested=7) == 7
+
+    def test_pool_capped_by_rlimit(self, env, db):
+        env.libc.setrlimit("NOFILE", 3)
+        assert db.size_connection_pool(requested=10) == 3

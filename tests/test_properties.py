@@ -1,0 +1,152 @@
+"""Cross-cutting property-based tests (hypothesis).
+
+These encode the framework's global invariants over *randomly shaped*
+fault spaces — the properties every strategy and every space must
+uphold regardless of geometry:
+
+* no strategy ever proposes a fault outside the space;
+* no strategy ever proposes the same fault twice;
+* every strategy eventually exhausts a finite space, exactly once each;
+* result sets survive JSON round-trips losslessly;
+* the DSL's writer/parser pair is lossless for arbitrary product spaces.
+"""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.dsl import format_fault_space, parse_fault_space
+from repro.core.faultspace import FaultSpace
+from repro.core.search import (
+    ExhaustiveSearch,
+    FitnessGuidedSearch,
+    GeneticSearch,
+    RandomSearch,
+)
+from repro.injection.plan import InjectionPlan
+from repro.sim.process import RunResult
+
+
+def _blank_result() -> RunResult:
+    return RunResult(
+        test_id=1, test_name="", plan=InjectionPlan.none(), exit_code=0,
+        crash_kind=None, crash_message=None, crash_stack=None,
+        injection_stack=None, injected=True, coverage=frozenset(), steps=1,
+    )
+
+
+#: generator of small random product spaces (1-3 axes, each 2-6 values).
+spaces = st.builds(
+    lambda sizes: FaultSpace.product(
+        **{f"axis{i}": range(n) for i, n in enumerate(sizes)}
+    ),
+    st.lists(st.integers(min_value=2, max_value=6), min_size=1, max_size=3),
+)
+
+strategy_factories = st.sampled_from([
+    lambda: FitnessGuidedSearch(initial_batch=5),
+    lambda: FitnessGuidedSearch(initial_batch=5, adaptive_sigma=True),
+    RandomSearch,
+    ExhaustiveSearch,
+    lambda: GeneticSearch(population_size=6, elite=2),
+])
+
+
+class TestStrategyInvariants:
+    @settings(max_examples=40, deadline=None)
+    @given(spaces, strategy_factories, st.integers(min_value=0, max_value=99))
+    def test_proposals_are_unique_and_in_space(self, space, factory, seed):
+        strategy = factory()
+        strategy.bind(space, random.Random(seed))
+        seen = set()
+        blank = _blank_result()
+        for _ in range(space.size() + 10):
+            fault = strategy.propose()
+            if fault is None:
+                break
+            assert space.contains(fault), f"{fault} outside the space"
+            assert fault not in seen, f"{fault} proposed twice"
+            seen.add(fault)
+            strategy.observe(fault, float(seed % 3), blank)
+
+    @settings(max_examples=25, deadline=None)
+    @given(spaces, strategy_factories, st.integers(min_value=0, max_value=99))
+    def test_finite_space_fully_exhausted(self, space, factory, seed):
+        strategy = factory()
+        strategy.bind(space, random.Random(seed))
+        blank = _blank_result()
+        seen = set()
+        # Generous budget: every strategy must terminate with full coverage.
+        for _ in range(space.size() * 4 + 50):
+            fault = strategy.propose()
+            if fault is None:
+                break
+            seen.add(fault)
+            strategy.observe(fault, 1.0, blank)
+        assert len(seen) == space.size()
+
+    @settings(max_examples=25, deadline=None)
+    @given(spaces, st.integers(min_value=0, max_value=99))
+    def test_random_search_deterministic_per_seed(self, space, seed):
+        def trace(s):
+            strategy = RandomSearch()
+            strategy.bind(space, random.Random(s))
+            out = []
+            for _ in range(min(space.size(), 10)):
+                fault = strategy.propose()
+                if fault is None:
+                    break
+                out.append(fault)
+            return out
+
+        assert trace(seed) == trace(seed)
+
+
+class TestDslRoundtripProperty:
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(
+        st.tuples(
+            st.sampled_from(["alpha", "beta", "gamma"]),
+            st.integers(min_value=1, max_value=12),
+        ),
+        min_size=1, max_size=3,
+        unique_by=lambda t: t[0],
+    ))
+    def test_product_space_roundtrip(self, axes):
+        space = FaultSpace.product(
+            **{name: range(size) for name, size in axes}
+        )
+        again = parse_fault_space(format_fault_space(space))
+        assert again.size() == space.size()
+        assert set(f.values for f in again.enumerate()) == \
+               set(f.values for f in space.enumerate())
+
+
+class TestPersistenceProperty:
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(min_value=1, max_value=40),
+           st.integers(min_value=0, max_value=9))
+    def test_json_roundtrip_any_exploration_prefix(self, iterations, seed):
+        from repro.core import (
+            ExplorationSession,
+            IterationBudget,
+            TargetRunner,
+            standard_impact,
+        )
+        from repro.core.results import ResultSet
+        from repro.sim.targets.coreutils import CoreutilsTarget
+
+        target = CoreutilsTarget()
+        space = FaultSpace.product(
+            test=range(1, 30), function=target.libc_functions(),
+            call=[0, 1, 2],
+        )
+        results = ExplorationSession(
+            TargetRunner(target), space, standard_impact(),
+            RandomSearch(), IterationBudget(iterations), rng=seed,
+        ).run()
+        restored = ResultSet.from_json(results.to_json())
+        assert [t.fault for t in restored] == [t.fault for t in results]
+        assert [t.impact for t in restored] == [t.impact for t in results]

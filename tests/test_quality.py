@@ -1,0 +1,283 @@
+"""Tests for the §5 result-quality machinery."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ReportError
+from repro.injection.plan import InjectionPlan
+from repro.quality.clustering import cluster_stacks, stack_similarity
+from repro.quality.feedback import RedundancyFeedback
+from repro.quality.levenshtein import levenshtein
+from repro.quality.precision import measure_precision
+from repro.quality.relevance import EnvironmentModel
+from repro.sim.process import RunResult
+
+
+def _reference_levenshtein(a, b):
+    """Textbook full-matrix implementation, as the property oracle."""
+    m, n = len(a), len(b)
+    table = [[0] * (n + 1) for _ in range(m + 1)]
+    for i in range(m + 1):
+        table[i][0] = i
+    for j in range(n + 1):
+        table[0][j] = j
+    for i in range(1, m + 1):
+        for j in range(1, n + 1):
+            cost = 0 if a[i - 1] == b[j - 1] else 1
+            table[i][j] = min(table[i - 1][j] + 1, table[i][j - 1] + 1,
+                              table[i - 1][j - 1] + cost)
+    return table[m][n]
+
+
+class TestLevenshtein:
+    def test_identical(self):
+        assert levenshtein(("a", "b"), ("a", "b")) == 0
+
+    def test_empty_vs_nonempty(self):
+        assert levenshtein((), ("a", "b", "c")) == 3
+
+    def test_substitution(self):
+        assert levenshtein(("a", "b", "c"), ("a", "x", "c")) == 1
+
+    def test_insertion_deletion(self):
+        assert levenshtein(("a", "b"), ("a", "x", "b")) == 1
+        assert levenshtein(("a", "x", "b"), ("a", "b")) == 1
+
+    def test_strings_work_too(self):
+        assert levenshtein("kitten", "sitting") == 3
+
+    def test_upper_bound_early_exit_overshoots_safely(self):
+        distance = levenshtein("aaaaaaaa", "bbbbbbbb", upper_bound=2)
+        assert distance > 2
+
+    def test_upper_bound_exact_when_within(self):
+        assert levenshtein("abcd", "abxd", upper_bound=3) == 1
+
+    def test_length_gap_beyond_bound_short_circuits(self):
+        assert levenshtein("a", "abcdefgh", upper_bound=3) > 3
+
+    @given(st.text(alphabet="abc", max_size=12),
+           st.text(alphabet="abc", max_size=12))
+    def test_matches_reference(self, a, b):
+        assert levenshtein(a, b) == _reference_levenshtein(a, b)
+
+    @given(st.text(alphabet="ab", max_size=10),
+           st.text(alphabet="ab", max_size=10))
+    def test_symmetry(self, a, b):
+        assert levenshtein(a, b) == levenshtein(b, a)
+
+    @given(st.text(alphabet="abc", max_size=8),
+           st.text(alphabet="abc", max_size=8),
+           st.text(alphabet="abc", max_size=8))
+    def test_triangle_inequality(self, a, b, c):
+        assert levenshtein(a, c) <= levenshtein(a, b) + levenshtein(b, c)
+
+
+class TestStackSimilarity:
+    def test_identical_is_one(self):
+        assert stack_similarity(("main", "f"), ("main", "f")) == 1.0
+
+    def test_disjoint_is_zero(self):
+        assert stack_similarity(("a", "b"), ("x", "y")) == 0.0
+
+    def test_partial(self):
+        sim = stack_similarity(("main", "f", "g"), ("main", "f", "h"))
+        assert sim == pytest.approx(2 / 3)
+
+    def test_empty_stacks_identical(self):
+        assert stack_similarity((), ()) == 1.0
+
+
+class TestClustering:
+    def test_identical_stacks_cluster_together(self):
+        stacks = [("main", "f"), ("main", "f"), ("main", "g")]
+        clusters = cluster_stacks(stacks, max_distance=0)
+        assert clusters.cluster_count == 2
+        assert clusters.cluster_of(0) == clusters.cluster_of(1)
+        assert clusters.cluster_of(0) != clusters.cluster_of(2)
+
+    def test_near_stacks_merge_within_threshold(self):
+        stacks = [("main", "f", "g"), ("main", "f", "h")]
+        assert cluster_stacks(stacks, max_distance=1).cluster_count == 1
+        assert cluster_stacks(stacks, max_distance=0).cluster_count == 2
+
+    def test_transitive_chaining(self):
+        # a~b and b~c within threshold => one cluster even if a!~c.
+        stacks = [("m", "a", "x"), ("m", "a", "y"), ("m", "b", "y")]
+        clusters = cluster_stacks(stacks, max_distance=1)
+        assert clusters.cluster_count == 1
+
+    def test_none_stacks_are_singletons(self):
+        stacks = [None, None, ("main",)]
+        clusters = cluster_stacks(stacks, max_distance=5)
+        assert clusters.cluster_count == 3
+
+    def test_representatives_one_per_cluster(self):
+        stacks = [("a",), ("a",), ("b",), ("b",)]
+        clusters = cluster_stacks(stacks, max_distance=0)
+        reps = clusters.representatives()
+        assert len(reps) == 2
+        assert {clusters.cluster_of(r) for r in reps} == {0, 1}
+
+    def test_empty_input(self):
+        clusters = cluster_stacks([])
+        assert clusters.cluster_count == 0
+
+    @given(st.lists(
+        st.tuples(st.sampled_from("abcd"), st.sampled_from("xy")),
+        max_size=12,
+    ))
+    def test_assignment_is_total_and_dense(self, stacks):
+        clusters = cluster_stacks(list(stacks), max_distance=1)
+        assert len(clusters.assignment) == len(stacks)
+        if stacks:
+            ids = set(clusters.assignment)
+            assert ids == set(range(clusters.cluster_count))
+
+
+def _result_with_stack(stack) -> RunResult:
+    return RunResult(
+        test_id=1, test_name="t", plan=InjectionPlan.none(), exit_code=1,
+        crash_kind=None, crash_message=None, crash_stack=None,
+        injection_stack=stack, injected=stack is not None,
+        coverage=frozenset(), steps=1,
+    )
+
+
+class TestRedundancyFeedback:
+    def test_first_trace_keeps_full_fitness(self):
+        feedback = RedundancyFeedback()
+        assert feedback(None, _result_with_stack(("main", "f")), 10.0) == 10.0
+
+    def test_exact_repeat_zeroes_fitness(self):
+        feedback = RedundancyFeedback()
+        feedback(None, _result_with_stack(("main", "f")), 10.0)
+        assert feedback(None, _result_with_stack(("main", "f")), 10.0) == 0.0
+
+    def test_similar_trace_discounts_linearly(self):
+        feedback = RedundancyFeedback()
+        feedback(None, _result_with_stack(("main", "f", "g")), 10.0)
+        weighted = feedback(None, _result_with_stack(("main", "f", "h")), 10.0)
+        assert weighted == pytest.approx(10.0 * (1 - 2 / 3))
+
+    def test_no_injection_point_is_untouched(self):
+        feedback = RedundancyFeedback()
+        assert feedback(None, _result_with_stack(None), 7.0) == 7.0
+        assert feedback.distinct_traces == 0
+
+    def test_distinct_traces_counted(self):
+        feedback = RedundancyFeedback()
+        feedback(None, _result_with_stack(("a",)), 1.0)
+        feedback(None, _result_with_stack(("b", "c")), 1.0)
+        feedback(None, _result_with_stack(("a",)), 1.0)  # repeat
+        assert feedback.distinct_traces == 2
+
+
+class TestPrecision:
+    def test_deterministic_fault_has_infinite_precision(self):
+        report = measure_precision(
+            lambda fault, trial: _result_with_stack(("main",)),
+            fault=None,
+            metric=lambda result: 5.0,
+            trials=4,
+        )
+        assert report.deterministic
+        assert math.isinf(report.precision)
+        assert report.variance == 0.0
+
+    def test_variable_fault_has_finite_precision(self):
+        outcomes = {0: 0.0, 1: 10.0, 2: 0.0, 3: 10.0}
+
+        def execute(fault, trial):
+            return _result_with_stack(("main",) if outcomes[trial] else None)
+
+        report = measure_precision(
+            execute, None, metric=lambda r: 10.0 if r.injected else 0.0,
+            trials=4,
+        )
+        assert not report.deterministic
+        assert report.mean == 5.0
+        assert report.precision == pytest.approx(1 / 25.0)
+
+    def test_needs_two_trials(self):
+        with pytest.raises(ValueError):
+            measure_precision(lambda f, t: None, None, lambda r: 0.0, trials=1)
+
+    def test_minidb_flaky_net_fault_varies_across_trials(self, minidb):
+        """§5 end-to-end: the flaky recv retry gives finite precision."""
+        from repro.injection.plan import InjectionPlan
+        from repro.sim.errnos import Errno
+        from repro.sim.process import run_test
+
+        # A flaky connect test (i % 10 >= 7): test ids 8-10, 18-20...
+        flaky_test = minidb.suite[8]
+        plan = InjectionPlan.single("recv", 1, Errno.ECONNRESET, -1)
+        report = measure_precision(
+            lambda fault, trial: run_test(minidb, flaky_test, plan, trial=trial),
+            fault=None,
+            metric=lambda result: 5.0 if result.failed else 0.0,
+            trials=8,
+        )
+        assert not report.deterministic
+
+    def test_minidb_storage_fault_is_deterministic(self, minidb):
+        from repro.injection.plan import InjectionPlan
+        from repro.sim.errnos import Errno
+        from repro.sim.process import run_test
+
+        create_test = minidb.suite[51]
+        plan = InjectionPlan.single("write", 2, Errno.ENOSPC, -1)
+        report = measure_precision(
+            lambda fault, trial: run_test(minidb, create_test, plan, trial=trial),
+            fault=None,
+            metric=lambda result: 5.0 if result.failed else 0.0,
+            trials=5,
+        )
+        assert report.deterministic
+
+
+class TestEnvironmentModel:
+    def test_table6_model_normalizes(self):
+        model = EnvironmentModel.from_groups([
+            (["malloc"], 0.40),
+            (["fopen", "read", "write", "close", "open"], 0.50),
+            (["opendir", "chdir"], 0.10),
+        ])
+        assert model.weights["malloc"] == pytest.approx(0.40)
+        assert model.weights["read"] == pytest.approx(0.10)
+        assert sum(model.weights.values()) == pytest.approx(1.0)
+
+    def test_relevance_of_fault(self):
+        from repro.core.fault import Fault
+
+        model = EnvironmentModel({"malloc": 1.0, "read": 3.0})
+        assert model.relevance(Fault.of(function="read")) == pytest.approx(0.75)
+        assert model.relevance(Fault.of(function="unknown")) == 0.0
+
+    def test_weight_impact_scales_by_relative_relevance(self):
+        from repro.core.fault import Fault
+
+        model = EnvironmentModel({"a": 3.0, "b": 1.0})
+        # mean modelled weight is 0.5; a=0.75 -> 1.5x, b=0.25 -> 0.5x
+        assert model.weight_impact(Fault.of(function="a"), 10.0) == pytest.approx(15.0)
+        assert model.weight_impact(Fault.of(function="b"), 10.0) == pytest.approx(5.0)
+
+    def test_uniform_model_leaves_impact_unchanged(self):
+        from repro.core.fault import Fault
+
+        model = EnvironmentModel({"a": 1.0, "b": 1.0})
+        assert model.weight_impact(Fault.of(function="a"), 8.0) == pytest.approx(8.0)
+
+    def test_validation(self):
+        with pytest.raises(ReportError):
+            EnvironmentModel({})
+        with pytest.raises(ReportError):
+            EnvironmentModel({"a": -1.0})
+        with pytest.raises(ReportError):
+            EnvironmentModel({"a": 0.0})
+        with pytest.raises(ReportError):
+            EnvironmentModel.from_groups([((), 1.0)])

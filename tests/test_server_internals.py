@@ -1,0 +1,282 @@
+"""Unit tests for MiniHttpd and DocStore internals, driven directly."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.injection.plan import AtomicFault, InjectionPlan
+from repro.sim.coverage import Coverage
+from repro.sim.crashes import SegmentationFault
+from repro.sim.errnos import Errno
+from repro.sim.filesystem import SimFilesystem
+from repro.sim.libc import SimLibc
+from repro.sim.process import Env
+from repro.sim.stack import CallStack
+from repro.sim.targets.docstore import (
+    CONFIG_PATH,
+    DATA_PATH,
+    JOURNAL_PATH,
+    DocStore,
+)
+from repro.sim.targets.httpd.server import BootError, HttpdServer
+
+
+def make_env(setup=None) -> Env:
+    fs = SimFilesystem()
+    stack = CallStack()
+    libc = SimLibc(fs, stack)
+    env = Env(fs, libc, stack, Coverage(), random.Random(0))
+    if setup:
+        setup(fs)
+    return env
+
+
+def httpd_env(config: str = None, files=()) -> Env:
+    def setup(fs):
+        for d in ("/etc", "/var", "/var/log", "/srv", "/srv/www"):
+            fs.mkdir(d)
+        text = config if config is not None else (
+            "Listen 80\nDocumentRoot /srv/www\n"
+            "CustomLog /var/log/access_log\nLoadModules mod_core,mod_mime\n"
+        )
+        fs.create_file("/etc/httpd.conf", text.encode())
+        fs.create_file("/srv/www/index.html", b"<html>hi</html>")
+        for path, data in files:
+            fs.create_file(path, data)
+    return make_env(setup)
+
+
+def arm(env: Env, function: str, call: int, errno: Errno, retval: int = -1):
+    already = env.libc.call_count(function)
+    env.libc.set_plan(
+        InjectionPlan((AtomicFault(function, already + call, errno, retval),))
+    )
+
+
+class TestHttpdConfig:
+    def test_parses_directives(self):
+        env = httpd_env()
+        server = HttpdServer(env)
+        server.boot()
+        assert server.config["Listen"] == "80"
+        assert server.modules == ["mod_core", "mod_mime"]
+
+    def test_missing_config_falls_back_to_defaults(self):
+        env = httpd_env()
+        env.fs.unlink("/etc/httpd.conf")
+        server = HttpdServer(env)
+        server.boot()
+        assert server.config["DocumentRoot"] == "/srv/www"
+        assert server.modules == ["mod_core"]
+
+    def test_truncated_config_keeps_parsed_prefix(self):
+        env = httpd_env(
+            "DocumentRoot /alt\nListen 8080\nLoadModules mod_core\n"
+        )
+        env.fs.mkdir("/alt")
+        arm(env, "fgets", 2, Errno.EIO, 0)  # truncate after 1st directive
+        server = HttpdServer(env)
+        server.boot()
+        assert server.config["DocumentRoot"] == "/alt"   # parsed before cut
+        assert server.config["Listen"] == "80"           # defaulted
+
+    def test_unknown_module_is_fatal(self):
+        env = httpd_env("DocumentRoot /srv/www\nLoadModules mod_nope\n")
+        with pytest.raises(BootError):
+            HttpdServer(env).boot()
+
+    def test_comments_and_blank_lines_ignored(self):
+        env = httpd_env("# comment\n\nDocumentRoot /srv/www\n")
+        server = HttpdServer(env)
+        server.boot()
+        assert "#" not in server.config
+
+    def test_oom_on_directive_skips_it(self):
+        env = httpd_env()
+        arm(env, "strdup", 1, Errno.ENOMEM, 0)
+        server = HttpdServer(env)
+        server.boot()
+        assert "Listen" not in server.config or server.config["Listen"] == "80"
+        assert any("skipping" in line for line in env.stderr)
+
+
+class TestHttpdModules:
+    def test_prelinked_vs_dso_split(self):
+        many = ",".join([
+            "mod_core", "mod_mime", "mod_dir", "mod_log_config",
+            "mod_alias", "mod_auth_basic", "mod_authz_host",
+        ])
+        env = httpd_env(f"DocumentRoot /srv/www\nLoadModules {many}\n")
+        server = HttpdServer(env)
+        server.boot()
+        assert len(server.modules) == 7
+        assert "httpd.modules.dso" in env.cov.blocks
+
+    def test_strdup_bug_prelinked_stack(self):
+        env = httpd_env()
+        arm(env, "strdup", 1 + 4, Errno.ENOMEM, 0)  # after 4 config values
+        with pytest.raises(SegmentationFault):
+            HttpdServer(env).boot()
+        event = env.libc.injections[0]
+        assert "ap_setup_prelinked_modules" in event.stack
+
+    def test_strdup_bug_dso_stack_differs(self):
+        many = ",".join([
+            "mod_core", "mod_mime", "mod_dir", "mod_log_config",
+            "mod_alias", "mod_auth_basic",
+        ])
+        env = httpd_env(f"DocumentRoot /srv/www\nLoadModules {many}\n")
+        # 2 config strdups + 5 prelinked + the 6th module goes DSO
+        arm(env, "strdup", 2 + 5 + 1, Errno.ENOMEM, 0)
+        with pytest.raises(SegmentationFault):
+            HttpdServer(env).boot()
+        event = env.libc.injections[0]
+        assert "mod_so_load" in event.stack
+
+
+class TestHttpdRequests:
+    def _booted(self):
+        env = httpd_env(files=(("/srv/www/page.html", b"content"),
+                               ("/srv/www/blob.bin", b"B" * 2000)))
+        server = HttpdServer(env)
+        server.boot()
+        return env, server
+
+    def test_serves_content(self):
+        env, server = self._booted()
+        env.libc.net_inbox.append(b"GET /page.html")
+        assert server.serve_pending() == 1
+        assert b"content" in env.libc.net_outbox[0]
+        assert server.requests_served == 1
+
+    def test_404_for_missing(self):
+        env, server = self._booted()
+        env.libc.net_inbox.append(b"GET /nope.html")
+        server.serve_pending()
+        assert b"404" in env.libc.net_outbox[0]
+        assert b"404" in env.fs.read_file("/var/log/access_log")
+
+    def test_405_for_post(self):
+        env, server = self._booted()
+        env.libc.net_inbox.append(b"POST /page.html")
+        server.serve_pending()
+        assert b"405" in env.libc.net_outbox[0]
+
+    def test_handler_dispatch_by_type(self):
+        assert HttpdServer._handler_for("/") == "mod_dir_handler"
+        assert HttpdServer._handler_for("/a.html") == "mod_mime_handler"
+        assert HttpdServer._handler_for("/a.bin") == "core_content_handler"
+        assert HttpdServer._handler_for("/a.txt") == "default_handler"
+
+    def test_large_file_served_in_chunks(self):
+        env, server = self._booted()
+        env.libc.net_inbox.append(b"GET /blob.bin")
+        server.serve_pending()
+        assert env.libc.net_outbox[0].endswith(b"B" * 100)
+        assert env.libc.call_count("read") >= 2  # 2000 bytes / 1024 chunks
+
+    def test_shutdown_closes_resources(self):
+        env, server = self._booted()
+        server.shutdown()
+        assert server.log_stream == 0 and server.listen_sock == -1
+        assert env.fs.open_fd_count == 0
+
+
+class TestDocStoreInternals:
+    def _env(self, journal: bytes | None = None) -> Env:
+        def setup(fs):
+            fs.mkdir("/etc")
+            fs.mkdir("/data")
+            fs.create_file(CONFIG_PATH, b"durability=full\n")
+            if journal is not None:
+                fs.create_file(JOURNAL_PATH, journal)
+        return make_env(setup)
+
+    def test_v2_journal_replay_restores_docs(self):
+        env = self._env(journal=b"insert c doc-a\ninsert c doc-b\nremove c doc-a\n")
+        store = DocStore(env, "2.0")
+        assert store.boot()
+        assert store.find("c", "doc-") == ["doc-b"]
+        assert store.replayed_ops == 3
+
+    def test_v2_replay_skips_malformed_lines(self):
+        env = self._env(journal=b"garbage\ninsert c good\n???\n")
+        store = DocStore(env, "2.0")
+        assert store.boot()
+        assert store.find("c", "good") == ["good"]
+
+    def test_v08_ignores_journal_entirely(self):
+        env = self._env(journal=b"insert c doc-a\n")
+        store = DocStore(env, "0.8")
+        assert store.boot()
+        assert store.find("c", "doc-") == []
+
+    def test_config_durability_relaxed_skips_fsyncless_flush(self):
+        env = self._env()
+        env.fs.create_file(CONFIG_PATH, b"durability=lazy\n")
+        store = DocStore(env, "2.0")
+        store.boot()
+        before = env.libc.call_count("fflush")
+        store.insert("c", "d")
+        assert env.libc.call_count("fflush") == before
+
+    def test_snapshot_roundtrip(self):
+        env = self._env()
+        store = DocStore(env, "2.0")
+        store.boot()
+        store.insert("a", "x")
+        store.insert("b", "y")
+        assert store.snapshot()
+        content = env.fs.read_file(DATA_PATH).decode()
+        assert "a x" in content and "b y" in content
+        assert store.acked_snapshots
+
+    def test_v2_failed_snapshot_keeps_previous(self):
+        env = self._env()
+        store = DocStore(env, "2.0")
+        store.boot()
+        store.insert("a", "one")
+        assert store.snapshot()
+        first = env.fs.read_file(DATA_PATH)
+        store.insert("a", "two")
+        already = env.libc.call_count("fsync")
+        env.libc.set_plan(InjectionPlan((
+            AtomicFault("fsync", already + 1, Errno.EIO, -1),
+        )))
+        assert not store.snapshot()
+        assert env.fs.read_file(DATA_PATH) == first
+        assert not env.fs.exists(DATA_PATH + ".tmp")
+
+    def test_v08_failed_snapshot_destroys_previous(self):
+        env = self._env()
+        store = DocStore(env, "0.8")
+        store.boot()
+        store.insert("a", "one")
+        assert store.snapshot()
+        already = env.libc.call_count("write")
+        env.libc.set_plan(InjectionPlan((
+            AtomicFault("write", already + 1, Errno.ENOSPC, -1),
+        )))
+        store.insert("a", "two")
+        assert not store.snapshot()
+        assert env.fs.read_file(DATA_PATH) == b""  # the data-loss bug
+
+    def test_remove_missing_doc_fails(self):
+        env = self._env()
+        store = DocStore(env, "2.0")
+        store.boot()
+        assert not store.remove("c", "ghost")
+        assert "no such document" in store.errors
+
+    def test_stats_report_sizes(self):
+        env = self._env()
+        store = DocStore(env, "2.0")
+        store.boot()
+        store.insert("m", "v")
+        store.snapshot()
+        stats = store.stats()
+        assert stats["m"] == 1
+        assert stats["data_bytes"] > 0
+        assert stats["journal_bytes"] > 0

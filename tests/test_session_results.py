@@ -1,0 +1,230 @@
+"""Tests for exploration sessions, search targets, and result sets."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.fault import Fault
+from repro.core.faultspace import FaultSpace
+from repro.core.impact import standard_impact
+from repro.core.results import ExecutedTest, ResultSet
+from repro.core.runner import TargetRunner
+from repro.core.search import FitnessGuidedSearch, RandomSearch
+from repro.core.session import ExplorationSession
+from repro.core.targets import (
+    AnyOf,
+    CollectMatching,
+    ImpactThreshold,
+    IterationBudget,
+    TimeBudget,
+)
+from repro.errors import SearchError, TargetError
+from repro.injection.plan import InjectionPlan
+from repro.sim.errnos import Errno
+from repro.sim.process import RunResult
+
+
+def coreutils_space(coreutils) -> FaultSpace:
+    return FaultSpace.product(
+        test=range(1, 30),
+        function=coreutils.libc_functions(),
+        call=[0, 1, 2],
+    )
+
+
+def make_session(coreutils, strategy=None, target=None, **kwargs):
+    return ExplorationSession(
+        runner=TargetRunner(coreutils),
+        space=coreutils_space(coreutils),
+        metric=standard_impact(),
+        strategy=strategy or RandomSearch(),
+        target=target or IterationBudget(30),
+        rng=kwargs.pop("rng", 1),
+        **kwargs,
+    )
+
+
+class TestSearchTargets:
+    def _executed(self, impacts):
+        return [
+            ExecutedTest(i, Fault.of(a=i), _dummy_result(), impact, impact)
+            for i, impact in enumerate(impacts)
+        ]
+
+    def test_iteration_budget(self):
+        target = IterationBudget(3)
+        assert not target.done(self._executed([0, 0]))
+        assert target.done(self._executed([0, 0, 0]))
+        with pytest.raises(ValueError):
+            IterationBudget(0)
+
+    def test_impact_threshold(self):
+        target = ImpactThreshold(count=2, min_impact=5.0)
+        assert not target.done(self._executed([6.0, 1.0]))
+        assert target.done(self._executed([6.0, 1.0, 5.0]))
+
+    def test_collect_matching(self):
+        target = CollectMatching(lambda t: t.impact > 0, expected=2)
+        assert not target.done(self._executed([1.0, 0.0]))
+        assert target.done(self._executed([1.0, 0.0, 2.0]))
+        assert len(target.matches(self._executed([1.0, 0.0, 2.0]))) == 2
+
+    def test_time_budget(self):
+        clock = iter([0.0, 1.0, 5.0, 11.0]).__next__
+        target = TimeBudget(10.0, clock=clock)
+        assert not target.done([])   # starts the clock at 0
+        assert not target.done([])   # 1.0
+        assert not target.done([])   # 5.0
+        assert target.done([])       # 11.0
+
+    def test_any_of(self):
+        target = AnyOf(IterationBudget(5), ImpactThreshold(1, 100.0))
+        assert target.done(self._executed([200.0]))
+        assert "or" in target.describe()
+
+    def test_describe_strings(self):
+        assert "250" in IterationBudget(250).describe()
+        assert "impact" in ImpactThreshold(1, 2.0).describe()
+        assert "collect" in CollectMatching(lambda t: True, 3).describe()
+
+
+def _dummy_result() -> RunResult:
+    return RunResult(
+        test_id=1, test_name="t", plan=InjectionPlan.none(), exit_code=0,
+        crash_kind=None, crash_message=None, crash_stack=None,
+        injection_stack=None, injected=False, coverage=frozenset(), steps=1,
+    )
+
+
+class TestExplorationSession:
+    def test_runs_to_iteration_budget(self, coreutils):
+        results = make_session(coreutils).run()
+        assert len(results) == 30
+
+    def test_deterministic_given_seed(self, coreutils):
+        a = make_session(coreutils, rng=5).run()
+        b = make_session(coreutils, rng=5).run()
+        assert [t.fault for t in a] == [t.fault for t in b]
+        assert [t.impact for t in a] == [t.impact for t in b]
+
+    def test_cannot_run_twice(self, coreutils):
+        session = make_session(coreutils)
+        session.run()
+        with pytest.raises(SearchError):
+            session.run()
+
+    def test_on_test_callback_invoked(self, coreutils):
+        seen = []
+        session = make_session(coreutils, on_test=seen.append)
+        session.run()
+        assert len(seen) == 30
+        assert seen[0].index == 0
+
+    def test_environment_model_reweights_impact(self, coreutils):
+        from repro.quality.relevance import EnvironmentModel
+
+        model = EnvironmentModel(
+            {f: 1.0 for f in coreutils.libc_functions() if f != "malloc"}
+            | {"malloc": 100.0}
+        )
+        plain = make_session(coreutils, rng=4).run()
+        weighted = ExplorationSession(
+            runner=TargetRunner(coreutils),
+            space=coreutils_space(coreutils),
+            metric=standard_impact(),
+            strategy=RandomSearch(),
+            target=IterationBudget(30),
+            rng=4,
+            environment=model,
+        ).run()
+        # Same faults (same seed/strategy), different impact weighting for
+        # malloc faults.
+        malloc_tests = [
+            (p, w) for p, w in zip(plain, weighted)
+            if p.fault.value("function") == "malloc" and p.impact > 0
+        ]
+        for p, w in malloc_tests:
+            assert w.impact > p.impact
+
+    def test_runner_requires_test_attribute(self, coreutils):
+        runner = TargetRunner(coreutils)
+        with pytest.raises(TargetError):
+            runner(Fault.of(function="malloc", call=1))
+
+    def test_runner_translates_fault_to_plan(self, coreutils):
+        runner = TargetRunner(coreutils)
+        result = runner(Fault.of(test=12, function="malloc", call=1))
+        assert result.injected
+        assert result.plan.faults[0].function == "malloc"
+
+    def test_collect_matching_ends_session_early(self, coreutils):
+        def is_malloc_failure(t):
+            return t.failed and t.fault.value("function") == "malloc"
+
+        session = make_session(
+            coreutils,
+            strategy=FitnessGuidedSearch(initial_batch=10),
+            target=AnyOf(CollectMatching(is_malloc_failure, 3),
+                         IterationBudget(1000)),
+            rng=2,
+        )
+        results = session.run()
+        matches = [t for t in results if is_malloc_failure(t)]
+        assert len(matches) >= 3 or len(results) == 1000
+
+
+class TestResultSet:
+    @pytest.fixture
+    def results(self, coreutils) -> ResultSet:
+        return make_session(
+            coreutils, strategy=FitnessGuidedSearch(initial_batch=10),
+            target=IterationBudget(120), rng=3,
+        ).run()
+
+    def test_counts_consistent(self, results):
+        assert results.failed_count() == len(results.failed_tests())
+        assert results.crash_count() == len(results.crashes())
+        assert 0 <= results.failed_count() <= len(results)
+
+    def test_top_sorted_by_impact(self, results):
+        top = results.top(10)
+        impacts = [t.impact for t in top]
+        assert impacts == sorted(impacts, reverse=True)
+
+    def test_coverage_union_superset_of_each(self, results):
+        union = results.coverage_union()
+        for test in results:
+            assert test.result.coverage <= union
+
+    def test_unique_failures_at_most_failures(self, results):
+        assert results.unique_failures() <= results.failed_count()
+
+    def test_cluster_representatives_cover_all_clusters(self, results):
+        clusters = results.cluster(of=lambda t: t.failed)
+        reps = results.cluster_representatives(of=lambda t: t.failed)
+        assert len(reps) == clusters.cluster_count
+
+    def test_matching_filter(self, results):
+        failed = results.matching(lambda t: t.failed)
+        assert all(t.failed for t in failed)
+
+    def test_summary_keys(self, results):
+        summary = results.summary()
+        assert set(summary) >= {"tests", "failed", "crashes", "hangs"}
+
+    def test_replay_script_reproduces_outcome(self, results, tmp_path):
+        """§6.3: generated test scripts actually replay the injection."""
+        failing = results.failed_tests()
+        assert failing, "expected at least one failure in 120 guided tests"
+        script = results.replay_script(failing[0], "coreutils")
+        namespace: dict = {}
+        exec(compile(script, "<replay>", "exec"), namespace)
+        replayed = namespace["replay"]()
+        assert replayed.failed
+
+    def test_regression_suite_one_script_per_cluster(self, results):
+        scripts = results.regression_suite("coreutils", of=lambda t: t.failed)
+        clusters = results.cluster(of=lambda t: t.failed)
+        assert len(scripts) == clusters.cluster_count
+        for source in scripts.values():
+            compile(source, "<script>", "exec")  # all scripts are valid Python

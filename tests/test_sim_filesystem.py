@@ -1,0 +1,304 @@
+"""Tests for the in-memory filesystem."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.sim.errnos import Errno
+from repro.sim.filesystem import (
+    O_APPEND,
+    O_CREAT,
+    O_EXCL,
+    O_RDONLY,
+    O_RDWR,
+    O_TRUNC,
+    O_WRONLY,
+    FsError,
+    SimFilesystem,
+)
+
+
+@pytest.fixture
+def fs() -> SimFilesystem:
+    return SimFilesystem()
+
+
+class TestPaths:
+    def test_resolve_absolute(self, fs):
+        assert fs.resolve("/a/b") == "/a/b"
+
+    def test_resolve_relative_uses_cwd(self, fs):
+        fs.mkdir("/d")
+        fs.chdir("/d")
+        assert fs.resolve("x") == "/d/x"
+
+    def test_resolve_dotdot(self, fs):
+        assert fs.resolve("/a/b/../c") == "/a/c"
+
+    def test_resolve_collapses_slashes_and_dots(self, fs):
+        assert fs.resolve("//a/./b//") == "/a/b"
+
+    def test_dotdot_above_root_stays_at_root(self, fs):
+        assert fs.resolve("/../..") == "/"
+
+    def test_empty_path_is_error(self, fs):
+        with pytest.raises(FsError) as excinfo:
+            fs.resolve("")
+        assert excinfo.value.errno is Errno.ENOENT
+
+
+class TestDirectories:
+    def test_mkdir_listdir(self, fs):
+        fs.mkdir("/d")
+        fs.create_file("/d/f", b"x")
+        assert fs.listdir("/d") == ["f"]
+
+    def test_mkdir_missing_parent_enoent(self, fs):
+        with pytest.raises(FsError) as excinfo:
+            fs.mkdir("/a/b")
+        assert excinfo.value.errno is Errno.ENOENT
+
+    def test_mkdir_existing_eexist(self, fs):
+        fs.mkdir("/d")
+        with pytest.raises(FsError) as excinfo:
+            fs.mkdir("/d")
+        assert excinfo.value.errno is Errno.EEXIST
+
+    def test_listdir_only_immediate_children(self, fs):
+        fs.mkdir("/d")
+        fs.mkdir("/d/sub")
+        fs.create_file("/d/sub/deep", b"")
+        assert fs.listdir("/d") == ["sub"]
+
+    def test_listdir_file_enotdir(self, fs):
+        fs.create_file("/f", b"")
+        with pytest.raises(FsError) as excinfo:
+            fs.listdir("/f")
+        assert excinfo.value.errno is Errno.ENOTDIR
+
+    def test_rmdir_nonempty_refused(self, fs):
+        fs.mkdir("/d")
+        fs.create_file("/d/f", b"")
+        with pytest.raises(FsError) as excinfo:
+            fs.rmdir("/d")
+        assert excinfo.value.errno is Errno.ENOTEMPTY
+
+    def test_rmdir_removes_empty(self, fs):
+        fs.mkdir("/d")
+        fs.rmdir("/d")
+        assert not fs.exists("/d")
+
+    def test_chdir_and_cwd(self, fs):
+        fs.mkdir("/w")
+        fs.chdir("/w")
+        assert fs.cwd == "/w"
+
+    def test_chdir_to_file_enotdir(self, fs):
+        fs.create_file("/f", b"")
+        with pytest.raises(FsError) as excinfo:
+            fs.chdir("/f")
+        assert excinfo.value.errno is Errno.ENOTDIR
+
+
+class TestOpenReadWrite:
+    def test_open_missing_enoent(self, fs):
+        with pytest.raises(FsError) as excinfo:
+            fs.open("/missing")
+        assert excinfo.value.errno is Errno.ENOENT
+
+    def test_creat_then_read_back(self, fs):
+        fd = fs.open("/f", O_CREAT | O_WRONLY)
+        fs.write(fd, b"hello")
+        fs.close(fd)
+        fd = fs.open("/f", O_RDONLY)
+        assert fs.read(fd, 100) == b"hello"
+
+    def test_excl_on_existing_eexist(self, fs):
+        fs.create_file("/f", b"")
+        with pytest.raises(FsError) as excinfo:
+            fs.open("/f", O_CREAT | O_EXCL | O_WRONLY)
+        assert excinfo.value.errno is Errno.EEXIST
+
+    def test_trunc_clears_content(self, fs):
+        fs.create_file("/f", b"old content")
+        fd = fs.open("/f", O_WRONLY | O_TRUNC)
+        fs.close(fd)
+        assert fs.read_file("/f") == b""
+
+    def test_append_positions_at_end(self, fs):
+        fs.create_file("/f", b"ab")
+        fd = fs.open("/f", O_WRONLY | O_APPEND)
+        fs.write(fd, b"cd")
+        fs.close(fd)
+        assert fs.read_file("/f") == b"abcd"
+
+    def test_read_on_wronly_ebadf(self, fs):
+        fd = fs.open("/f", O_CREAT | O_WRONLY)
+        with pytest.raises(FsError) as excinfo:
+            fs.read(fd, 1)
+        assert excinfo.value.errno is Errno.EBADF
+
+    def test_write_on_rdonly_ebadf(self, fs):
+        fs.create_file("/f", b"x")
+        fd = fs.open("/f", O_RDONLY)
+        with pytest.raises(FsError):
+            fs.write(fd, b"y")
+
+    def test_read_past_eof_returns_empty(self, fs):
+        fs.create_file("/f", b"x")
+        fd = fs.open("/f", O_RDONLY)
+        fs.read(fd, 10)
+        assert fs.read(fd, 10) == b""
+
+    def test_partial_reads_advance_offset(self, fs):
+        fs.create_file("/f", b"abcdef")
+        fd = fs.open("/f", O_RDONLY)
+        assert fs.read(fd, 2) == b"ab"
+        assert fs.read(fd, 2) == b"cd"
+
+    def test_lseek_repositions(self, fs):
+        fs.create_file("/f", b"abcdef")
+        fd = fs.open("/f", O_RDONLY)
+        fs.lseek(fd, 4)
+        assert fs.read(fd, 2) == b"ef"
+
+    def test_write_extends_with_zeros_after_seek(self, fs):
+        fd = fs.open("/f", O_CREAT | O_RDWR)
+        fs.lseek(fd, 3)
+        fs.write(fd, b"x")
+        fs.close(fd)
+        assert fs.read_file("/f") == b"\x00\x00\x00x"
+
+    def test_close_twice_ebadf(self, fs):
+        fd = fs.open("/f", O_CREAT | O_WRONLY)
+        fs.close(fd)
+        with pytest.raises(FsError):
+            fs.close(fd)
+
+    def test_fd_exhaustion_emfile(self, fs):
+        fs.max_open_files = 2
+        fs.create_file("/f", b"")
+        fs.open("/f")
+        fs.open("/f")
+        with pytest.raises(FsError) as excinfo:
+            fs.open("/f")
+        assert excinfo.value.errno is Errno.EMFILE
+
+    def test_open_dir_eisdir(self, fs):
+        fs.mkdir("/d")
+        with pytest.raises(FsError) as excinfo:
+            fs.open("/d", O_WRONLY)
+        assert excinfo.value.errno is Errno.EISDIR
+
+    def test_unlinked_open_file_still_readable(self, fs):
+        fs.create_file("/f", b"keep")
+        fd = fs.open("/f", O_RDONLY)
+        fs.unlink("/f")
+        assert not fs.exists("/f")
+        assert fs.read(fd, 10) == b"keep"
+
+
+class TestRenameLinkUnlink:
+    def test_rename_file(self, fs):
+        fs.create_file("/a", b"x")
+        fs.rename("/a", "/b")
+        assert fs.read_file("/b") == b"x"
+        assert not fs.exists("/a")
+
+    def test_rename_overwrites(self, fs):
+        fs.create_file("/a", b"new")
+        fs.create_file("/b", b"old")
+        fs.rename("/a", "/b")
+        assert fs.read_file("/b") == b"new"
+
+    def test_rename_missing_enoent(self, fs):
+        with pytest.raises(FsError):
+            fs.rename("/nope", "/x")
+
+    def test_rename_directory_moves_subtree(self, fs):
+        fs.mkdir("/d1")
+        fs.create_file("/d1/f", b"v")
+        fs.rename("/d1", "/d2")
+        assert fs.read_file("/d2/f") == b"v"
+        assert not fs.exists("/d1")
+
+    def test_link_shares_content_and_nlink(self, fs):
+        fs.create_file("/a", b"shared")
+        fs.link("/a", "/b")
+        assert fs.read_file("/b") == b"shared"
+        assert fs.stat("/a").nlink == 2
+
+    def test_link_existing_dest_eexist(self, fs):
+        fs.create_file("/a", b"")
+        fs.create_file("/b", b"")
+        with pytest.raises(FsError) as excinfo:
+            fs.link("/a", "/b")
+        assert excinfo.value.errno is Errno.EEXIST
+
+    def test_link_to_directory_eperm(self, fs):
+        fs.mkdir("/d")
+        with pytest.raises(FsError) as excinfo:
+            fs.link("/d", "/l")
+        assert excinfo.value.errno is Errno.EPERM
+
+    def test_unlink_directory_eisdir(self, fs):
+        fs.mkdir("/d")
+        with pytest.raises(FsError) as excinfo:
+            fs.unlink("/d")
+        assert excinfo.value.errno is Errno.EISDIR
+
+    def test_writes_through_one_link_visible_via_other(self, fs):
+        fs.create_file("/a", b"")
+        fs.link("/a", "/b")
+        fd = fs.open("/a", O_WRONLY)
+        fs.write(fd, b"data")
+        fs.close(fd)
+        assert fs.read_file("/b") == b"data"
+
+
+class TestStat:
+    def test_stat_file_size(self, fs):
+        fs.create_file("/f", b"12345")
+        st = fs.stat("/f")
+        assert st.size == 5 and not st.is_dir
+
+    def test_stat_dir(self, fs):
+        fs.mkdir("/d")
+        assert fs.stat("/d").is_dir
+
+    def test_stat_missing_enoent(self, fs):
+        with pytest.raises(FsError):
+            fs.stat("/missing")
+
+
+class TestFsProperties:
+    @given(st.binary(max_size=128))
+    def test_create_read_identity(self, data):
+        fs = SimFilesystem()
+        fs.create_file("/f", data)
+        assert fs.read_file("/f") == data
+
+    @given(st.lists(
+        st.text(alphabet="abcdef", min_size=1, max_size=6), min_size=1,
+        max_size=10, unique=True,
+    ))
+    def test_listdir_is_sorted_and_complete(self, names):
+        fs = SimFilesystem()
+        fs.mkdir("/d")
+        for name in names:
+            fs.create_file(f"/d/{name}", b"")
+        assert fs.listdir("/d") == sorted(names)
+
+    @given(st.binary(max_size=64), st.integers(min_value=1, max_value=16))
+    def test_chunked_read_equals_whole(self, data, chunk):
+        fs = SimFilesystem()
+        fs.create_file("/f", data)
+        fd = fs.open("/f")
+        out = b""
+        while True:
+            piece = fs.read(fd, chunk)
+            if not piece:
+                break
+            out += piece
+        assert out == data

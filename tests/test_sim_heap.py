@@ -1,0 +1,166 @@
+"""Tests for the tracked heap: lifetimes, bounds, crash signals."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.sim.crashes import AbortCrash, SegmentationFault
+from repro.sim.heap import NULL, Heap
+
+
+@pytest.fixture
+def heap() -> Heap:
+    return Heap()
+
+
+class TestAllocation:
+    def test_alloc_returns_nonnull_distinct_pointers(self, heap):
+        a = heap.alloc(16)
+        b = heap.alloc(16)
+        assert a != NULL and b != NULL and a != b
+
+    def test_alloc_zeroed(self, heap):
+        ptr = heap.alloc(8)
+        assert heap.load(ptr, 0, 8) == b"\x00" * 8
+
+    def test_zero_size_alloc_is_valid(self, heap):
+        ptr = heap.alloc(0)
+        assert ptr != NULL
+
+    def test_negative_size_rejected(self, heap):
+        with pytest.raises(ValueError):
+            heap.alloc(-1)
+
+    def test_bytes_in_use_accounting(self, heap):
+        ptr = heap.alloc(100)
+        assert heap.bytes_in_use == 100
+        heap.free(ptr)
+        assert heap.bytes_in_use == 0
+
+    def test_live_allocations_counts(self, heap):
+        a = heap.alloc(1)
+        heap.alloc(1)
+        assert heap.live_allocations == 2
+        heap.free(a)
+        assert heap.live_allocations == 1
+
+
+class TestFree:
+    def test_free_null_is_noop(self, heap):
+        heap.free(NULL)  # must not raise
+
+    def test_double_free_aborts(self, heap):
+        ptr = heap.alloc(4)
+        heap.free(ptr)
+        with pytest.raises(AbortCrash):
+            heap.free(ptr)
+
+    def test_free_wild_pointer_segfaults(self, heap):
+        with pytest.raises(SegmentationFault):
+            heap.free(0xDEAD)
+
+    def test_use_after_free_segfaults(self, heap):
+        ptr = heap.alloc(4)
+        heap.free(ptr)
+        with pytest.raises(SegmentationFault):
+            heap.load(ptr, 0, 1)
+
+
+class TestAccess:
+    def test_store_load_roundtrip(self, heap):
+        ptr = heap.alloc(10)
+        heap.store(ptr, 2, b"abc")
+        assert heap.load(ptr, 2, 3) == b"abc"
+
+    def test_null_deref_segfaults(self, heap):
+        with pytest.raises(SegmentationFault) as excinfo:
+            heap.store_byte(NULL, 0, 1)
+        assert "NULL" in str(excinfo.value)
+
+    def test_out_of_bounds_write_segfaults(self, heap):
+        ptr = heap.alloc(4)
+        with pytest.raises(SegmentationFault):
+            heap.store(ptr, 2, b"abc")  # 2+3 > 4
+
+    def test_out_of_bounds_read_segfaults(self, heap):
+        ptr = heap.alloc(4)
+        with pytest.raises(SegmentationFault):
+            heap.load(ptr, 0, 5)
+
+    def test_store_byte_is_one_byte(self, heap):
+        ptr = heap.alloc(2)
+        heap.store_byte(ptr, 1, 0x41)
+        assert heap.load(ptr, 0, 2) == b"\x00A"
+
+    def test_crash_carries_stack_snapshot(self):
+        heap = Heap(stack_snapshot=lambda: ("main", "f"))
+        with pytest.raises(SegmentationFault) as excinfo:
+            heap.load(NULL, 0, 1)
+        assert excinfo.value.stack == ("main", "f")
+
+
+class TestStrings:
+    def test_string_roundtrip(self, heap):
+        ptr = heap.alloc(16)
+        heap.store_string(ptr, "hello")
+        assert heap.load_string(ptr) == "hello"
+
+    def test_string_truncates_at_nul(self, heap):
+        ptr = heap.alloc(16)
+        heap.store(ptr, 0, b"ab\x00cd")
+        assert heap.load_string(ptr) == "ab"
+
+    def test_string_too_long_segfaults(self, heap):
+        ptr = heap.alloc(3)
+        with pytest.raises(SegmentationFault):
+            heap.store_string(ptr, "long string")
+
+
+class TestRealloc:
+    def test_realloc_null_allocates(self, heap):
+        ptr = heap.realloc(NULL, 8)
+        assert ptr != NULL and heap.size_of(ptr) == 8
+
+    def test_realloc_preserves_prefix(self, heap):
+        ptr = heap.alloc(4)
+        heap.store(ptr, 0, b"abcd")
+        bigger = heap.realloc(ptr, 8)
+        assert heap.load(bigger, 0, 4) == b"abcd"
+
+    def test_realloc_shrink_truncates(self, heap):
+        ptr = heap.alloc(4)
+        heap.store(ptr, 0, b"abcd")
+        smaller = heap.realloc(ptr, 2)
+        assert heap.size_of(smaller) == 2
+        assert heap.load(smaller, 0, 2) == b"ab"
+
+    def test_realloc_frees_old_pointer(self, heap):
+        ptr = heap.alloc(4)
+        heap.realloc(ptr, 8)
+        with pytest.raises(SegmentationFault):
+            heap.load(ptr, 0, 1)
+
+
+class TestHeapProperties:
+    @given(st.lists(st.integers(min_value=0, max_value=64), max_size=30))
+    def test_alloc_pointers_always_distinct(self, sizes):
+        heap = Heap()
+        pointers = [heap.alloc(size) for size in sizes]
+        assert len(set(pointers)) == len(pointers)
+
+    @given(st.binary(min_size=1, max_size=64))
+    def test_store_load_identity(self, data):
+        heap = Heap()
+        ptr = heap.alloc(len(data))
+        heap.store(ptr, 0, data)
+        assert heap.load(ptr, 0, len(data)) == data
+
+    @given(st.text(alphabet=st.characters(blacklist_characters="\x00",
+                                          blacklist_categories=("Cs",)),
+                   max_size=32))
+    def test_string_identity(self, text):
+        heap = Heap()
+        ptr = heap.alloc(len(text.encode()) + 1)
+        heap.store_string(ptr, text)
+        assert heap.load_string(ptr) == text

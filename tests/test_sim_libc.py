@@ -1,0 +1,304 @@
+"""Tests for the simulated C library: semantics, counters, interposition."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.injection.plan import InjectionPlan
+from repro.sim.crashes import HangDetected
+from repro.sim.errnos import Errno
+from repro.sim.filesystem import O_CREAT, O_RDONLY, O_WRONLY, SimFilesystem
+from repro.sim.heap import NULL
+from repro.sim.libc import SimLibc
+from repro.sim.stack import CallStack
+
+
+@pytest.fixture
+def libc() -> SimLibc:
+    return SimLibc(SimFilesystem())
+
+
+def plan(function: str, call: int, errno: Errno = Errno.EIO, retval: int = -1,
+         persistent: bool = False) -> InjectionPlan:
+    return InjectionPlan.single(function, call, errno, retval, persistent)
+
+
+class TestCallCounting:
+    def test_counts_per_function(self, libc):
+        libc.malloc(1)
+        libc.malloc(1)
+        libc.getcwd()
+        assert libc.call_count("malloc") == 2
+        assert libc.call_count("getcwd") == 1
+        assert libc.call_count("read") == 0
+
+    def test_steps_accumulate_across_functions(self, libc):
+        libc.malloc(1)
+        libc.getcwd()
+        assert libc.steps == 2
+
+    def test_free_is_not_counted(self, libc):
+        ptr = libc.malloc(4)
+        libc.free(ptr)
+        assert libc.steps == 1
+
+
+class TestInterposition:
+    def test_injection_fires_at_exact_call_number(self, libc):
+        libc.set_plan(plan("malloc", 2, Errno.ENOMEM, 0))
+        assert libc.malloc(4) != NULL
+        assert libc.malloc(4) == NULL
+        assert libc.errno is Errno.ENOMEM
+        assert libc.malloc(4) != NULL  # only call #2 fails
+
+    def test_persistent_fault_fails_all_later_calls(self, libc):
+        libc.set_plan(plan("malloc", 2, Errno.ENOMEM, 0, persistent=True))
+        assert libc.malloc(4) != NULL
+        assert libc.malloc(4) == NULL
+        assert libc.malloc(4) == NULL
+
+    def test_injection_records_event_with_stack(self):
+        stack = CallStack()
+        libc = SimLibc(SimFilesystem(), stack)
+        libc.set_plan(plan("getcwd", 1, Errno.ENOMEM, 0))
+        with stack.frame("worker"):
+            assert libc.getcwd() is None
+        assert len(libc.injections) == 1
+        event = libc.injections[0]
+        assert event.fault.function == "getcwd"
+        # The intercepted function appears as the innermost frame, as it
+        # does in an LFI stack trace.
+        assert event.stack == ("main", "worker", "getcwd")
+
+    def test_injected_call_skips_real_operation(self, libc):
+        # LFI semantics: the wrapped function never runs.
+        libc.fs.create_file("/f", b"x")
+        libc.set_plan(plan("unlink", 1, Errno.EACCES))
+        assert libc.unlink("/f") == -1
+        assert libc.fs.exists("/f")
+
+    def test_injected_close_leaks_the_fd(self, libc):
+        fd = libc.open("/f", O_CREAT | O_WRONLY)
+        libc.set_plan(plan("close", 1, Errno.EINTR))
+        assert libc.close(fd) == -1
+        assert libc.fs.open_fd_count == 1  # still open
+
+    def test_natural_error_without_injection(self, libc):
+        assert libc.open("/missing") == -1
+        assert libc.errno is Errno.ENOENT
+        assert libc.injections == []
+
+
+class TestHangDetection:
+    def test_step_budget_exceeded_raises(self):
+        libc = SimLibc(SimFilesystem(), step_budget=10)
+        with pytest.raises(HangDetected):
+            for _ in range(11):
+                libc.getcwd()
+
+    def test_budget_not_hit_under_limit(self):
+        libc = SimLibc(SimFilesystem(), step_budget=10)
+        for _ in range(10):
+            libc.getcwd()  # exactly at budget: fine
+
+
+class TestMemoryFunctions:
+    def test_malloc_calloc_realloc_strdup(self, libc):
+        a = libc.malloc(4)
+        b = libc.calloc(2, 8)
+        assert libc.heap.size_of(b) == 16
+        c = libc.realloc(a, 32)
+        assert libc.heap.size_of(c) == 32
+        s = libc.strdup("text")
+        assert libc.heap.load_string(s) == "text"
+
+    def test_strdup_injected_returns_null(self, libc):
+        libc.set_plan(plan("strdup", 1, Errno.ENOMEM, 0))
+        assert libc.strdup("x") == NULL
+
+
+class TestFileDescriptors:
+    def test_open_write_read_close(self, libc):
+        fd = libc.open("/f", O_CREAT | O_WRONLY)
+        assert libc.write(fd, b"abc") == 3
+        assert libc.close(fd) == 0
+        fd = libc.open("/f", O_RDONLY)
+        assert libc.read(fd, 10) == b"abc"
+
+    def test_read_injection_returns_minus_one(self, libc):
+        libc.fs.create_file("/f", b"abc")
+        fd = libc.open("/f")
+        libc.set_plan(plan("read", 1, Errno.EINTR))
+        assert libc.read(fd, 3) == -1
+        assert libc.errno is Errno.EINTR
+        assert libc.read(fd, 3) == b"abc"  # retry succeeds
+
+    def test_pipe_returns_fd_pair(self, libc):
+        result = libc.pipe()
+        assert isinstance(result, tuple)
+        rfd, wfd = result
+        libc.write(wfd, b"msg")
+        assert libc.read(rfd, 3) == b"msg"
+
+    def test_fsync_bad_fd(self, libc):
+        assert libc.fsync(999) == -1
+        assert libc.errno is Errno.EBADF
+
+
+class TestStdio:
+    def test_fopen_fputs_fgets_roundtrip(self, libc):
+        out = libc.fopen("/f", "w")
+        assert out != NULL
+        assert libc.fputs("line one\n", out) > 0
+        assert libc.fclose(out) == 0
+        stream = libc.fopen("/f", "r")
+        assert libc.fgets(stream) == "line one\n"
+        assert libc.fgets(stream) is None
+        assert libc.feof(stream) == 1
+
+    def test_fgets_reads_line_by_line(self, libc):
+        libc.fs.create_file("/f", b"a\nb\n")
+        stream = libc.fopen("/f", "r")
+        assert libc.fgets(stream) == "a\n"
+        assert libc.fgets(stream) == "b\n"
+
+    def test_fgets_injected_sets_error_flag(self, libc):
+        libc.fs.create_file("/f", b"data\n")
+        stream = libc.fopen("/f", "r")
+        libc.set_plan(plan("fgets", 1, Errno.EIO, 0))
+        assert libc.fgets(stream) is None
+        assert libc.ferror(stream) == 1
+
+    def test_fopen_bad_mode_einval(self, libc):
+        assert libc.fopen("/f", "q") == NULL
+        assert libc.errno is Errno.EINVAL
+
+    def test_fopen_missing_file_null(self, libc):
+        assert libc.fopen("/missing", "r") == NULL
+        assert libc.errno is Errno.ENOENT
+
+    def test_putc_writes_one_char(self, libc):
+        out = libc.fopen("/f", "w")
+        assert libc.putc("A", out) == ord("A")
+        libc.fclose(out)
+        assert libc.fs.read_file("/f") == b"A"
+
+    def test_append_mode(self, libc):
+        libc.fs.create_file("/f", b"pre-")
+        out = libc.fopen("/f", "a")
+        libc.fputs("post", out)
+        libc.fclose(out)
+        assert libc.fs.read_file("/f") == b"pre-post"
+
+    def test_injected_fclose_still_releases_fd(self, libc):
+        out = libc.fopen("/f", "w")
+        libc.set_plan(plan("fclose", 1, Errno.EIO))
+        assert libc.fclose(out) == -1
+        assert libc.fs.open_fd_count == 0
+
+
+class TestDirectoryFunctions:
+    def test_opendir_readdir_closedir(self, libc):
+        libc.fs.mkdir("/d")
+        libc.fs.create_file("/d/a", b"")
+        libc.fs.create_file("/d/b", b"")
+        dirp = libc.opendir("/d")
+        assert libc.readdir(dirp) == "a"
+        assert libc.readdir(dirp) == "b"
+        assert libc.readdir(dirp) is None
+        assert libc.closedir(dirp) == 0
+
+    def test_opendir_missing_null(self, libc):
+        assert libc.opendir("/missing") == NULL
+        assert libc.errno is Errno.ENOENT
+
+    def test_readdir_injection_sets_errno(self, libc):
+        libc.fs.mkdir("/d")
+        libc.fs.create_file("/d/a", b"")
+        dirp = libc.opendir("/d")
+        libc.set_plan(plan("readdir", 1, Errno.EBADF, 0))
+        libc.errno = Errno.OK
+        assert libc.readdir(dirp) is None
+        assert libc.errno is Errno.EBADF
+
+    def test_chdir_getcwd(self, libc):
+        libc.fs.mkdir("/w")
+        assert libc.chdir("/w") == 0
+        assert libc.getcwd() == "/w"
+
+    def test_mkdir_rmdir(self, libc):
+        assert libc.mkdir("/d") == 0
+        assert libc.rmdir("/d") == 0
+
+
+class TestMiscFunctions:
+    def test_strtol_parses(self, libc):
+        assert libc.strtol("42") == 42
+        assert libc.strtol("ff", 16) == 255
+
+    def test_strtol_garbage_einval(self, libc):
+        assert libc.strtol("xyz") == 0
+        assert libc.errno is Errno.EINVAL
+
+    def test_setlocale_and_textdomain(self, libc):
+        assert libc.setlocale("C") == "C"
+        assert libc.textdomain("ls") == "ls"
+        assert libc.bindtextdomain("ls", "/usr/share/locale") is not None
+
+    def test_getrlimit_setrlimit(self, libc):
+        before = libc.getrlimit("NOFILE")
+        assert before > 0
+        assert libc.setrlimit("NOFILE", 17) == 0
+        assert libc.getrlimit("NOFILE") == 17
+
+    def test_clock_gettime_monotonic(self, libc):
+        assert libc.clock_gettime() < libc.clock_gettime()
+
+    def test_wait_default(self, libc):
+        assert libc.wait() == 0
+
+
+class TestNetworking:
+    def test_socket_lifecycle(self, libc):
+        sock = libc.socket()
+        assert libc.bind(sock, 80) == 0
+        assert libc.listen(sock) == 0
+        assert libc.close_socket(sock) == 0
+
+    def test_accept_empty_inbox_eagain(self, libc):
+        sock = libc.socket()
+        assert libc.accept(sock) == -1
+        assert libc.errno is Errno.EAGAIN
+
+    def test_request_response_flow(self, libc):
+        sock = libc.socket()
+        libc.net_inbox.append(b"ping")
+        conn = libc.accept(sock)
+        assert conn > 0
+        assert libc.recv(conn) == b"ping"
+        assert libc.send(conn, b"pong") == 4
+        assert libc.net_outbox == [b"pong"]
+
+    def test_recv_on_bad_socket(self, libc):
+        assert libc.recv(12345) == -1
+        assert libc.errno is Errno.EBADF
+
+
+class TestTracing:
+    def test_trace_disabled_by_default(self, libc):
+        libc.malloc(1)
+        assert libc.trace == []
+
+    def test_trace_records_calls(self):
+        libc = SimLibc(SimFilesystem(), trace=True)
+        libc.malloc(1)
+        libc.getcwd()
+        assert [r.function for r in libc.trace] == ["malloc", "getcwd"]
+        assert libc.trace[0].call_number == 1
+
+    def test_trace_stacks_captured_when_enabled(self):
+        stack = CallStack()
+        libc = SimLibc(SimFilesystem(), stack, trace=True, trace_stacks=True)
+        with stack.frame("f"):
+            libc.malloc(1)
+        assert libc.trace[0].stack == ("main", "f")

@@ -1,0 +1,82 @@
+"""Tests for repro.util: RNG derivation and text tables."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.util.rng import derive_rng, ensure_rng
+from repro.util.tables import TextTable
+
+
+class TestEnsureRng:
+    def test_passthrough(self):
+        rng = random.Random(1)
+        assert ensure_rng(rng) is rng
+
+    def test_int_seed_deterministic(self):
+        assert ensure_rng(42).random() == ensure_rng(42).random()
+
+    def test_distinct_seeds_diverge(self):
+        assert ensure_rng(1).random() != ensure_rng(2).random()
+
+    def test_none_gives_generator(self):
+        assert isinstance(ensure_rng(None), random.Random)
+
+
+class TestDeriveRng:
+    def test_deterministic_given_parent_state(self):
+        a = derive_rng(random.Random(7), "x")
+        b = derive_rng(random.Random(7), "x")
+        assert a.random() == b.random()
+
+    def test_labels_give_distinct_streams(self):
+        parent = random.Random(7)
+        a = derive_rng(parent, "a")
+        parent2 = random.Random(7)
+        b = derive_rng(parent2, "b")
+        assert a.random() != b.random()
+
+    def test_child_does_not_share_state_with_parent(self):
+        parent = random.Random(7)
+        child = derive_rng(parent, "x")
+        before = parent.random()
+        child.random()
+        parent2 = random.Random(7)
+        derive_rng(parent2, "x")
+        assert parent2.random() == before
+
+
+class TestTextTable:
+    def test_renders_header_and_rows(self):
+        table = TextTable(["a", "bb"])
+        table.add_row([1, 2])
+        text = table.render()
+        assert "a" in text and "bb" in text
+        assert "1" in text and "2" in text
+
+    def test_column_count_enforced(self):
+        table = TextTable(["a", "b"])
+        with pytest.raises(ValueError):
+            table.add_row([1])
+
+    def test_title_is_first_line(self):
+        table = TextTable(["x"], title="My Table")
+        assert table.render().splitlines()[0] == "My Table"
+
+    def test_float_formatting(self):
+        assert TextTable.format_cell(1.23456) == "1.23"
+
+    def test_alignment_pads_to_widest_cell(self):
+        table = TextTable(["col"])
+        table.add_row(["wide-cell-value"])
+        table.add_row(["x"])
+        lines = table.render().splitlines()
+        header, separator = lines[0], lines[1]
+        assert len(separator) >= len("wide-cell-value")
+
+    def test_str_equals_render(self):
+        table = TextTable(["a"])
+        table.add_row([1])
+        assert str(table) == table.render()
