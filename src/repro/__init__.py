@@ -54,6 +54,7 @@ from repro.core import (
     InvariantImpact,
     IterationBudget,
     RandomSearch,
+    ResultCache,
     ResultSet,
     SearchStrategy,
     ResourceLeakImpact,
@@ -113,6 +114,7 @@ __all__ = [
     "RandomSearch",
     "RedundancyFeedback",
     "ResourceLeakImpact",
+    "ResultCache",
     "ResultSet",
     "RunResult",
     "SearchStrategy",

@@ -6,6 +6,12 @@ gets back, per system, the explored results and the §6.3 report.  A
 :class:`Campaign` bundles multiple exploration jobs, runs them
 (sequentially or over a shared cluster fabric), and renders a combined
 scorecard for everything certified.
+
+Jobs choose an **execution fabric** (serial loop, thread pool, process
+pool, or virtual-time model) and a **speculative batch size**, and may
+share a :class:`~repro.core.cache.ResultCache` so re-certifying a system
+— or certifying overlapping spaces — replays memoized executions instead
+of re-running the simulator.
 """
 
 from __future__ import annotations
@@ -14,6 +20,7 @@ import time
 from collections.abc import Callable
 from dataclasses import dataclass, field
 
+from repro.core.cache import ResultCache
 from repro.core.faultspace import FaultSpace
 from repro.core.impact import ImpactMetric, standard_impact
 from repro.core.results import ResultSet
@@ -22,20 +29,32 @@ from repro.core.search import FitnessGuidedSearch
 from repro.core.search.base import SearchStrategy
 from repro.core.session import ExplorationSession
 from repro.core.targets import IterationBudget, SearchTarget
-from repro.errors import ReportError
+from repro.errors import ClusterError, ReportError
 from repro.quality.report import ExplorationReport, build_report
 from repro.sim.testsuite import Target
 from repro.util.tables import TextTable
 
-__all__ = ["CampaignJob", "CampaignOutcome", "Campaign"]
+__all__ = ["CampaignJob", "CampaignOutcome", "Campaign", "FABRICS"]
+
+#: the selectable execution fabrics ("auto" = serial unless nodes > 1).
+FABRICS = ("auto", "serial", "threads", "processes", "virtual")
 
 
 @dataclass
 class CampaignJob:
     """One system to certify: a target, a space, a budget.
 
-    ``nodes > 1`` runs the job on a thread-pool cluster of that many
-    node managers (the Fig. 2 fabric) instead of the in-process loop.
+    ``fabric`` selects the execution substrate: ``serial`` is the
+    in-process loop, ``threads``/``processes``/``virtual`` run the job on
+    a cluster of ``nodes`` node managers (``auto``, the default, picks
+    ``serial`` for ``nodes <= 1`` and ``threads`` otherwise, preserving
+    the historical behaviour).  ``batch_size`` controls speculative
+    proposal width (default: 1 in the serial loop, cluster width
+    otherwise).  ``cache`` memoizes executions; the same cache object may
+    be shared across jobs — and re-runs of the whole campaign — to make
+    duplicate tests free.  The process fabric needs a picklable
+    ``target_factory``; without one it degrades gracefully to in-process
+    execution.
     """
 
     name: str
@@ -47,37 +66,77 @@ class CampaignJob:
     metric_factory: Callable[[], ImpactMetric] = standard_impact
     stop: SearchTarget | None = None  # defaults to the iteration budget
     nodes: int = 1
+    fabric: str = "auto"
+    batch_size: int | None = None
+    cache: ResultCache | None = None
+    target_factory: Callable[[], Target] | None = None
 
-    def execute(self) -> tuple[TargetRunner, ResultSet]:
-        """Run the job, returning (a runner for re-execution, results)."""
-        runner = TargetRunner(self.target)
+    def execute(self) -> tuple[TargetRunner, ResultSet, SearchStrategy]:
+        """Run the job, returning (runner for re-execution, results,
+        the strategy instance that drove the search)."""
+        if self.fabric not in FABRICS:
+            raise ClusterError(
+                f"unknown fabric {self.fabric!r}; available: {FABRICS}"
+            )
+        fabric = self.fabric
+        if fabric == "auto":
+            fabric = "serial" if self.nodes <= 1 else "threads"
+        runner = TargetRunner(self.target, cache=self.cache)
         stop = self.stop or IterationBudget(self.iterations)
-        if self.nodes <= 1:
+        strategy = self.strategy_factory()
+        if fabric == "serial":
             session = ExplorationSession(
                 runner=runner,
                 space=self.space,
                 metric=self.metric_factory(),
-                strategy=self.strategy_factory(),
+                strategy=strategy,
                 target=stop,
                 rng=self.seed,
+                batch_size=self.batch_size or 1,
             )
-            return runner, session.run()
-        from repro.cluster import ClusterExplorer, LocalCluster, NodeManager
+            return runner, session.run(), strategy
 
-        self.target.suite  # pre-build once; managers then share it safely
-        managers = [
-            NodeManager(f"{self.name}-node{i}", self.target)
-            for i in range(self.nodes)
-        ]
+        from repro.cluster import (
+            ClusterExplorer,
+            LocalCluster,
+            NodeManager,
+            ProcessPoolCluster,
+            VirtualCluster,
+        )
+
+        nodes = max(self.nodes, 1)
+        pool: ProcessPoolCluster | None = None
+        if fabric == "processes":
+            # Without a picklable factory the pool degrades to in-process
+            # execution on its own — same results, no parallelism.
+            factory = self.target_factory or (lambda: self.target)
+            cluster = pool = ProcessPoolCluster(
+                factory, workers=nodes, name=self.name
+            )
+        else:
+            self.target.suite  # pre-build once; managers then share it safely
+            managers = [
+                NodeManager(f"{self.name}-node{i}", self.target,
+                            cache=self.cache)
+                for i in range(nodes)
+            ]
+            cluster = (LocalCluster(managers) if fabric == "threads"
+                       else VirtualCluster(managers))
         explorer = ClusterExplorer(
-            LocalCluster(managers),
+            cluster,
             self.space,
             self.metric_factory(),
-            self.strategy_factory(),
+            strategy,
             stop,
             rng=self.seed,
+            batch_size=self.batch_size,
         )
-        return runner, explorer.run()
+        try:
+            results = explorer.run()
+        finally:
+            if pool is not None:
+                pool.close()
+        return runner, results, strategy
 
 
 @dataclass
@@ -88,6 +147,8 @@ class CampaignOutcome:
     results: ResultSet
     report: ExplorationReport
     seconds: float
+    #: name of the strategy instance that actually ran the job.
+    strategy_name: str = ""
 
     @property
     def verdict(self) -> str:
@@ -119,12 +180,12 @@ class Campaign:
         outcomes: list[CampaignOutcome] = []
         for job in self.jobs:
             started = time.perf_counter()
-            runner, results = job.execute()
+            runner, results, strategy = job.execute()
             report = build_report(
                 results,
                 runner,
                 job.name,
-                strategy_name=job.strategy_factory().name,
+                strategy_name=strategy.name,
                 top_n=report_top_n,
                 of=lambda t: t.failed,
             )
@@ -133,6 +194,7 @@ class Campaign:
                 results=results,
                 report=report,
                 seconds=time.perf_counter() - started,
+                strategy_name=strategy.name,
             ))
         return outcomes
 

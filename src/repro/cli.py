@@ -34,6 +34,14 @@ __all__ = ["main", "build_parser"]
 
 _TARGETS = ("coreutils", "minidb", "httpd", "docstore", "docstore-0.8", "docstore-2.0")
 _STRATEGIES = ("fitness", "random", "exhaustive", "genetic")
+_FABRICS = ("serial", "threads", "processes", "virtual")
+
+
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -70,6 +78,26 @@ def build_parser() -> argparse.ArgumentParser:
                      help="how many top-impact faults to print")
     run.add_argument("--feedback", action="store_true",
                      help="enable the redundancy feedback loop (§7.4)")
+    run.add_argument(
+        "--fabric", default="serial", choices=_FABRICS,
+        help="execution fabric: in-process serial loop, GIL-bound "
+        "thread pool, multi-core process pool, or the deterministic "
+        "virtual-time cluster model (default: serial)",
+    )
+    run.add_argument(
+        "--batch-size", type=_positive_int, default=None,
+        help="speculative candidates proposed per round before feedback "
+        "(default: 1 for the serial fabric, worker count otherwise)",
+    )
+    run.add_argument(
+        "--workers", type=_positive_int, default=4,
+        help="node managers / worker processes for parallel fabrics",
+    )
+    run.add_argument(
+        "--cache", default=None, metavar="PATH",
+        help="persistent JSON result cache; duplicate executions across "
+        "runs are replayed from it for free",
+    )
 
     structure = sub.add_parser(
         "map", help="print a Fig. 1-style fault-space structure map"
@@ -136,6 +164,76 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     return 0
 
 
+def _explore_on_fabric(args: argparse.Namespace, target, space, strategy):
+    """Run the exploration on the requested fabric; returns the results."""
+    import time
+
+    from repro.core.cache import ResultCache
+
+    fabric = args.fabric
+    if args.cache and fabric == "processes":
+        # Worker processes each hold their own memo dict; the shared
+        # in-memory cache only helps in-process fabrics.
+        print("note: --cache is ignored on the process fabric (workers "
+              "cannot share an in-memory cache); use serial or threads")
+    cache = (ResultCache(path=args.cache)
+             if args.cache and fabric != "processes" else None)
+    started = time.perf_counter()
+    if fabric == "serial":
+        session = ExplorationSession(
+            runner=TargetRunner(target, cache=cache),
+            space=space,
+            metric=standard_impact(),
+            strategy=strategy,
+            target=IterationBudget(args.iterations),
+            rng=args.seed,
+            batch_size=args.batch_size or 1,
+        )
+        results = session.run()
+    else:
+        import functools
+
+        from repro.cluster import (
+            ClusterExplorer,
+            LocalCluster,
+            NodeManager,
+            ProcessPoolCluster,
+            VirtualCluster,
+        )
+
+        pool = None
+        if fabric == "processes":
+            cluster = pool = ProcessPoolCluster(
+                functools.partial(target_by_name, args.target),
+                workers=args.workers,
+            )
+        else:
+            managers = [
+                NodeManager(f"node{i}", target, cache=cache)
+                for i in range(args.workers)
+            ]
+            cluster = (LocalCluster(managers) if fabric == "threads"
+                       else VirtualCluster(managers))
+        explorer = ClusterExplorer(
+            cluster,
+            space,
+            standard_impact(),
+            strategy,
+            IterationBudget(args.iterations),
+            rng=args.seed,
+            batch_size=args.batch_size,
+        )
+        try:
+            results = explorer.run()
+        finally:
+            if pool is not None:
+                pool.close()
+    elapsed = time.perf_counter() - started
+    if cache is not None and args.cache:
+        cache.save()
+    return results, elapsed, cache
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     target = target_by_name(args.target)
     if args.space:
@@ -152,21 +250,20 @@ def _cmd_run(args: argparse.Namespace) -> int:
             print("--feedback requires the fitness strategy")
             return 2
         strategy.fitness_weight = RedundancyFeedback()
-    session = ExplorationSession(
-        runner=TargetRunner(target),
-        space=space,
-        metric=standard_impact(),
-        strategy=strategy,
-        target=IterationBudget(args.iterations),
-        rng=args.seed,
-    )
-    results = session.run()
+    results, elapsed, cache = _explore_on_fabric(args, target, space, strategy)
 
     summary = results.summary()
     table = TextTable(["metric", "value"], title=f"afex run: {target.describe()}")
     for key, value in summary.items():
         table.add_row([key, value])
     table.add_row(["space size", space.size()])
+    table.add_row(["fabric", args.fabric])
+    table.add_row(["throughput (tests/s)",
+                   f"{len(results) / elapsed:.0f}" if elapsed > 0 else "inf"])
+    if cache is not None:
+        stats = cache.stats()
+        table.add_row(["cache hits/misses",
+                       f"{stats['hits']}/{stats['misses']}"])
     print(table.render())
 
     top = results.top(args.top)

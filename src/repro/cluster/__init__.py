@@ -8,10 +8,15 @@ via its plugins, runs the startup/test/cleanup scripts, lets its sensors
 measure the run, and replies with a
 :class:`~repro.cluster.messages.TestReport`.
 
-Two execution fabrics are provided:
+Three execution fabrics are provided:
 
-* :class:`~repro.cluster.local.LocalCluster` — real concurrency over a
-  thread pool (this process plays every node);
+* :class:`~repro.cluster.local.LocalCluster` — concurrency over a
+  thread pool (this process plays every node; GIL-bound for the pure
+  Python simulator);
+* :class:`~repro.cluster.process_pool.ProcessPoolCluster` — real
+  multi-core execution over warm worker processes with chunked
+  round-robin dispatch (the closest analogue to the paper's one-manager
+  -per-machine EC2 deployment);
 * :class:`~repro.cluster.local.VirtualCluster` — deterministic
   *virtual-time* execution used by the §7.7 scalability experiment: the
   paper measured wall-clock scaling on 1-14 EC2 nodes, which we
@@ -20,10 +25,11 @@ Two execution fabrics are provided:
   paper leans on).
 """
 
-from repro.cluster.explorer_node import ClusterExplorer
+from repro.cluster.explorer_node import ClusterExplorer, ExecutionFabric
 from repro.cluster.local import LocalCluster, VirtualCluster
 from repro.cluster.manager import NodeManager
 from repro.cluster.messages import TestReport, TestRequest
+from repro.cluster.process_pool import ProcessPoolCluster
 from repro.cluster.scripts import ScriptTarget, UserScripts
 from repro.cluster.sensors import (
     CoverageSensor,
@@ -37,9 +43,11 @@ __all__ = [
     "ClusterExplorer",
     "CoverageSensor",
     "CrashSensor",
+    "ExecutionFabric",
     "ExitCodeSensor",
     "LocalCluster",
     "NodeManager",
+    "ProcessPoolCluster",
     "ScriptTarget",
     "Sensor",
     "StepSensor",

@@ -19,8 +19,8 @@ computed, not what is measured.
 from __future__ import annotations
 
 import random
+from typing import Protocol
 
-from repro.cluster.local import LocalCluster, VirtualCluster
 from repro.cluster.messages import TestReport, TestRequest
 from repro.core.fault import Fault
 from repro.core.faultspace import FaultSpace
@@ -34,7 +34,21 @@ from repro.quality.relevance import EnvironmentModel
 from repro.sim.process import RunResult
 from repro.util.rng import ensure_rng
 
-__all__ = ["ClusterExplorer"]
+__all__ = ["ClusterExplorer", "ExecutionFabric"]
+
+
+class ExecutionFabric(Protocol):
+    """What the explorer needs from a fabric: width and batch execution.
+
+    Satisfied by :class:`~repro.cluster.local.LocalCluster` (threads),
+    :class:`~repro.cluster.local.VirtualCluster` (virtual time), and
+    :class:`~repro.cluster.process_pool.ProcessPoolCluster` (real
+    cores).
+    """
+
+    def __len__(self) -> int: ...
+
+    def run_batch(self, requests: list[TestRequest]) -> list[TestReport]: ...
 
 
 class ClusterExplorer:
@@ -42,7 +56,7 @@ class ClusterExplorer:
 
     def __init__(
         self,
-        cluster: LocalCluster | VirtualCluster,
+        cluster: ExecutionFabric,
         space: FaultSpace,
         metric: ImpactMetric,
         strategy: SearchStrategy,
@@ -77,13 +91,7 @@ class ClusterExplorer:
         return ResultSet(self.executed)
 
     def _propose_batch(self) -> list[Fault]:
-        batch: list[Fault] = []
-        for _ in range(self.batch_size):
-            fault = self.strategy.propose()
-            if fault is None:
-                break
-            batch.append(fault)
-        return batch
+        return self.strategy.propose_batch(self.batch_size)
 
     def _request_for(self, fault: Fault) -> TestRequest:
         request_id = self._next_request_id

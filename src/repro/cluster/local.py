@@ -15,6 +15,7 @@ measurements (§7.7), which we cannot rent offline.
 
 from __future__ import annotations
 
+import heapq
 from concurrent.futures import ThreadPoolExecutor
 
 from repro.cluster.manager import NodeManager
@@ -84,6 +85,12 @@ class VirtualCluster:
         #: virtual busy-time per node, seconds.
         self.node_clocks = [0.0] * len(managers)
         self.total_cost = 0.0
+        # Least-loaded placement as a heap of (clock, node) instead of an
+        # O(n) min() scan per request: ties break on the lower node index
+        # in both, so placement — and therefore makespan/speedup — is
+        # unchanged, but a 10k-test run on a wide cluster no longer pays
+        # O(tests * nodes) in the scheduler.
+        self._idle_heap = [(0.0, node) for node in range(len(managers))]
 
     def __len__(self) -> int:
         return len(self.managers)
@@ -91,10 +98,12 @@ class VirtualCluster:
     def run_batch(self, requests: list[TestRequest]) -> list[TestReport]:
         reports = []
         for request in requests:
-            node = min(range(len(self.node_clocks)), key=self.node_clocks.__getitem__)
+            clock, node = heapq.heappop(self._idle_heap)
             report = self.managers[node].execute(request)
-            self.node_clocks[node] += report.cost
+            clock += report.cost
+            self.node_clocks[node] = clock
             self.total_cost += report.cost
+            heapq.heappush(self._idle_heap, (clock, node))
             reports.append(report)
         return reports
 

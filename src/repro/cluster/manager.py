@@ -18,6 +18,7 @@ import time
 
 from repro.cluster.messages import TestReport, TestRequest
 from repro.cluster.sensors import Sensor, default_sensors
+from repro.core.cache import ResultCache
 from repro.core.fault import Fault
 from repro.core.runner import TargetRunner
 from repro.errors import ClusterError
@@ -38,6 +39,7 @@ class NodeManager:
         injector: FaultInjector | None = None,
         sensors: tuple[Sensor, ...] | None = None,
         step_budget: int = 50_000,
+        cache: ResultCache | None = None,
     ) -> None:
         if not name:
             raise ClusterError("node manager needs a non-empty name")
@@ -47,8 +49,11 @@ class NodeManager:
         self.registry.register(injector or LibFaultInjector())
         self._injector_name = (injector or LibFaultInjector()).name
         self.sensors = sensors if sensors is not None else default_sensors()
+        # The cache is thread-safe, so one instance may back every
+        # manager of a thread-pool fabric.
         self._runner = TargetRunner(
-            target, self.registry.get(self._injector_name), step_budget=step_budget
+            target, self.registry.get(self._injector_name),
+            step_budget=step_budget, cache=cache,
         )
         #: total tests executed by this manager (load accounting).
         self.executed = 0

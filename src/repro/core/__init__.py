@@ -15,6 +15,7 @@ Public surface:
 """
 
 from repro.core.axis import Axis
+from repro.core.cache import ResultCache
 from repro.core.dsl import parse_fault_space
 from repro.core.fault import Fault
 from repro.core.faultspace import FaultSpace, Subspace
@@ -70,6 +71,7 @@ __all__ = [
     "InvariantImpact",
     "IterationBudget",
     "RandomSearch",
+    "ResultCache",
     "ResultSet",
     "SearchStrategy",
     "ResourceLeakImpact",

@@ -10,10 +10,17 @@ The runner is deliberately the only place that knows the ``test``
 attribute is special — the explorer and the strategies treat every axis
 uniformly, exactly as AFEX treats its fault space as an opaque
 hyperspace.
+
+It is also the only place that consults the
+:class:`~repro.core.cache.ResultCache`: every execution in the simulated
+world is a pure function of ``(target, fault, trial, step budget)``, so
+memoizing here makes duplicate executions free for every caller above —
+sessions, cluster managers, campaigns, precision re-trials, and replay.
 """
 
 from __future__ import annotations
 
+from repro.core.cache import ResultCache
 from repro.core.fault import Fault
 from repro.errors import TargetError
 from repro.injection.injector import FaultInjector
@@ -34,13 +41,31 @@ class TargetRunner:
         injector: FaultInjector | None = None,
         step_budget: int = DEFAULT_STEP_BUDGET,
         test_attribute: str = "test",
+        cache: ResultCache | None = None,
     ) -> None:
         self.target = target
         self.injector = injector or LibFaultInjector()
         self.step_budget = step_budget
         self.test_attribute = test_attribute
+        self.cache = cache
+
+    def _cache_key(self, fault: Fault, trial: int) -> str:
+        # The injector participates in the identity: two injectors may
+        # compile the same attribute dict into different plans.
+        target_id = (
+            f"{self.target.name}/{self.target.version}/{self.injector.name}"
+        )
+        return ResultCache.key_for(
+            target_id, fault.subspace, fault.attributes, trial, self.step_budget
+        )
 
     def __call__(self, fault: Fault, trial: int = 0) -> RunResult:
+        key = None
+        if self.cache is not None:
+            key = self._cache_key(fault, trial)
+            cached = self.cache.get(key)
+            if cached is not None:
+                return cached
         attributes = fault.as_dict()
         raw_test = attributes.pop(self.test_attribute, None)
         if raw_test is None:
@@ -51,13 +76,16 @@ class TargetRunner:
         test_id = int(raw_test)  # type: ignore[arg-type]
         test = self.target.suite[test_id]
         plan = self.injector.plan_for(attributes)
-        return run_test(
+        result = run_test(
             self.target,
             test,
             plan,
             trial=trial,
             step_budget=self.step_budget,
         )
+        if self.cache is not None and key is not None:
+            self.cache.put(key, result)
+        return result
 
     def describe(self) -> str:
         return f"{self.target.describe()} via {self.injector.describe()}"

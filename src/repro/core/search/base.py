@@ -56,6 +56,33 @@ class SearchStrategy(ABC):
     def propose(self) -> Fault | None:
         """The next fault to test, or None when nothing is left to try."""
 
+    def propose_batch(self, k: int) -> list[Fault]:
+        """Up to ``k`` candidates proposed before any feedback.
+
+        This is the parallel-explorer protocol of §6.1: a whole
+        generation of candidates is emitted, dispatched to the cluster,
+        and only then does :meth:`observe` feedback arrive — per batch,
+        not per test.  The returned list is shorter than ``k`` only when
+        the space is exhausted (an empty list means nothing is left).
+
+        The default repeatedly calls :meth:`propose`, which is correct
+        for any strategy whose proposal does not *require* interleaved
+        feedback; strategies override it to make the batch semantics
+        explicit (and, where possible, cheaper).  ``propose_batch(1)``
+        must be exactly equivalent to a single :meth:`propose` call so
+        that ``batch_size=1`` reproduces serial trajectories bit for
+        bit.
+        """
+        if k < 1:
+            raise SearchError(f"batch size must be >= 1, got {k}")
+        batch: list[Fault] = []
+        for _ in range(k):
+            fault = self.propose()
+            if fault is None:
+                break
+            batch.append(fault)
+        return batch
+
     def observe(self, fault: Fault, impact: float, result: RunResult) -> None:
         """Feedback hook: called after each executed test."""
 

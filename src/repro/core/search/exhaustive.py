@@ -12,6 +12,7 @@ from collections.abc import Iterator
 
 from repro.core.fault import Fault
 from repro.core.search.base import SearchStrategy
+from repro.errors import SearchError
 
 __all__ = ["ExhaustiveSearch"]
 
@@ -37,3 +38,24 @@ class ExhaustiveSearch(SearchStrategy):
                 self.history.add(fault)
                 return fault
         return None
+
+    def propose_batch(self, k: int) -> list[Fault]:
+        """The next ``k`` unseen points of the enumeration.
+
+        Enumeration order is fixed a priori, so a batch is simply the
+        next slice — the natural work unit for chunked parallel
+        dispatch over the whole space.
+        """
+        if k < 1:
+            raise SearchError(f"batch size must be >= 1, got {k}")
+        self._require_bound()
+        assert self._iterator is not None
+        batch: list[Fault] = []
+        for fault in self._iterator:
+            if fault in self.history:
+                continue
+            self.history.add(fault)
+            batch.append(fault)
+            if len(batch) == k:
+                break
+        return batch

@@ -116,6 +116,11 @@ class FitnessGuidedSearch(SearchStrategy):
         self._parent_fitness: dict[Fault, float] = {}
         self._sigma_factors: dict[str, float] = {}
         self._proposed = 0
+        #: bound-state cursor into the immutable ``initial_seeds`` tuple.
+        self._seed_cursor = 0
+        #: batch telemetry: size of each generation emitted via
+        #: :meth:`propose_batch` (feedback-staleness accounting).
+        self.batch_sizes: list[int] = []
 
     def bind(self, space, rng) -> None:
         super().bind(space, rng)
@@ -129,6 +134,7 @@ class FitnessGuidedSearch(SearchStrategy):
         self._sigma_factors = {
             name: self.sigma_factor for name in space.axis_names()
         }
+        self._seed_cursor = 0
 
     # -- generation -------------------------------------------------------------
 
@@ -153,6 +159,33 @@ class FitnessGuidedSearch(SearchStrategy):
         if fault is not None:
             self._proposed += 1
         return fault
+
+    def propose_batch(self, k: int) -> list[Fault]:
+        """One generation of Algorithm 1: ``k`` offspring, no feedback.
+
+        This is precisely the parallelism the paper's prototype exploits
+        on EC2 (§6.1): stochastic beam search samples each parent from
+        the *current* Qpriority, so ``k`` offspring can be drawn before
+        any of their fitnesses are observed.  All ``k`` candidates are
+        deduplicated against the shared History/Qpending as they are
+        generated, and the batch mixes seeds, initial random probes, and
+        offspring exactly as serial proposal would — ``propose_batch(1)``
+        is bit-identical to :meth:`propose`.  Larger ``k`` trades
+        feedback freshness for dispatch width: parents are up to one
+        batch staler than under serial proposal (recorded in
+        :attr:`batch_sizes` for the staleness/throughput analyses).
+        """
+        if k < 1:
+            raise SearchError(f"batch size must be >= 1, got {k}")
+        batch: list[Fault] = []
+        for _ in range(k):
+            fault = self.propose()
+            if fault is None:
+                break
+            batch.append(fault)
+        if batch:
+            self.batch_sizes.append(len(batch))
+        return batch
 
     def _generate_offspring(self) -> Fault | None:
         space, rng = self._require_bound()
@@ -185,11 +218,17 @@ class FitnessGuidedSearch(SearchStrategy):
         return None
 
     def _next_seed(self) -> Fault | None:
-        """The next unexecuted static-analysis seed, if any remain."""
+        """The next unexecuted static-analysis seed, if any remain.
+
+        ``initial_seeds`` is configuration and stays immutable; the
+        consumption cursor is bound state (reset on :meth:`bind`), so a
+        strategy instance reused across sessions replays its seeds
+        instead of silently starting with none.
+        """
         space, _ = self._require_bound()
-        while self.initial_seeds:
-            seed, *rest = self.initial_seeds
-            self.initial_seeds = tuple(rest)
+        while self._seed_cursor < len(self.initial_seeds):
+            seed = self.initial_seeds[self._seed_cursor]
+            self._seed_cursor += 1
             if seed in self.history or not space.contains(seed):
                 continue
             self.history.add(seed)

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from repro.core.fault import Fault
 from repro.core.search.base import SearchStrategy
+from repro.errors import SearchError
 
 __all__ = ["RandomSearch"]
 
@@ -21,3 +22,20 @@ class RandomSearch(SearchStrategy):
 
     def propose(self) -> Fault | None:
         return self._random_unseen()
+
+    def propose_batch(self, k: int) -> list[Fault]:
+        """``k`` independent uniform draws (no feedback dependence).
+
+        Random proposal never consumes feedback, so a batch is exactly
+        ``k`` sequential draws against the shared History — identical
+        to serial proposal at any batch size.
+        """
+        if k < 1:
+            raise SearchError(f"batch size must be >= 1, got {k}")
+        batch: list[Fault] = []
+        for _ in range(k):
+            fault = self._random_unseen()
+            if fault is None:
+                break
+            batch.append(fault)
+        return batch

@@ -1,17 +1,26 @@
 """The exploration session: AFEX's generate → execute → evaluate loop.
 
-This is the single-process explorer (§6.1): it asks the strategy for the
-next fault, executes it through a runner (locally or via the cluster
-substrate in :mod:`repro.cluster`), scores the outcome with the impact
-metric (optionally weighted by an environment model, §7.5), feeds the
-result back to the strategy, and stops when the search target is met or
-the strategy exhausts the space.
+This is the explorer of §6.1: it asks the strategy for the next
+*generation* of faults, executes them through a runner (locally or via
+the cluster substrate in :mod:`repro.cluster`), scores each outcome with
+the impact metric (optionally weighted by an environment model, §7.5),
+feeds the results back to the strategy, and stops when the search target
+is met or the strategy exhausts the space.
+
+``batch_size=1`` (the default) is the paper's single-process loop and
+reproduces serial trajectories exactly: one proposal, one execution, one
+observation per iteration.  ``batch_size=k`` dispatches ``k``
+speculative candidates per round — sound for every bundled strategy
+(Algorithm 1 is stochastic beam search; see
+:meth:`~repro.core.search.base.SearchStrategy.propose_batch`) — and an
+optional ``batch_runner`` executes each generation on a parallel fabric
+(thread pool, process pool) instead of the in-process serial map.
 """
 
 from __future__ import annotations
 
 import random
-from collections.abc import Callable
+from collections.abc import Callable, Sequence
 
 from repro.core.faultspace import FaultSpace
 from repro.core.fault import Fault
@@ -29,6 +38,9 @@ __all__ = ["ExplorationSession"]
 #: runner signature: fault -> run outcome.
 Runner = Callable[[Fault], RunResult]
 
+#: batch-runner signature: faults -> run outcomes, in the same order.
+BatchRunner = Callable[[Sequence[Fault]], Sequence[RunResult]]
+
 
 class ExplorationSession:
     """Drives one strategy against one target until the goal is met."""
@@ -43,7 +55,11 @@ class ExplorationSession:
         rng: random.Random | int | None = None,
         environment: EnvironmentModel | None = None,
         on_test: Callable[[ExecutedTest], None] | None = None,
+        batch_size: int = 1,
+        batch_runner: BatchRunner | None = None,
     ) -> None:
+        if batch_size < 1:
+            raise SearchError(f"batch size must be >= 1, got {batch_size}")
         self.runner = runner
         self.space = space
         self.metric = metric
@@ -52,11 +68,21 @@ class ExplorationSession:
         self.rng = ensure_rng(rng)
         self.environment = environment
         self.on_test = on_test
+        self.batch_size = batch_size
+        self.batch_runner = batch_runner
         self.executed: list[ExecutedTest] = []
         self._started = False
 
     def run(self) -> ResultSet:
-        """Run the session to completion and return the result set."""
+        """Run the session to completion and return the result set.
+
+        Each round proposes up to ``batch_size`` candidates *before* any
+        of their results are observed, executes the whole generation,
+        then applies feedback in proposal order.  The stop criterion is
+        consulted between rounds, so a session may overshoot its target
+        by at most one batch — the §6.1 price of dispatch width (zero at
+        the default ``batch_size=1``).
+        """
         if self._started:
             raise SearchError(
                 "a session cannot be run twice; create a new session "
@@ -65,15 +91,34 @@ class ExplorationSession:
         self._started = True
         self.strategy.bind(self.space, self.rng)
         while not self.target.done(self.executed):
-            fault = self.strategy.propose()
-            if fault is None:
+            batch = self.strategy.propose_batch(self.batch_size)
+            if not batch:
                 break  # space exhausted (or strategy gave up)
-            self.execute_one(fault)
+            self._execute_batch(batch)
         return ResultSet(self.executed)
+
+    def _execute_batch(self, batch: list[Fault]) -> list[ExecutedTest]:
+        """Execute one generation and account results in proposal order."""
+        if self.batch_runner is not None and len(batch) > 1:
+            results = list(self.batch_runner(batch))
+            if len(results) != len(batch):
+                raise SearchError(
+                    f"batch runner returned {len(results)} results "
+                    f"for {len(batch)} faults"
+                )
+        else:
+            results = [self.runner(fault) for fault in batch]
+        return [
+            self._account(fault, result)
+            for fault, result in zip(batch, results)
+        ]
 
     def execute_one(self, fault: Fault) -> ExecutedTest:
         """Execute a single fault and account it (exposed for clusters)."""
-        result = self.runner(fault)
+        return self._account(fault, self.runner(fault))
+
+    def _account(self, fault: Fault, result: RunResult) -> ExecutedTest:
+        """Score, feed back, and record one executed fault."""
         impact = self.metric.score(result)
         if self.environment is not None:
             impact = self.environment.weight_impact(fault, impact)

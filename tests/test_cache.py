@@ -1,0 +1,190 @@
+"""Tests for the content-addressed result cache (core/cache.py)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.cache import ResultCache
+from repro.core.fault import Fault
+from repro.core.runner import TargetRunner
+
+
+def run_fault(coreutils, cache, test=1, function="malloc", call=1, trial=0):
+    runner = TargetRunner(coreutils, cache=cache)
+    return runner(Fault.of(test=test, function=function, call=call),
+                  trial=trial)
+
+
+class TestHitMiss:
+    def test_first_execution_misses_then_hits(self, coreutils):
+        cache = ResultCache()
+        first = run_fault(coreutils, cache)
+        assert cache.stats() == {"entries": 1, "hits": 0, "misses": 1,
+                                 "evictions": 0}
+        second = run_fault(coreutils, cache)
+        assert cache.hits == 1
+        assert second is first  # memoized object, not a re-execution
+
+    def test_distinct_faults_do_not_collide(self, coreutils):
+        cache = ResultCache()
+        run_fault(coreutils, cache, function="malloc")
+        run_fault(coreutils, cache, function="stat")
+        assert len(cache) == 2 and cache.hits == 0
+
+    def test_trial_is_part_of_the_identity(self, coreutils):
+        cache = ResultCache()
+        run_fault(coreutils, cache, trial=0)
+        run_fault(coreutils, cache, trial=1)
+        assert len(cache) == 2 and cache.hits == 0
+
+    def test_step_budget_is_part_of_the_identity(self, coreutils):
+        cache = ResultCache()
+        TargetRunner(coreutils, cache=cache, step_budget=50_000)(
+            Fault.of(test=1, function="malloc", call=1))
+        TargetRunner(coreutils, cache=cache, step_budget=100)(
+            Fault.of(test=1, function="malloc", call=1))
+        assert len(cache) == 2 and cache.hits == 0
+
+    def test_target_version_is_part_of_the_identity(self, docstore_old,
+                                                    docstore_new):
+        cache = ResultCache()
+        fault = Fault.of(test=1, function="malloc", call=0)
+        TargetRunner(docstore_old, cache=cache)(fault)
+        TargetRunner(docstore_new, cache=cache)(fault)
+        assert len(cache) == 2 and cache.hits == 0
+
+    def test_cached_result_equals_fresh_execution(self, coreutils):
+        cache = ResultCache()
+        fault = Fault.of(test=12, function="link", call=1)
+        cached = TargetRunner(coreutils, cache=cache)(fault)
+        fresh = TargetRunner(coreutils)(fault)
+        assert cached.summary() == fresh.summary()
+        assert cached.coverage == fresh.coverage
+        assert cached.steps == fresh.steps
+
+    def test_hit_rate(self, coreutils):
+        cache = ResultCache()
+        run_fault(coreutils, cache)
+        run_fault(coreutils, cache)
+        run_fault(coreutils, cache)
+        assert cache.hit_rate == pytest.approx(2 / 3)
+
+
+class TestEviction:
+    def test_lru_eviction_beyond_capacity(self, coreutils):
+        cache = ResultCache(capacity=2)
+        run_fault(coreutils, cache, function="malloc")
+        run_fault(coreutils, cache, function="stat")
+        run_fault(coreutils, cache, function="open")  # evicts malloc
+        assert len(cache) == 2 and cache.evictions == 1
+        run_fault(coreutils, cache, function="malloc")  # miss: re-executes
+        assert cache.misses == 4 and cache.hits == 0
+
+    def test_get_refreshes_recency(self, coreutils):
+        cache = ResultCache(capacity=2)
+        run_fault(coreutils, cache, function="malloc")
+        run_fault(coreutils, cache, function="stat")
+        run_fault(coreutils, cache, function="malloc")  # hit, refresh
+        run_fault(coreutils, cache, function="open")    # evicts stat
+        run_fault(coreutils, cache, function="malloc")  # still cached
+        assert cache.hits == 2
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            ResultCache(capacity=0)
+
+
+class TestPersistence:
+    def test_roundtrip_preserves_results(self, coreutils, tmp_path):
+        path = tmp_path / "cache.json"
+        cache = ResultCache()
+        original = run_fault(coreutils, cache, test=12, function="link")
+        cache.save(path)
+
+        warmed = ResultCache(path=path)
+        assert len(warmed) == 1
+        reloaded = run_fault(coreutils, warmed, test=12, function="link")
+        assert warmed.hits == 1  # served from disk, not re-executed
+        assert reloaded.summary() == original.summary()
+        assert reloaded.coverage == original.coverage
+        assert reloaded.plan.format() == original.plan.format()
+        assert reloaded.call_counts == original.call_counts
+        assert reloaded.invariant_violations == original.invariant_violations
+
+    def test_range_valued_attributes_survive_roundtrip(self, coreutils,
+                                                       tmp_path):
+        # Tuple attribute values (range-trigger faults) must address the
+        # same entry before and after JSON persistence.
+        path = tmp_path / "cache.json"
+        cache = ResultCache()
+        fault = Fault.of(test=12, function="malloc", call=(1, 2))
+        TargetRunner(coreutils, cache=cache)(fault)
+        cache.save(path)
+        warmed = ResultCache(path=path)
+        TargetRunner(coreutils, cache=warmed)(fault)
+        assert warmed.hits == 1
+
+    def test_save_requires_a_path(self, coreutils):
+        cache = ResultCache()
+        run_fault(coreutils, cache)
+        with pytest.raises(ValueError):
+            cache.save()
+
+    def test_default_path_loads_on_construction(self, coreutils, tmp_path):
+        path = tmp_path / "cache.json"
+        cache = ResultCache(path=path)
+        run_fault(coreutils, cache)
+        cache.save()
+        assert len(ResultCache(path=path)) == 1
+
+    def test_save_creates_parent_directories(self, coreutils, tmp_path):
+        path = tmp_path / "deep" / "nested" / "cache.json"
+        cache = ResultCache()
+        run_fault(coreutils, cache)
+        cache.save(path)
+        assert len(ResultCache(path=path)) == 1
+
+    def test_corrupt_cache_file_starts_cold(self, coreutils, tmp_path):
+        path = tmp_path / "cache.json"
+        path.write_text("garbage{{")
+        with pytest.warns(UserWarning, match="unreadable result cache"):
+            cache = ResultCache(path=path)
+        assert len(cache) == 0
+        run_fault(coreutils, cache)  # still usable
+        assert cache.misses == 1
+
+    def test_clear(self, coreutils):
+        cache = ResultCache()
+        run_fault(coreutils, cache)
+        cache.clear()
+        assert len(cache) == 0
+
+
+class TestSessionIntegration:
+    def test_second_identical_session_is_all_hits(self, coreutils):
+        from repro.core import (
+            ExplorationSession,
+            FaultSpace,
+            IterationBudget,
+            RandomSearch,
+            standard_impact,
+        )
+
+        space = FaultSpace.product(
+            test=range(1, 30), function=coreutils.libc_functions(),
+            call=[0, 1, 2],
+        )
+        cache = ResultCache()
+
+        def explore():
+            return ExplorationSession(
+                TargetRunner(coreutils, cache=cache), space,
+                standard_impact(), RandomSearch(), IterationBudget(40),
+                rng=5,
+            ).run()
+
+        first = explore()
+        assert cache.misses == 40 and cache.hits == 0
+        second = explore()
+        assert cache.hits == 40  # every re-executed fault was memoized
+        assert second.to_json() == first.to_json()

@@ -187,6 +187,31 @@ class TestVirtualCluster:
         cluster = VirtualCluster([NodeManager("n", CoreutilsTarget())])
         assert cluster.speedup_over_serial() == 1.0
 
+    def test_heap_placement_matches_min_scan_reference(self):
+        """Regression for the heap-based scheduler: placements — and so
+        node_clocks, makespan, and speedup — must be identical to the
+        original O(n) min() scan, including its tie-break on the lowest
+        node index."""
+        nodes = 5
+        managers = [NodeManager(f"n{i}", CoreutilsTarget())
+                    for i in range(nodes)]
+        cluster = VirtualCluster(managers)
+        reports = cluster.run_batch([
+            request({"test": 1 + i % 29, "function": "stat", "call": 1}, i)
+            for i in range(40)
+        ])
+
+        # Replay the observed cost sequence through the pre-heap
+        # scheduler, verbatim.
+        reference = [0.0] * nodes
+        for report in reports:
+            node = reference.index(min(reference))
+            reference[node] += report.cost
+        assert cluster.node_clocks == reference
+        assert cluster.makespan == max(reference)
+        assert cluster.speedup_over_serial() == pytest.approx(
+            sum(reference) / max(reference))
+
 
 class TestClusterExplorer:
     def test_end_to_end_exploration(self):
