@@ -2,17 +2,33 @@
 
 An explorer coordinates node managers, each owning a copy of the system
 under test, a fault-injector plugin, and a sensor set.  This example
-runs a real thread-pool cluster over MiniHttpd, then models the same
-exploration on virtual 1/4/14-node clusters to show the §7.7 linear
-scaling.
+runs a real thread-pool cluster over MiniHttpd — hardened by the
+fault-tolerance layer and checkpointed so a killed run can resume —
+then models the same exploration on virtual 1/4/14-node clusters to
+show the §7.7 linear scaling.
 
 Run:  python examples/distributed_exploration.py
+
+Crash-resume drill (what the CI chaos-smoke job does)::
+
+    # run and die after 150 tests, leaving a checkpoint behind
+    python examples/distributed_exploration.py \
+        --checkpoint /tmp/ck.json --checkpoint-every 40 --die-after 150
+    # resume: continues where the checkpoint left off, and the final
+    # "history digest" line matches an uninterrupted run's exactly
+    python examples/distributed_exploration.py \
+        --checkpoint /tmp/ck.json --resume /tmp/ck.json
 """
+
+import argparse
+import os
 
 from repro.cluster import (
     ClusterExplorer,
+    FaultTolerantFabric,
     LocalCluster,
     NodeManager,
+    RetryPolicy,
     VirtualCluster,
 )
 from repro.core import (
@@ -21,6 +37,7 @@ from repro.core import (
     IterationBudget,
     standard_impact,
 )
+from repro.core.checkpoint import history_digest, load_checkpoint
 from repro.sim.targets.httpd import HTTPD_FUNCTIONS
 from repro import target_by_name
 from repro.util.tables import TextTable
@@ -32,24 +49,57 @@ def httpd_space() -> FaultSpace:
     )
 
 
-def main() -> None:
-    # -- a real (thread-pool) 4-node cluster -------------------------------
+def main(argv: list[str] | None = None) -> None:
+    # argv=None means "no flags" (the test harness imports and calls
+    # main() directly); the script entry point passes sys.argv[1:].
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--iterations", type=int, default=400)
+    parser.add_argument("--checkpoint", default=None, metavar="PATH",
+                        help="write resume snapshots to PATH")
+    parser.add_argument("--checkpoint-every", type=int, default=40,
+                        help="snapshot interval in executed tests")
+    parser.add_argument("--resume", default=None, metavar="PATH",
+                        help="resume from a checkpoint written earlier")
+    parser.add_argument("--die-after", type=int, default=None, metavar="N",
+                        help="simulate a crash: hard-exit (code 137) after "
+                        "N executed tests")
+    args = parser.parse_args([] if argv is None else argv)
+
+    # -- a real (thread-pool) 4-node cluster, hardened ---------------------
     managers = [
         NodeManager(f"node{i}", target_by_name("httpd")) for i in range(4)
     ]
+    fabric = FaultTolerantFabric(LocalCluster(managers), policy=RetryPolicy())
+
+    die_after = args.die_after
+
+    def maybe_die(executed) -> None:
+        # A deterministic stand-in for `kill -9`: the checkpoint on disk
+        # is all the next run gets.
+        if die_after is not None and executed.index + 1 >= die_after:
+            print(f"simulated crash after {executed.index + 1} tests "
+                  f"(checkpoint: {args.checkpoint})", flush=True)
+            os._exit(137)
+
     explorer = ClusterExplorer(
-        LocalCluster(managers),
+        fabric,
         httpd_space(),
         standard_impact(),
         FitnessGuidedSearch(),
-        IterationBudget(400),
+        IterationBudget(args.iterations),
         rng=5,
+        on_test=maybe_die if die_after is not None else None,
+        checkpoint_path=args.checkpoint,
+        checkpoint_every=args.checkpoint_every,
+        resume_from=load_checkpoint(args.resume) if args.resume else None,
     )
     results = explorer.run()
     print(f"4-node cluster executed {len(results)} tests: "
           f"{results.failed_count()} failed, {results.crash_count()} crashed")
     for manager in managers:
         print(f"  {manager.describe()}")
+    print(f"fabric health: {fabric.health.describe()}")
+    print(f"history digest: {history_digest(list(results))}")
 
     # -- virtual-time scaling, 1 vs 4 vs 14 nodes ---------------------------
     table = TextTable(["nodes", "virtual makespan (ms)", "speedup"],
@@ -73,4 +123,6 @@ def main() -> None:
 
 
 if __name__ == "__main__":
-    main()
+    import sys
+
+    main(sys.argv[1:])

@@ -19,8 +19,10 @@ from __future__ import annotations
 import time
 from collections.abc import Callable
 from dataclasses import dataclass, field
+from pathlib import Path
 
 from repro.core.cache import ResultCache
+from repro.core.checkpoint import Checkpoint, load_checkpoint
 from repro.core.faultspace import FaultSpace
 from repro.core.impact import ImpactMetric, standard_impact
 from repro.core.results import ResultSet
@@ -55,6 +57,15 @@ class CampaignJob:
     duplicate tests free.  The process fabric needs a picklable
     ``target_factory``; without one it degrades gracefully to in-process
     execution.
+
+    Jobs are **fault-tolerant and resumable**: every parallel fabric is
+    wrapped in a :class:`~repro.cluster.FaultTolerantFabric` governed by
+    ``retry_policy`` / ``dispatch_deadline`` (its
+    :class:`~repro.cluster.FabricHealth` record lands in the outcome and
+    report), and ``checkpoint_path`` / ``checkpoint_every`` /
+    ``resume_from`` snapshot and restore the exploration so a killed
+    campaign continues byte-identically (see
+    :mod:`repro.core.checkpoint`).
     """
 
     name: str
@@ -70,6 +81,16 @@ class CampaignJob:
     batch_size: int | None = None
     cache: ResultCache | None = None
     target_factory: Callable[[], Target] | None = None
+    #: recovery policy for parallel fabrics (None = library default).
+    retry_policy: "object | None" = None
+    #: per-dispatch deadline in seconds for parallel fabrics.
+    dispatch_deadline: float | None = None
+    checkpoint_path: str | Path | None = None
+    checkpoint_every: int = 0
+    #: a Checkpoint, or a path to one, to resume from.
+    resume_from: Checkpoint | str | Path | None = None
+    #: fabric health of the last execution (set by :meth:`execute`).
+    fabric_health: "object | None" = field(default=None, compare=False)
 
     def execute(self) -> tuple[TargetRunner, ResultSet, SearchStrategy]:
         """Run the job, returning (runner for re-execution, results,
@@ -84,6 +105,10 @@ class CampaignJob:
         runner = TargetRunner(self.target, cache=self.cache)
         stop = self.stop or IterationBudget(self.iterations)
         strategy = self.strategy_factory()
+        resume = self.resume_from
+        if isinstance(resume, (str, Path)):
+            resume = load_checkpoint(resume)
+        meta = {"job": self.name, "seed": self.seed, "fabric": fabric}
         if fabric == "serial":
             session = ExplorationSession(
                 runner=runner,
@@ -93,14 +118,21 @@ class CampaignJob:
                 target=stop,
                 rng=self.seed,
                 batch_size=self.batch_size or 1,
+                checkpoint_path=self.checkpoint_path,
+                checkpoint_every=self.checkpoint_every,
+                checkpoint_meta=meta,
+                resume_from=resume,
             )
+            self.fabric_health = None
             return runner, session.run(), strategy
 
         from repro.cluster import (
             ClusterExplorer,
+            FaultTolerantFabric,
             LocalCluster,
             NodeManager,
             ProcessPoolCluster,
+            RetryPolicy,
             VirtualCluster,
         )
 
@@ -108,10 +140,14 @@ class CampaignJob:
         pool: ProcessPoolCluster | None = None
         if fabric == "processes":
             # Without a picklable factory the pool degrades to in-process
-            # execution on its own — same results, no parallelism.
+            # execution on its own — same results, no parallelism.  The
+            # pool carries its own retry/deadline machinery, so it is not
+            # wrapped again below.
             factory = self.target_factory or (lambda: self.target)
             cluster = pool = ProcessPoolCluster(
-                factory, workers=nodes, name=self.name
+                factory, workers=nodes, name=self.name,
+                retry_policy=self.retry_policy or RetryPolicy(),
+                dispatch_deadline=self.dispatch_deadline,
             )
         else:
             self.target.suite  # pre-build once; managers then share it safely
@@ -120,8 +156,13 @@ class CampaignJob:
                             cache=self.cache)
                 for i in range(nodes)
             ]
-            cluster = (LocalCluster(managers) if fabric == "threads"
-                       else VirtualCluster(managers))
+            inner = (LocalCluster(managers) if fabric == "threads"
+                     else VirtualCluster(managers))
+            cluster = FaultTolerantFabric(
+                inner,
+                policy=self.retry_policy or RetryPolicy(),
+                dispatch_deadline=self.dispatch_deadline,
+            )
         explorer = ClusterExplorer(
             cluster,
             self.space,
@@ -130,12 +171,17 @@ class CampaignJob:
             stop,
             rng=self.seed,
             batch_size=self.batch_size,
+            checkpoint_path=self.checkpoint_path,
+            checkpoint_every=self.checkpoint_every,
+            checkpoint_meta=meta,
+            resume_from=resume,
         )
         try:
             results = explorer.run()
         finally:
             if pool is not None:
                 pool.close()
+        self.fabric_health = explorer.health
         return runner, results, strategy
 
 
@@ -149,6 +195,8 @@ class CampaignOutcome:
     seconds: float
     #: name of the strategy instance that actually ran the job.
     strategy_name: str = ""
+    #: the fabric's fault-tolerance record (None on serial jobs).
+    fabric_health: object | None = None
 
     @property
     def verdict(self) -> str:
@@ -188,6 +236,7 @@ class Campaign:
                 strategy_name=strategy.name,
                 top_n=report_top_n,
                 of=lambda t: t.failed,
+                fabric_health=job.fabric_health,
             )
             outcomes.append(CampaignOutcome(
                 job=job,
@@ -195,6 +244,7 @@ class Campaign:
                 report=report,
                 seconds=time.perf_counter() - started,
                 strategy_name=strategy.name,
+                fabric_health=job.fabric_health,
             ))
         return outcomes
 
@@ -203,10 +253,11 @@ class Campaign:
         """The combined certification summary across all jobs."""
         table = TextTable(
             ["system", "verdict", "tests", "failed", "crashes", "hangs",
-             "clusters", "time (s)"],
+             "clusters", "retries", "time (s)"],
             title="certification campaign scorecard",
         )
         for outcome in outcomes:
+            health = outcome.fabric_health
             table.add_row([
                 outcome.job.name,
                 outcome.verdict,
@@ -215,6 +266,7 @@ class Campaign:
                 outcome.results.crash_count(),
                 len(outcome.results.hangs()),
                 outcome.report.cluster_count,
+                "-" if health is None else getattr(health, "retries", 0),
                 f"{outcome.seconds:.1f}",
             ])
         return table

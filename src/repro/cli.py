@@ -98,6 +98,26 @@ def build_parser() -> argparse.ArgumentParser:
         help="persistent JSON result cache; duplicate executions across "
         "runs are replayed from it for free",
     )
+    run.add_argument(
+        "--checkpoint", default=None, metavar="PATH",
+        help="write versioned resume snapshots to PATH between rounds",
+    )
+    run.add_argument(
+        "--checkpoint-every", type=_positive_int, default=25,
+        help="snapshot interval in executed tests (with --checkpoint; "
+        "default 25)",
+    )
+    run.add_argument(
+        "--resume", default=None, metavar="PATH",
+        help="resume a killed run from a checkpoint written with "
+        "--checkpoint; target/strategy/seed/batch flags must match the "
+        "original run",
+    )
+    run.add_argument(
+        "--dispatch-deadline", type=float, default=None, metavar="SECONDS",
+        help="per-dispatch deadline on parallel fabrics; hung dispatches "
+        "are re-queued and retried (default: wait forever)",
+    )
 
     structure = sub.add_parser(
         "map", help="print a Fig. 1-style fault-space structure map"
@@ -178,6 +198,19 @@ def _explore_on_fabric(args: argparse.Namespace, target, space, strategy):
               "cannot share an in-memory cache); use serial or threads")
     cache = (ResultCache(path=args.cache)
              if args.cache and fabric != "processes" else None)
+    resume = None
+    if getattr(args, "resume", None):
+        from repro.core.checkpoint import load_checkpoint
+
+        resume = load_checkpoint(args.resume)
+    checkpoint_path = getattr(args, "checkpoint", None)
+    checkpoint_every = getattr(args, "checkpoint_every", 0)
+    checkpoint_meta = {
+        "target": args.target, "strategy": args.strategy,
+        "seed": args.seed, "iterations": args.iterations,
+        "fabric": fabric,
+    }
+    health = None
     started = time.perf_counter()
     if fabric == "serial":
         session = ExplorationSession(
@@ -188,6 +221,10 @@ def _explore_on_fabric(args: argparse.Namespace, target, space, strategy):
             target=IterationBudget(args.iterations),
             rng=args.seed,
             batch_size=args.batch_size or 1,
+            checkpoint_path=checkpoint_path,
+            checkpoint_every=checkpoint_every,
+            checkpoint_meta=checkpoint_meta,
+            resume_from=resume,
         )
         results = session.run()
     else:
@@ -195,25 +232,33 @@ def _explore_on_fabric(args: argparse.Namespace, target, space, strategy):
 
         from repro.cluster import (
             ClusterExplorer,
+            FaultTolerantFabric,
             LocalCluster,
             NodeManager,
             ProcessPoolCluster,
+            RetryPolicy,
             VirtualCluster,
         )
 
+        deadline = getattr(args, "dispatch_deadline", None)
         pool = None
         if fabric == "processes":
+            # The pool carries its own retry/deadline machinery.
             cluster = pool = ProcessPoolCluster(
                 functools.partial(target_by_name, args.target),
                 workers=args.workers,
+                dispatch_deadline=deadline,
             )
         else:
             managers = [
                 NodeManager(f"node{i}", target, cache=cache)
                 for i in range(args.workers)
             ]
-            cluster = (LocalCluster(managers) if fabric == "threads"
-                       else VirtualCluster(managers))
+            inner = (LocalCluster(managers) if fabric == "threads"
+                     else VirtualCluster(managers))
+            cluster = FaultTolerantFabric(
+                inner, policy=RetryPolicy(), dispatch_deadline=deadline,
+            )
         explorer = ClusterExplorer(
             cluster,
             space,
@@ -222,16 +267,21 @@ def _explore_on_fabric(args: argparse.Namespace, target, space, strategy):
             IterationBudget(args.iterations),
             rng=args.seed,
             batch_size=args.batch_size,
+            checkpoint_path=checkpoint_path,
+            checkpoint_every=checkpoint_every,
+            checkpoint_meta=checkpoint_meta,
+            resume_from=resume,
         )
         try:
             results = explorer.run()
         finally:
             if pool is not None:
                 pool.close()
+        health = explorer.health
     elapsed = time.perf_counter() - started
     if cache is not None and args.cache:
         cache.save()
-    return results, elapsed, cache
+    return results, elapsed, cache, health
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
@@ -250,7 +300,11 @@ def _cmd_run(args: argparse.Namespace) -> int:
             print("--feedback requires the fitness strategy")
             return 2
         strategy.fitness_weight = RedundancyFeedback()
-    results, elapsed, cache = _explore_on_fabric(args, target, space, strategy)
+    results, elapsed, cache, health = _explore_on_fabric(
+        args, target, space, strategy
+    )
+
+    from repro.core.checkpoint import history_digest
 
     summary = results.summary()
     table = TextTable(["metric", "value"], title=f"afex run: {target.describe()}")
@@ -264,7 +318,16 @@ def _cmd_run(args: argparse.Namespace) -> int:
         stats = cache.stats()
         table.add_row(["cache hits/misses",
                        f"{stats['hits']}/{stats['misses']}"])
+    if health is not None:
+        table.add_row(["fabric health", health.describe()])
     print(table.render())
+    # Stable content digest of the result history: two runs print the
+    # same line iff their histories are byte-identical (what the CI
+    # kill-and-resume round-trip greps for).
+    print(f"history digest: {history_digest(list(results))}")
+    if args.checkpoint:
+        print(f"checkpoint: {args.checkpoint} "
+              f"(resume with --resume {args.checkpoint})")
 
     top = results.top(args.top)
     if top:

@@ -23,12 +23,29 @@ Three execution fabrics are provided:
   substitute with an explicit accounting of per-node busy time (valid
   because tests are independent — the "embarrassing parallelism" the
   paper leans on).
+
+Every fabric can be hardened with the
+:mod:`~repro.cluster.fault_tolerance` layer —
+:class:`~repro.cluster.fault_tolerance.FaultTolerantFabric` adds
+per-dispatch deadlines, report validation, retry with exponential
+backoff, and heartbeat-based liveness tracking around any of them, and
+the process pool replaces dead workers on its own.  The
+:class:`~repro.cluster.chaos.ChaosCluster` test double sabotages
+dispatches on purpose (kills, hangs, corrupt and dropped reports) to
+prove the recovery machinery actually recovers.
 """
 
+from repro.cluster.chaos import ChaosCluster
 from repro.cluster.explorer_node import ClusterExplorer, ExecutionFabric
+from repro.cluster.fault_tolerance import (
+    FabricHealth,
+    FaultTolerantFabric,
+    HeartbeatMonitor,
+    RetryPolicy,
+)
 from repro.cluster.local import LocalCluster, VirtualCluster
 from repro.cluster.manager import NodeManager
-from repro.cluster.messages import TestReport, TestRequest
+from repro.cluster.messages import TestReport, TestRequest, WorkerHeartbeat
 from repro.cluster.process_pool import ProcessPoolCluster
 from repro.cluster.scripts import ScriptTarget, UserScripts
 from repro.cluster.sensors import (
@@ -40,14 +57,19 @@ from repro.cluster.sensors import (
 )
 
 __all__ = [
+    "ChaosCluster",
     "ClusterExplorer",
     "CoverageSensor",
     "CrashSensor",
     "ExecutionFabric",
     "ExitCodeSensor",
+    "FabricHealth",
+    "FaultTolerantFabric",
+    "HeartbeatMonitor",
     "LocalCluster",
     "NodeManager",
     "ProcessPoolCluster",
+    "RetryPolicy",
     "ScriptTarget",
     "Sensor",
     "StepSensor",
@@ -55,4 +77,5 @@ __all__ = [
     "TestRequest",
     "UserScripts",
     "VirtualCluster",
+    "WorkerHeartbeat",
 ]

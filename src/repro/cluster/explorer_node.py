@@ -19,9 +19,13 @@ computed, not what is measured.
 from __future__ import annotations
 
 import random
+from collections.abc import Callable
+from pathlib import Path
 from typing import Protocol
 
+from repro.cluster.fault_tolerance import FabricHealth
 from repro.cluster.messages import TestReport, TestRequest
+from repro.core.checkpoint import Checkpoint, CheckpointWriter, replay_history
 from repro.core.fault import Fault
 from repro.core.faultspace import FaultSpace
 from repro.core.impact import ImpactMetric
@@ -64,6 +68,11 @@ class ClusterExplorer:
         rng: random.Random | int | None = None,
         batch_size: int | None = None,
         environment: EnvironmentModel | None = None,
+        on_test: Callable[[ExecutedTest], None] | None = None,
+        checkpoint_path: str | Path | None = None,
+        checkpoint_every: int = 0,
+        checkpoint_meta: dict[str, object] | None = None,
+        resume_from: Checkpoint | None = None,
     ) -> None:
         self.cluster = cluster
         self.space = space
@@ -72,14 +81,41 @@ class ClusterExplorer:
         self.target = target
         self.rng = ensure_rng(rng)
         self.environment = environment
+        self.on_test = on_test
         self.batch_size = len(cluster) if batch_size is None else batch_size
         if self.batch_size < 1:
             raise ClusterError(f"batch size must be >= 1, got {self.batch_size}")
+        self.resume_from = resume_from
+        self.checkpointer = (
+            CheckpointWriter(
+                checkpoint_path, checkpoint_every, space, self.batch_size,
+                meta=checkpoint_meta,
+                meta_provider=self._health_meta,
+            )
+            if checkpoint_path is not None else None
+        )
         self.executed: list[ExecutedTest] = []
         self._next_request_id = 0
 
+    @property
+    def health(self) -> FabricHealth | None:
+        """The fabric's fault-tolerance record, when it keeps one."""
+        return getattr(self.cluster, "health", None)
+
+    def _health_meta(self) -> dict[str, object]:
+        health = self.health
+        return {"fabric_health": health.as_dict()} if health else {}
+
     def run(self) -> ResultSet:
         self.strategy.bind(self.space, self.rng)
+        if self.resume_from is not None:
+            replayed = replay_history(
+                self.resume_from, self.strategy, self.batch_size,
+                self.space, self._account_result, rng=self.rng,
+            )
+            # Replayed tests were dispatched by the original run;
+            # request ids continue where it left off.
+            self._next_request_id = replayed
         while not self.target.done(self.executed):
             batch = self._propose_batch()
             if not batch:
@@ -88,6 +124,10 @@ class ClusterExplorer:
             reports = self.cluster.run_batch(requests)
             for fault, report in zip(batch, reports):
                 self._account(fault, report)
+            if self.checkpointer is not None:
+                self.checkpointer.maybe_write(self.executed, self.rng)
+        if self.checkpointer is not None:
+            self.checkpointer.maybe_write(self.executed, self.rng, force=True)
         return ResultSet(self.executed)
 
     def _propose_batch(self) -> list[Fault]:
@@ -102,19 +142,26 @@ class ClusterExplorer:
             scenario=fault.as_dict(),
         )
 
-    def _account(self, fault: Fault, report: TestReport) -> None:
-        result = _report_to_result(fault, report)
+    def _account(self, fault: Fault, report: TestReport) -> ExecutedTest:
+        return self._account_result(fault, _report_to_result(fault, report))
+
+    def _account_result(self, fault: Fault, result: RunResult) -> ExecutedTest:
+        """Score, feed back, and record one result (live or replayed)."""
         impact = self.metric.score(result)
         if self.environment is not None:
             impact = self.environment.weight_impact(fault, impact)
         self.strategy.observe(fault, impact, result)
-        self.executed.append(ExecutedTest(
+        executed = ExecutedTest(
             index=len(self.executed),
             fault=fault,
             result=result,
             impact=impact,
             fitness=impact,
-        ))
+        )
+        self.executed.append(executed)
+        if self.on_test is not None:
+            self.on_test(executed)
+        return executed
 
 
 def _report_to_result(fault: Fault, report: TestReport) -> RunResult:

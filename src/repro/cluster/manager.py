@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import time
 
-from repro.cluster.messages import TestReport, TestRequest
+from repro.cluster.messages import TestReport, TestRequest, WorkerHeartbeat
 from repro.cluster.sensors import Sensor, default_sensors
 from repro.core.cache import ResultCache
 from repro.core.fault import Fault
@@ -86,6 +86,20 @@ class NodeManager:
             measurements=measurements,
             cost=cost,
             invariant_violations=result.invariant_violations,
+        )
+
+    def heartbeat(self) -> WorkerHeartbeat:
+        """Liveness probe: who I am and how much I have done.
+
+        The fault-tolerance layer polls this between dispatch rounds;
+        a manager that stops answering (or whose ``executed`` counter
+        resets) is treated as dead and its work re-dispatched.
+        """
+        return WorkerHeartbeat(
+            manager=self.name,
+            executed=self.executed,
+            busy_seconds=self.busy_seconds,
+            sent_at=time.monotonic(),
         )
 
     def describe(self) -> str:

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-__all__ = ["TestRequest", "TestReport"]
+__all__ = ["TestRequest", "TestReport", "WorkerHeartbeat"]
 
 
 @dataclass(frozen=True)
@@ -59,3 +59,23 @@ class TestReport:
     @property
     def hung(self) -> bool:
         return self.crash_kind == "hang"
+
+
+@dataclass(frozen=True)
+class WorkerHeartbeat:
+    """Manager → explorer: liveness signal with load accounting.
+
+    Emitted on demand by :meth:`~repro.cluster.manager.NodeManager.
+    heartbeat` and consumed by the fault-tolerance layer's
+    :class:`~repro.cluster.fault_tolerance.HeartbeatMonitor`; a worker
+    whose beats stop arriving is declared dead and its in-flight work
+    is re-dispatched.
+    """
+
+    manager: str
+    #: tests executed so far (monotonic; a reset implies a restart).
+    executed: int
+    #: cumulative busy time in seconds.
+    busy_seconds: float
+    #: manager-side monotonic send time.
+    sent_at: float

@@ -19,12 +19,20 @@ which is exactly how the paper's prototype ran on 1–14 EC2 machines
   round-trips would drown the speedup in pickling);
 * reports return **in request order** regardless of completion order,
   keeping explorer bookkeeping deterministic, same as the other fabrics;
+* the pool is **fault-tolerant**: each chunk future is bounded by an
+  optional ``dispatch_deadline``, a chunk lost to a dead or hung worker
+  is retried with exponential backoff under the
+  :class:`~repro.cluster.fault_tolerance.RetryPolicy`, dead workers are
+  replaced by rebuilding the executor, and every recovery action is
+  tallied in a :class:`~repro.cluster.fault_tolerance.FabricHealth`
+  record;
 * construction takes a zero-argument **target factory** (e.g.
   ``functools.partial(target_by_name, "minidb")``) because target
   instances themselves close over test bodies and cannot be pickled;
-  when the factory itself is unpicklable (a lambda, a closure), the
-  cluster degrades **gracefully to an in-process LocalCluster** instead
-  of failing — same results, no parallelism.
+  when the factory itself is unpicklable (a lambda, a closure), or the
+  retry budget is exhausted, the cluster degrades **gracefully to an
+  in-process LocalCluster** — same results, no parallelism — warning
+  exactly once when the degradation engages.
 """
 
 from __future__ import annotations
@@ -32,9 +40,18 @@ from __future__ import annotations
 import multiprocessing
 import os
 import pickle
+import random
+import time
+import warnings
 from collections.abc import Callable
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import TimeoutError as _FutureTimeout
 
+from repro.cluster.fault_tolerance import (
+    FabricHealth,
+    HeartbeatMonitor,
+    RetryPolicy,
+)
 from repro.cluster.local import LocalCluster
 from repro.cluster.manager import NodeManager
 from repro.cluster.messages import TestReport, TestRequest
@@ -81,16 +98,30 @@ class ProcessPoolCluster:
         step_budget: int = DEFAULT_STEP_BUDGET,
         name: str = "procpool",
         mp_context: str | None = None,
+        retry_policy: RetryPolicy | None = None,
+        dispatch_deadline: float | None = None,
+        sleep: Callable[[float], None] = time.sleep,
     ) -> None:
         if workers is not None and workers < 1:
             raise ClusterError(f"a process pool needs >= 1 worker, got {workers}")
+        if dispatch_deadline is not None and dispatch_deadline <= 0:
+            raise ClusterError(
+                f"dispatch deadline must be positive, got {dispatch_deadline}"
+            )
         self.target_factory = target_factory
         self.workers = workers or (os.cpu_count() or 1)
         self.step_budget = step_budget
         self.name = name
+        self.retry_policy = retry_policy or RetryPolicy()
+        self.dispatch_deadline = dispatch_deadline
+        self.health = FabricHealth()
+        self.monitor = HeartbeatMonitor()
+        self._sleep = sleep
+        self._retry_rng = random.Random(0)
         self._mp_context = mp_context
         self._executor: ProcessPoolExecutor | None = None
         self._fallback: LocalCluster | None = None
+        self._fallback_warned = False
         #: why the fallback engaged, for operator-facing diagnostics.
         self.fallback_reason: str | None = None
         try:
@@ -127,8 +158,29 @@ class ProcessPoolCluster:
             )
         return self._executor
 
+    def _replace_workers(self) -> None:
+        """Tear the pool down and let the next dispatch rebuild it.
+
+        A worker that died took its siblings' executor down with it
+        (that is how :class:`ProcessPoolExecutor` reports a crash), and
+        a worker that hangs holds its slot forever — either way the
+        only safe recovery is fresh processes.
+        """
+        if self._executor is not None:
+            self._executor.shutdown(wait=False, cancel_futures=True)
+            self._executor = None
+            self.health.worker_replacements += 1
+
     def _ensure_fallback(self) -> LocalCluster:
         if self._fallback is None:
+            if not self._fallback_warned:
+                self._fallback_warned = True
+                self.health.fallbacks += 1
+                warnings.warn(
+                    f"{self.name}: degrading to in-process execution — "
+                    f"{self.fallback_reason or 'process pool unavailable'}",
+                    stacklevel=3,
+                )
             self._fallback = LocalCluster([
                 NodeManager(
                     f"{self.name}-fallback{i}",
@@ -144,6 +196,10 @@ class ProcessPoolCluster:
 
         Reports come back in request order regardless of worker
         completion order, so explorer bookkeeping stays deterministic.
+        A chunk lost to a dead, hung, or lying worker is re-dispatched
+        (with backoff) onto replacement workers; only when the retry
+        budget is exhausted does the batch degrade to in-process
+        execution.
         """
         if not requests:
             return []
@@ -152,25 +208,94 @@ class ProcessPoolCluster:
         chunks: list[list[TestRequest]] = [[] for _ in range(self.workers)]
         for i, request in enumerate(requests):
             chunks[i % self.workers].append(request)
+        reports: dict[int, TestReport] = {}
+        pending = [chunk for chunk in chunks if chunk]
+        attempt = 0
+        while pending:
+            self.health.dispatches += 1
+            self.health.requests += sum(len(chunk) for chunk in pending)
+            failed = self._dispatch_round(pending, reports)
+            if not failed:
+                break
+            attempt += 1
+            if attempt >= self.retry_policy.max_attempts:
+                # Retry budget exhausted: finish the survivors in
+                # process rather than losing the exploration.
+                self.fallback_reason = (
+                    f"process pool still failing after {attempt} attempts "
+                    f"({self.retry_policy.describe()})"
+                )
+                remaining = [r for chunk, _ in failed for r in chunk]
+                for report in self._ensure_fallback().run_batch(remaining):
+                    reports[report.request_id] = report
+                break
+            for chunk, cause in failed:
+                self.health.record_retry(cause, len(chunk))
+            delay = self.retry_policy.delay_for(attempt, self._retry_rng)
+            if delay > 0:
+                self._sleep(delay)
+            pending = [chunk for chunk, _ in failed]
+        return [reports[r.request_id] for r in requests]
+
+    def _dispatch_round(
+        self,
+        pending: list[list[TestRequest]],
+        reports: dict[int, TestReport],
+    ) -> list[tuple[list[TestRequest], str]]:
+        """One dispatch of every pending chunk; returns what must retry.
+
+        Each entry of the returned list is ``(requests, cause)`` with
+        ``cause`` one of ``timeout`` (deadline hit — a straggler),
+        ``error`` (worker death / broken pool), or ``missing`` (the
+        worker answered but dropped or corrupted reports).
+        """
+        failed: list[tuple[list[TestRequest], str]] = []
         try:
             executor = self._ensure_executor()
             futures = [
-                executor.submit(_worker_run_chunk, chunk)
-                for chunk in chunks
-                if chunk
+                (executor.submit(_worker_run_chunk, chunk), chunk)
+                for chunk in pending
             ]
-            reports: dict[int, TestReport] = {}
-            for future in futures:
-                for report in future.result():
-                    reports[report.request_id] = report
-        except Exception as exc:
-            # A broken pool (killed worker, unpicklable payload we did
-            # not predict) degrades to in-process execution rather than
-            # losing the exploration.
-            self.fallback_reason = f"process pool failed ({exc!r})"
-            self.close()
-            return self._ensure_fallback().run_batch(requests)
-        return [reports[r.request_id] for r in requests]
+        except Exception:
+            self.health.worker_deaths += 1
+            self._replace_workers()
+            return [(chunk, "error") for chunk in pending]
+        replaced_this_round = False
+        for future, chunk in futures:
+            expected = {r.request_id for r in chunk}
+            try:
+                received = future.result(timeout=self.dispatch_deadline)
+            except _FutureTimeout:
+                self.health.timeouts += 1
+                self.health.stragglers += len(chunk)
+                future.cancel()
+                if not replaced_this_round:
+                    # The straggling worker keeps its slot until the
+                    # pool is rebuilt; replacements take over.
+                    self._replace_workers()
+                    replaced_this_round = True
+                failed.append((chunk, "timeout"))
+                continue
+            except Exception:
+                self.health.worker_deaths += 1
+                if not replaced_this_round:
+                    self._replace_workers()
+                    replaced_this_round = True
+                failed.append((chunk, "error"))
+                continue
+            for report in received:
+                request_id = getattr(report, "request_id", None)
+                if (not isinstance(report, TestReport)
+                        or request_id not in expected):
+                    self.health.corrupt_reports += 1
+                    continue
+                reports[request_id] = report
+                self.health.completed += 1
+                self.monitor.observe(report)
+            still = [r for r in chunk if r.request_id not in reports]
+            if still:
+                failed.append((still, "missing"))
+        return failed
 
     def close(self) -> None:
         """Shut the worker processes down (idempotent)."""
@@ -186,4 +311,7 @@ class ProcessPoolCluster:
 
     def describe(self) -> str:
         mode = "degraded/in-process" if self.is_degraded else "multiprocess"
-        return f"{self.name}: {self.workers} workers ({mode})"
+        return (
+            f"{self.name}: {self.workers} workers ({mode}), "
+            f"{self.retry_policy.describe()}"
+        )

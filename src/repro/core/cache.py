@@ -27,6 +27,8 @@ version requires clearing the cache.
 from __future__ import annotations
 
 import json
+import os
+import tempfile
 import threading
 import warnings
 from collections import OrderedDict
@@ -37,7 +39,13 @@ from typing import TYPE_CHECKING
 if TYPE_CHECKING:  # pragma: no cover
     from repro.sim.process import RunResult
 
-__all__ = ["CacheKey", "ResultCache"]
+__all__ = [
+    "CacheKey",
+    "ResultCache",
+    "result_to_payload",
+    "result_from_payload",
+    "write_json_atomically",
+]
 
 #: a fully-resolved execution identity, suitable as a dict key.
 CacheKey = str
@@ -159,11 +167,16 @@ class ResultCache:
     # -- persistence -----------------------------------------------------------
 
     def save(self, path: str | Path | None = None) -> None:
-        """Persist every live entry as JSON (LRU order preserved)."""
+        """Persist every live entry as JSON (LRU order preserved).
+
+        The write is atomic: the payload goes to a temporary file in
+        the destination directory, is fsynced, and is then renamed over
+        the destination with :func:`os.replace` — a crash mid-save can
+        leave a stale cache, never a corrupt one.
+        """
         destination = Path(path) if path is not None else self.path
         if destination is None:
             raise ValueError("no path given and cache has no default path")
-        destination.parent.mkdir(parents=True, exist_ok=True)
         with self._lock:
             payload = {
                 "version": 1,
@@ -173,7 +186,7 @@ class ResultCache:
                     for key, result in self._entries.items()
                 ],
             }
-        destination.write_text(json.dumps(payload))
+        write_json_atomically(destination, payload)
 
     def load(self, path: str | Path | None = None) -> int:
         """Merge entries persisted with :meth:`save`; returns the count."""
@@ -186,6 +199,34 @@ class ResultCache:
             self.put(key, _result_from_payload(payload))
             loaded += 1
         return loaded
+
+
+def write_json_atomically(destination: Path, payload: object) -> None:
+    """Durably replace ``destination`` with ``payload`` as JSON.
+
+    temp file in the same directory → write → flush → fsync →
+    :func:`os.replace`.  The rename is atomic on POSIX, so concurrent
+    readers see either the old file or the new one, and a crash at any
+    point leaves the previous contents intact.  The temp file is
+    removed on failure.
+    """
+    destination = Path(destination)
+    destination.parent.mkdir(parents=True, exist_ok=True)
+    fd, temp_name = tempfile.mkstemp(
+        dir=destination.parent, prefix=f".{destination.name}.", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "w") as handle:
+            handle.write(json.dumps(payload))
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(temp_name, destination)
+    except BaseException:
+        try:
+            os.unlink(temp_name)
+        except OSError:
+            pass
+        raise
 
 
 def _result_to_payload(result: "RunResult") -> dict:
@@ -245,3 +286,11 @@ def _result_from_payload(payload: dict) -> "RunResult":
         leaked_heap_bytes=payload["leaked_heap_bytes"],
         invariant_violations=tuple(payload["invariant_violations"]),
     )
+
+
+#: public names for the RunResult wire format — campaign checkpoints
+#: (:mod:`repro.core.checkpoint`) persist result history with the exact
+#: same serialization the cache uses, so the two files stay mutually
+#: intelligible.
+result_to_payload = _result_to_payload
+result_from_payload = _result_from_payload

@@ -15,13 +15,22 @@ speculative candidates per round — sound for every bundled strategy
 :meth:`~repro.core.search.base.SearchStrategy.propose_batch`) — and an
 optional ``batch_runner`` executes each generation on a parallel fabric
 (thread pool, process pool) instead of the in-process serial map.
+
+Sessions are also **resumable**: with ``checkpoint_path`` /
+``checkpoint_every`` set, the session snapshots its state between
+rounds (see :mod:`repro.core.checkpoint`), and a session constructed
+with ``resume_from`` replays the recorded history through the strategy
+before going live, so a killed run continues byte-identically from its
+last checkpoint.
 """
 
 from __future__ import annotations
 
 import random
 from collections.abc import Callable, Sequence
+from pathlib import Path
 
+from repro.core.checkpoint import Checkpoint, CheckpointWriter, replay_history
 from repro.core.faultspace import FaultSpace
 from repro.core.fault import Fault
 from repro.core.impact import ImpactMetric
@@ -57,6 +66,10 @@ class ExplorationSession:
         on_test: Callable[[ExecutedTest], None] | None = None,
         batch_size: int = 1,
         batch_runner: BatchRunner | None = None,
+        checkpoint_path: str | Path | None = None,
+        checkpoint_every: int = 0,
+        checkpoint_meta: dict[str, object] | None = None,
+        resume_from: Checkpoint | None = None,
     ) -> None:
         if batch_size < 1:
             raise SearchError(f"batch size must be >= 1, got {batch_size}")
@@ -70,6 +83,14 @@ class ExplorationSession:
         self.on_test = on_test
         self.batch_size = batch_size
         self.batch_runner = batch_runner
+        self.resume_from = resume_from
+        self.checkpointer = (
+            CheckpointWriter(
+                checkpoint_path, checkpoint_every, space, batch_size,
+                meta=checkpoint_meta,
+            )
+            if checkpoint_path is not None else None
+        )
         self.executed: list[ExecutedTest] = []
         self._started = False
 
@@ -90,11 +111,20 @@ class ExplorationSession:
             )
         self._started = True
         self.strategy.bind(self.space, self.rng)
+        if self.resume_from is not None:
+            replay_history(
+                self.resume_from, self.strategy, self.batch_size,
+                self.space, self._account, rng=self.rng,
+            )
         while not self.target.done(self.executed):
             batch = self.strategy.propose_batch(self.batch_size)
             if not batch:
                 break  # space exhausted (or strategy gave up)
             self._execute_batch(batch)
+            if self.checkpointer is not None:
+                self.checkpointer.maybe_write(self.executed, self.rng)
+        if self.checkpointer is not None:
+            self.checkpointer.maybe_write(self.executed, self.rng, force=True)
         return ResultSet(self.executed)
 
     def _execute_batch(self, batch: list[Fault]) -> list[ExecutedTest]:

@@ -46,3 +46,7 @@ class ClusterError(ReproError):
 
 class ReportError(ReproError):
     """Result reporting failed (bad result set, unknown metric, ...)."""
+
+
+class CheckpointError(ReproError):
+    """A campaign checkpoint is unreadable, incompatible, or divergent."""

@@ -89,6 +89,9 @@ class ExplorationReport:
     build_seconds: float
     relevance_modelled: bool = False
     extra_notes: list[str] = field(default_factory=list)
+    #: fabric fault-tolerance counters (a ``FabricHealth.as_dict()``)
+    #: when the exploration ran on a hardened fabric.
+    fabric_health: dict[str, object] | None = None
 
     def render(self) -> str:
         lines = [
@@ -100,8 +103,18 @@ class ExplorationReport:
             f"  {self.cluster_count} redundancy clusters among the "
             f"reported faults; {len(self.replay_scripts)} replay scripts",
             f"  report built in {self.build_seconds:.2f}s",
-            "",
         ]
+        if self.fabric_health is not None:
+            h = self.fabric_health
+            lines.append(
+                "  fabric health: "
+                f"{h.get('retries', 0)} retries "
+                f"({h.get('timeouts', 0)} timeouts, "
+                f"{h.get('worker_deaths', 0)} worker deaths, "
+                f"{h.get('corrupt_reports', 0)} corrupt reports); "
+                f"{h.get('worker_replacements', 0)} worker replacements"
+            )
+        lines.append("")
         headers = ["rank", "impact", "fault", "cluster", "precision"]
         if self.relevance_modelled:
             headers.append("relevance")
@@ -140,6 +153,7 @@ def build_report(
     cluster_distance: int = 1,
     of: Callable[["ExecutedTest"], bool] | None = None,
     precision_metric_factory: Callable[[], "ImpactMetric"] = _stateless_metric,
+    fabric_health: object | None = None,
 ) -> ExplorationReport:
     """Assemble the §6.3 report from a finished exploration.
 
@@ -209,6 +223,11 @@ def build_report(
         build_seconds=time.perf_counter() - started,
         relevance_modelled=environment is not None,
         extra_notes=notes,
+        fabric_health=(
+            fabric_health.as_dict()  # type: ignore[attr-defined]
+            if hasattr(fabric_health, "as_dict")
+            else fabric_health  # already a dict (or None)
+        ),
     )
 
 

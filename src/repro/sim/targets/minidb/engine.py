@@ -26,7 +26,6 @@ The double-unlock bug (MySQL bug #53268, Fig. 6) lives in
 
 from __future__ import annotations
 
-from repro.sim.errnos import Errno
 from repro.sim.filesystem import O_RDONLY
 from repro.sim.heap import NULL
 from repro.sim.process import Env

@@ -251,8 +251,29 @@ class TestProcessPoolCluster:
         pool = ProcessPoolCluster(lambda: target_by_name("coreutils"),
                                   workers=2)
         assert pool.is_degraded
-        reports = pool.run_batch([self.request(i) for i in range(4)])
+        with pytest.warns(UserWarning, match="degrading to in-process"):
+            reports = pool.run_batch([self.request(i) for i in range(4)])
         assert [r.request_id for r in reports] == list(range(4))
+
+    def test_degradation_warns_exactly_once(self):
+        """The in-process fallback announces itself once, then stays
+        quiet — and keeps producing ordered reports batch after batch."""
+        import warnings as warnings_module
+
+        pool = ProcessPoolCluster(lambda: target_by_name("coreutils"),
+                                  workers=2, name="oncepool")
+        with warnings_module.catch_warnings(record=True) as caught:
+            warnings_module.simplefilter("always")
+            first = pool.run_batch([self.request(i) for i in range(5)])
+            second = pool.run_batch([self.request(i) for i in range(5, 9)])
+        fallback_warnings = [
+            w for w in caught if "degrading to in-process" in str(w.message)
+        ]
+        assert len(fallback_warnings) == 1
+        assert "oncepool" in str(fallback_warnings[0].message)
+        assert [r.request_id for r in first] == list(range(5))
+        assert [r.request_id for r in second] == list(range(5, 9))
+        assert pool.health.fallbacks == 1
 
     def test_end_to_end_exploration(self, coreutils):
         with self.make_pool() as pool:

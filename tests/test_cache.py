@@ -160,6 +160,59 @@ class TestPersistence:
         assert len(cache) == 0
 
 
+class TestAtomicSave:
+    def test_save_replaces_not_truncates(self, coreutils, tmp_path,
+                                         monkeypatch):
+        """A crash mid-save must leave the previous file intact.
+
+        The save path writes a temp file and renames it over the
+        destination; if the rename (or anything before it) fails, the
+        old contents must survive and the temp file must not leak.
+        """
+        import os
+
+        path = tmp_path / "cache.json"
+        cache = ResultCache()
+        run_fault(coreutils, cache, function="malloc")
+        cache.save(path)
+        good = path.read_text()
+
+        run_fault(coreutils, cache, function="stat")
+        real_replace = os.replace
+
+        def doomed_replace(src, dst):
+            raise OSError("simulated crash at the rename")
+
+        monkeypatch.setattr(os, "replace", doomed_replace)
+        with pytest.raises(OSError, match="simulated crash"):
+            cache.save(path)
+        monkeypatch.setattr(os, "replace", real_replace)
+
+        assert path.read_text() == good, "partial save clobbered the file"
+        assert not list(tmp_path.glob("*.tmp")), "temp file leaked"
+        assert len(ResultCache(path=path)) == 1  # the old, intact snapshot
+
+    def test_no_temp_files_left_after_successful_save(self, coreutils,
+                                                      tmp_path):
+        path = tmp_path / "cache.json"
+        cache = ResultCache()
+        run_fault(coreutils, cache)
+        cache.save(path)
+        leftovers = [p for p in tmp_path.iterdir() if p != path]
+        assert leftovers == []
+
+    def test_write_json_atomically_roundtrip(self, tmp_path):
+        from repro.core.cache import write_json_atomically
+
+        path = tmp_path / "payload.json"
+        write_json_atomically(path, {"answer": 42})
+        import json
+
+        assert json.loads(path.read_text()) == {"answer": 42}
+        write_json_atomically(path, {"answer": 43})
+        assert json.loads(path.read_text()) == {"answer": 43}
+
+
 class TestSessionIntegration:
     def test_second_identical_session_is_all_hits(self, coreutils):
         from repro.core import (

@@ -223,7 +223,7 @@ class TestAdaptiveSigma:
 
     def test_adaptive_still_finds_structure(self):
         """Adaptive sigma must not break the core guarantee."""
-        from tests.test_core_search import drive, ship_impact
+        from tests.test_core_search import drive
 
         space = FaultSpace.product(x=range(40), y=range(40))
         guided = drive(

@@ -12,7 +12,6 @@ from __future__ import annotations
 import pytest
 from hypothesis import settings
 from hypothesis.stateful import (
-    Bundle,
     RuleBasedStateMachine,
     invariant,
     rule,

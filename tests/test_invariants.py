@@ -10,7 +10,6 @@ DocStore's snapshot-durability contract and mv's no-data-loss contract.
 
 from __future__ import annotations
 
-import pytest
 
 from repro.core import (
     ExplorationSession,

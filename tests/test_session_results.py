@@ -20,7 +20,6 @@ from repro.core.targets import (
 )
 from repro.errors import SearchError, TargetError
 from repro.injection.plan import InjectionPlan
-from repro.sim.errnos import Errno
 from repro.sim.process import RunResult
 
 

@@ -6,7 +6,7 @@ import pytest
 
 from repro.injection.plan import InjectionPlan
 from repro.sim.coverage import Coverage
-from repro.sim.crashes import AbortCrash, HangDetected, SegmentationFault
+from repro.sim.crashes import AbortCrash, HangDetected
 from repro.sim.errnos import Errno
 from repro.sim.process import Env, run_test
 from repro.sim.stack import CallStack

@@ -2,11 +2,9 @@
 
 from __future__ import annotations
 
-import pytest
 
 from repro.injection.libfi import LibFaultInjector
 from repro.injection.plan import InjectionPlan
-from repro.sim.errnos import Errno
 from repro.sim.process import run_test
 from repro.sim.targets.coreutils import COREUTILS_FUNCTIONS
 

@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import pytest
 
 from repro.injection.libfi import LibFaultInjector
 from repro.sim.process import run_test
