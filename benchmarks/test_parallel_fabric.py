@@ -27,6 +27,8 @@ from pathlib import Path
 
 from conftest import run_once
 from repro.campaign import CampaignJob
+from repro.core.checkpoint import history_digest
+from repro.obs import MetricsRegistry, RingBufferSink, Tracer, profile_payload
 from repro.cluster import (
     ClusterExplorer,
     NodeManager,
@@ -53,6 +55,9 @@ BATCH_SIZE = 16
 SEED = 3
 CACHE_ITERATIONS = 250
 BENCH_PATH = Path(__file__).parent.parent / "BENCH_parallel.json"
+OBS_ITERATIONS = 300
+OBS_REPEATS = 5
+OBS_BENCH_PATH = Path(__file__).parent.parent / "BENCH_obs.json"
 
 
 def _space() -> FaultSpace:
@@ -196,3 +201,100 @@ def test_parallel_fabric_throughput(benchmark, report):
     # The warm cache wins on any hardware.
     assert cache_speedup >= 1.5, payload["cache"]
     assert cache_stats["hits"] >= CACHE_ITERATIONS
+
+
+def test_observability_overhead(benchmark, report):
+    """Full instrumentation must cost < 5% at this file's batch size.
+
+    Both arms run the identical serial MiniDB exploration (same seed,
+    same batch size as every fabric experiment above); the instrumented
+    arm adds a :class:`MetricsRegistry` plus a :class:`Tracer` with a
+    ring sink — the exact ``--profile`` configuration.  Min-of-N per arm
+    (interleaved) suppresses machine noise.  ``batch_size=1`` is also
+    measured and reported: there every test is its own round, so the
+    per-round spans have nothing to amortize over — the recorded
+    worst case, informational rather than gated.
+    """
+
+    def run(instrumented: bool, batch_size: int):
+        metrics = MetricsRegistry() if instrumented else None
+        tracer = (
+            Tracer(sinks=[RingBufferSink(capacity=65536)])
+            if instrumented else None
+        )
+        started = time.perf_counter()
+        results = ExplorationSession(
+            TargetRunner(MiniDbTarget(), metrics=metrics, tracer=tracer),
+            _space(), standard_impact(), FitnessGuidedSearch(),
+            IterationBudget(OBS_ITERATIONS), rng=SEED,
+            batch_size=batch_size, metrics=metrics, tracer=tracer,
+        ).run()
+        return time.perf_counter() - started, results, metrics
+
+    def experiment():
+        timings: dict[tuple[bool, int], list[float]] = {}
+        digests: dict[tuple[bool, int], str] = {}
+        registry = None
+        for batch_size in (BATCH_SIZE, 1):
+            run(False, batch_size)  # warm both arms before timing
+            run(True, batch_size)
+            for _ in range(OBS_REPEATS):
+                for instrumented in (False, True):
+                    seconds, results, metrics = run(instrumented, batch_size)
+                    timings.setdefault((instrumented, batch_size),
+                                       []).append(seconds)
+                    digests[(instrumented, batch_size)] = history_digest(
+                        list(results)
+                    )
+                    if instrumented and batch_size == BATCH_SIZE:
+                        registry = metrics
+        return timings, digests, registry
+
+    (timings, digests, registry) = run_once(benchmark, experiment)
+
+    def overhead(batch_size: int) -> tuple[float, float, float]:
+        plain = min(timings[(False, batch_size)])
+        instrumented = min(timings[(True, batch_size)])
+        return plain, instrumented, instrumented / plain - 1.0
+
+    plain_s, obs_s, gated = overhead(BATCH_SIZE)
+    plain1_s, obs1_s, worst = overhead(1)
+
+    snapshot = registry.snapshot()
+    payload = profile_payload(registry, meta={
+        "benchmark_config": "serial minidb",
+        "iterations": OBS_ITERATIONS,
+        "repeats": OBS_REPEATS,
+        "batch_size": BATCH_SIZE,
+        "plain_seconds": round(plain_s, 4),
+        "instrumented_seconds": round(obs_s, 4),
+        "overhead_pct": round(gated * 100, 2),
+        "batch1_overhead_pct": round(worst * 100, 2),
+    })
+    OBS_BENCH_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+
+    table = TextTable(
+        ["config", "plain s", "instrumented s", "overhead"],
+        title=f"observability overhead, MiniDB x{OBS_ITERATIONS} "
+              f"(min of {OBS_REPEATS}, interleaved)",
+    )
+    table.add_row([f"batch={BATCH_SIZE} (gated)", f"{plain_s:.3f}",
+                   f"{obs_s:.3f}", f"{gated * 100:.2f}%"])
+    table.add_row(["batch=1 (worst case)", f"{plain1_s:.3f}",
+                   f"{obs1_s:.3f}", f"{worst * 100:.2f}%"])
+    report("observability_overhead", table.render()
+           + f"\nwritten to {OBS_BENCH_PATH.name}")
+
+    # Instrumentation observes; it must never steer the search.
+    for batch_size in (BATCH_SIZE, 1):
+        assert digests[(False, batch_size)] == digests[(True, batch_size)]
+    # The registry saw every execution, and the timed series are live.
+    # (A batched session may overshoot its budget by up to one batch.)
+    tests = snapshot["counters"]["session.tests"]
+    assert OBS_ITERATIONS <= tests < OBS_ITERATIONS + BATCH_SIZE
+    execute = snapshot["histograms"]["runner.execute_seconds"]
+    assert execute["count"] == tests and execute["sum"] > 0
+    assert payload["benchmark"] == "observability"
+    assert gated < 0.05, {
+        "plain": plain_s, "instrumented": obs_s, "overhead": gated,
+    }

@@ -63,11 +63,28 @@ def main(argv: list[str] | None = None) -> None:
     parser.add_argument("--die-after", type=int, default=None, metavar="N",
                         help="simulate a crash: hard-exit (code 137) after "
                         "N executed tests")
+    parser.add_argument("--profile", action="store_true",
+                        help="collect metrics and write BENCH_obs.json")
+    parser.add_argument("--metrics-out", default=None, metavar="PATH",
+                        help="write Prometheus exposition text to PATH")
+    parser.add_argument("--trace-out", default=None, metavar="PATH",
+                        help="record span events as JSON lines to PATH")
     args = parser.parse_args([] if argv is None else argv)
+
+    metrics = tracer = None
+    if args.profile or args.metrics_out or args.trace_out:
+        from repro.obs import JsonLinesSink, MetricsRegistry, RingBufferSink, Tracer
+
+        metrics = MetricsRegistry()
+        sinks: list = [RingBufferSink()]
+        if args.trace_out:
+            sinks.append(JsonLinesSink(args.trace_out))
+        tracer = Tracer(sinks=sinks)
 
     # -- a real (thread-pool) 4-node cluster, hardened ---------------------
     managers = [
-        NodeManager(f"node{i}", target_by_name("httpd")) for i in range(4)
+        NodeManager(f"node{i}", target_by_name("httpd"), metrics=metrics)
+        for i in range(4)
     ]
     fabric = FaultTolerantFabric(LocalCluster(managers), policy=RetryPolicy())
 
@@ -92,6 +109,8 @@ def main(argv: list[str] | None = None) -> None:
         checkpoint_path=args.checkpoint,
         checkpoint_every=args.checkpoint_every,
         resume_from=load_checkpoint(args.resume) if args.resume else None,
+        metrics=metrics,
+        tracer=tracer,
     )
     results = explorer.run()
     print(f"4-node cluster executed {len(results)} tests: "
@@ -100,6 +119,30 @@ def main(argv: list[str] | None = None) -> None:
         print(f"  {manager.describe()}")
     print(f"fabric health: {fabric.health.describe()}")
     print(f"history digest: {history_digest(list(results))}")
+
+    if tracer is not None:
+        tracer.close()
+        if args.trace_out:
+            print(f"trace: {args.trace_out}")
+    if metrics is not None:
+        from repro.obs import profile_payload, render_table, to_prometheus
+
+        if args.metrics_out:
+            from pathlib import Path
+
+            Path(args.metrics_out).write_text(to_prometheus(metrics))
+            print(f"metrics: {args.metrics_out}")
+        if args.profile:
+            from repro.core.cache import write_json_atomically
+
+            print()
+            print(render_table(metrics, title="metrics: distributed example"))
+            write_json_atomically("BENCH_obs.json", profile_payload(
+                metrics,
+                meta={"example": "distributed_exploration",
+                      "iterations": args.iterations, "tests": len(results)},
+            ))
+            print("profile: BENCH_obs.json")
 
     # -- virtual-time scaling, 1 vs 4 vs 14 nodes ---------------------------
     table = TextTable(["nodes", "virtual makespan (ms)", "speedup"],

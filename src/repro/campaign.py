@@ -89,6 +89,13 @@ class CampaignJob:
     checkpoint_every: int = 0
     #: a Checkpoint, or a path to one, to resume from.
     resume_from: Checkpoint | str | Path | None = None
+    #: optional :class:`~repro.obs.metrics.MetricsRegistry` every layer
+    #: of the job (session/explorer, fabric, cache, simulator) reports
+    #: into; its snapshot lands in the outcome and the scorecard.
+    metrics: "object | None" = None
+    #: optional :class:`~repro.obs.trace.Tracer` threaded through the
+    #: exploration so the job's rounds are reconstructable.
+    tracer: "object | None" = None
     #: fabric health of the last execution (set by :meth:`execute`).
     fabric_health: "object | None" = field(default=None, compare=False)
 
@@ -102,7 +109,10 @@ class CampaignJob:
         fabric = self.fabric
         if fabric == "auto":
             fabric = "serial" if self.nodes <= 1 else "threads"
-        runner = TargetRunner(self.target, cache=self.cache)
+        runner = TargetRunner(
+            self.target, cache=self.cache,
+            metrics=self.metrics, tracer=self.tracer,
+        )
         stop = self.stop or IterationBudget(self.iterations)
         strategy = self.strategy_factory()
         resume = self.resume_from
@@ -122,6 +132,8 @@ class CampaignJob:
                 checkpoint_every=self.checkpoint_every,
                 checkpoint_meta=meta,
                 resume_from=resume,
+                metrics=self.metrics,
+                tracer=self.tracer,
             )
             self.fabric_health = None
             return runner, session.run(), strategy
@@ -153,7 +165,7 @@ class CampaignJob:
             self.target.suite  # pre-build once; managers then share it safely
             managers = [
                 NodeManager(f"{self.name}-node{i}", self.target,
-                            cache=self.cache)
+                            cache=self.cache, metrics=self.metrics)
                 for i in range(nodes)
             ]
             inner = (LocalCluster(managers) if fabric == "threads"
@@ -175,6 +187,8 @@ class CampaignJob:
             checkpoint_every=self.checkpoint_every,
             checkpoint_meta=meta,
             resume_from=resume,
+            metrics=self.metrics,
+            tracer=self.tracer,
         )
         try:
             results = explorer.run()
@@ -197,6 +211,9 @@ class CampaignOutcome:
     strategy_name: str = ""
     #: the fabric's fault-tolerance record (None on serial jobs).
     fabric_health: object | None = None
+    #: metrics snapshot taken right after the job (None without a
+    #: :attr:`CampaignJob.metrics` registry).
+    metrics_snapshot: dict | None = None
 
     @property
     def verdict(self) -> str:
@@ -245,6 +262,10 @@ class Campaign:
                 seconds=time.perf_counter() - started,
                 strategy_name=strategy.name,
                 fabric_health=job.fabric_health,
+                metrics_snapshot=(
+                    job.metrics.snapshot()  # type: ignore[attr-defined]
+                    if job.metrics is not None else None
+                ),
             ))
         return outcomes
 
@@ -253,11 +274,13 @@ class Campaign:
         """The combined certification summary across all jobs."""
         table = TextTable(
             ["system", "verdict", "tests", "failed", "crashes", "hangs",
-             "clusters", "retries", "time (s)"],
+             "clusters", "retries", "cache hit%", "time (s)"],
             title="certification campaign scorecard",
         )
         for outcome in outcomes:
             health = outcome.fabric_health
+            snapshot = outcome.metrics_snapshot or {}
+            hit_ratio = snapshot.get("gauges", {}).get("cache.hit_ratio")
             table.add_row([
                 outcome.job.name,
                 outcome.verdict,
@@ -267,6 +290,7 @@ class Campaign:
                 len(outcome.results.hangs()),
                 outcome.report.cluster_count,
                 "-" if health is None else getattr(health, "retries", 0),
+                "-" if hit_ratio is None else f"{hit_ratio * 100:.0f}",
                 f"{outcome.seconds:.1f}",
             ])
         return table

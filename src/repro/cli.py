@@ -118,6 +118,21 @@ def build_parser() -> argparse.ArgumentParser:
         help="per-dispatch deadline on parallel fabrics; hung dispatches "
         "are re-queued and retried (default: wait forever)",
     )
+    run.add_argument(
+        "--profile", action="store_true",
+        help="collect metrics during the run, print the registry table, "
+        "and write the machine-readable summary to BENCH_obs.json",
+    )
+    run.add_argument(
+        "--metrics-out", default=None, metavar="PATH",
+        help="write the metrics registry as Prometheus exposition text "
+        "(implies metrics collection)",
+    )
+    run.add_argument(
+        "--trace-out", default=None, metavar="PATH",
+        help="record structured span events (JSON lines) so the run's "
+        "rounds are reconstructable (implies metrics collection)",
+    )
 
     structure = sub.add_parser(
         "map", help="print a Fig. 1-style fault-space structure map"
@@ -210,11 +225,22 @@ def _explore_on_fabric(args: argparse.Namespace, target, space, strategy):
         "seed": args.seed, "iterations": args.iterations,
         "fabric": fabric,
     }
+    metrics = tracer = None
+    if (getattr(args, "profile", False) or getattr(args, "metrics_out", None)
+            or getattr(args, "trace_out", None)):
+        from repro.obs import JsonLinesSink, MetricsRegistry, RingBufferSink, Tracer
+
+        metrics = MetricsRegistry()
+        sinks: list = [RingBufferSink()]
+        if getattr(args, "trace_out", None):
+            sinks.append(JsonLinesSink(args.trace_out))
+        tracer = Tracer(sinks=sinks)
     health = None
     started = time.perf_counter()
     if fabric == "serial":
         session = ExplorationSession(
-            runner=TargetRunner(target, cache=cache),
+            runner=TargetRunner(target, cache=cache,
+                                metrics=metrics, tracer=tracer),
             space=space,
             metric=standard_impact(),
             strategy=strategy,
@@ -225,6 +251,8 @@ def _explore_on_fabric(args: argparse.Namespace, target, space, strategy):
             checkpoint_every=checkpoint_every,
             checkpoint_meta=checkpoint_meta,
             resume_from=resume,
+            metrics=metrics,
+            tracer=tracer,
         )
         results = session.run()
     else:
@@ -251,7 +279,7 @@ def _explore_on_fabric(args: argparse.Namespace, target, space, strategy):
             )
         else:
             managers = [
-                NodeManager(f"node{i}", target, cache=cache)
+                NodeManager(f"node{i}", target, cache=cache, metrics=metrics)
                 for i in range(args.workers)
             ]
             inner = (LocalCluster(managers) if fabric == "threads"
@@ -271,6 +299,8 @@ def _explore_on_fabric(args: argparse.Namespace, target, space, strategy):
             checkpoint_every=checkpoint_every,
             checkpoint_meta=checkpoint_meta,
             resume_from=resume,
+            metrics=metrics,
+            tracer=tracer,
         )
         try:
             results = explorer.run()
@@ -281,7 +311,7 @@ def _explore_on_fabric(args: argparse.Namespace, target, space, strategy):
     elapsed = time.perf_counter() - started
     if cache is not None and args.cache:
         cache.save()
-    return results, elapsed, cache, health
+    return results, elapsed, cache, health, metrics, tracer
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
@@ -300,7 +330,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
             print("--feedback requires the fitness strategy")
             return 2
         strategy.fitness_weight = RedundancyFeedback()
-    results, elapsed, cache, health = _explore_on_fabric(
+    results, elapsed, cache, health, metrics, tracer = _explore_on_fabric(
         args, target, space, strategy
     )
 
@@ -328,6 +358,12 @@ def _cmd_run(args: argparse.Namespace) -> int:
     if args.checkpoint:
         print(f"checkpoint: {args.checkpoint} "
               f"(resume with --resume {args.checkpoint})")
+    if tracer is not None:
+        tracer.close()
+        if args.trace_out:
+            print(f"trace: {args.trace_out}")
+    if metrics is not None:
+        _export_metrics(args, metrics, elapsed, len(results))
 
     top = results.top(args.top)
     if top:
@@ -339,6 +375,35 @@ def _cmd_run(args: argparse.Namespace) -> int:
         print()
         print(detail.render())
     return 0
+
+
+def _export_metrics(
+    args: argparse.Namespace, metrics, elapsed: float, tests: int
+) -> None:
+    """Render/persist the run's metrics per the --profile/--metrics-out flags."""
+    from pathlib import Path
+
+    from repro.obs import profile_payload, render_table, to_prometheus
+
+    if getattr(args, "metrics_out", None):
+        Path(args.metrics_out).write_text(to_prometheus(metrics))
+        print(f"metrics: {args.metrics_out}")
+    if getattr(args, "profile", False):
+        from repro.core.cache import write_json_atomically
+
+        print()
+        print(render_table(metrics, title=f"metrics: afex run {args.target}"))
+        payload = profile_payload(metrics, meta={
+            "target": args.target,
+            "fabric": args.fabric,
+            "iterations": args.iterations,
+            "seed": args.seed,
+            "tests": tests,
+            "elapsed_seconds": elapsed,
+        })
+        out = Path("BENCH_obs.json")
+        write_json_atomically(out, payload)
+        print(f"profile: {out}")
 
 
 def _cmd_map(args: argparse.Namespace) -> int:

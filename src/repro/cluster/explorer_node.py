@@ -73,6 +73,8 @@ class ClusterExplorer:
         checkpoint_every: int = 0,
         checkpoint_meta: dict[str, object] | None = None,
         resume_from: Checkpoint | None = None,
+        metrics: "object | None" = None,
+        tracer: "object | None" = None,
     ) -> None:
         self.cluster = cluster
         self.space = space
@@ -86,6 +88,24 @@ class ClusterExplorer:
         if self.batch_size < 1:
             raise ClusterError(f"batch size must be >= 1, got {self.batch_size}")
         self.resume_from = resume_from
+        #: optional :class:`~repro.obs.metrics.MetricsRegistry` — the
+        #: explorer reports dispatch latency, queue depth, per-round
+        #: fitness, and (via collectors) fabric health and worker
+        #: utilization into it.
+        self.metrics = metrics
+        #: optional :class:`~repro.obs.trace.Tracer` — rounds emit
+        #: round/propose/dispatch/verdict spans, and worker-side
+        #: execute/inject spans shipped back in reports are absorbed.
+        self.tracer = tracer
+        if metrics is not None:
+            from repro.core.session import FITNESS_BUCKETS
+
+            metrics.register_collector(self._collect_fabric)
+            # Resolved once — series lookup is too costly per test.
+            self._tests_counter = metrics.counter("session.tests")
+            self._fitness_hist = metrics.histogram(
+                "session.fitness", boundaries=FITNESS_BUCKETS
+            )
         self.checkpointer = (
             CheckpointWriter(
                 checkpoint_path, checkpoint_every, space, self.batch_size,
@@ -99,12 +119,47 @@ class ClusterExplorer:
 
     @property
     def health(self) -> FabricHealth | None:
-        """The fabric's fault-tolerance record, when it keeps one."""
+        """The fabric's fault-tolerance record, when it keeps one.
+
+        A :class:`~repro.cluster.fault_tolerance.FaultTolerantFabric`
+        answers with its *combined* record — its own counters folded
+        with the wrapped fabric's internal ones (e.g. a process pool's
+        chunk retries) — so no retry disappears between the layers.
+        """
+        combined = getattr(self.cluster, "combined_health", None)
+        if combined is not None:
+            return combined()
         return getattr(self.cluster, "health", None)
 
     def _health_meta(self) -> dict[str, object]:
         health = self.health
-        return {"fabric_health": health.as_dict()} if health else {}
+        meta: dict[str, object] = (
+            {"fabric_health": health.as_dict()} if health else {}
+        )
+        if self.metrics is not None:
+            from repro.obs.trace import TRACE_SCHEMA_VERSION
+
+            meta["trace_schema"] = TRACE_SCHEMA_VERSION
+            meta["metrics"] = self.metrics.snapshot()
+        return meta
+
+    def _collect_fabric(self, registry) -> None:
+        """Snapshot-time gauges: fabric health and worker utilization."""
+        health = self.health
+        if health is not None:
+            for name, value in health.as_dict().items():
+                registry.gauge(f"fabric.health.{name}").set(value)
+        managers = getattr(self.cluster, "managers", None)
+        inner = getattr(self.cluster, "inner", None)
+        if managers is None and inner is not None:
+            managers = getattr(inner, "managers", None)
+        for manager in managers or []:
+            registry.gauge(
+                "fabric.worker_busy_seconds", worker=manager.name
+            ).set(manager.busy_seconds)
+            registry.gauge(
+                "fabric.worker_executed", worker=manager.name
+            ).set(manager.executed)
 
     def run(self) -> ResultSet:
         self.strategy.bind(self.space, self.rng)
@@ -116,30 +171,93 @@ class ClusterExplorer:
             # Replayed tests were dispatched by the original run;
             # request ids continue where it left off.
             self._next_request_id = replayed
+        round_number = 0
         while not self.target.done(self.executed):
-            batch = self._propose_batch()
-            if not batch:
+            round_number += 1
+            if self.tracer is None and self.metrics is None:
+                batch = self._propose_batch()
+                if not batch:
+                    break
+                requests = [self._request_for(fault) for fault in batch]
+                reports = self.cluster.run_batch(requests)
+                for fault, report in zip(batch, reports):
+                    self._account(fault, report)
+            elif not self._observed_round(round_number):
                 break
-            requests = [self._request_for(fault) for fault in batch]
-            reports = self.cluster.run_batch(requests)
-            for fault, report in zip(batch, reports):
-                self._account(fault, report)
             if self.checkpointer is not None:
                 self.checkpointer.maybe_write(self.executed, self.rng)
         if self.checkpointer is not None:
             self.checkpointer.maybe_write(self.executed, self.rng, force=True)
         return ResultSet(self.executed)
 
+    def _observed_round(self, round_number: int) -> bool:
+        """One instrumented round; returns False when the space is dry.
+
+        The dispatch span's id rides inside every request so worker-side
+        ``execute``/``inject`` spans — possibly produced in another
+        process — nest under it; the spans they ship back in reports
+        are absorbed into this tracer's sinks.
+        """
+        from repro.obs.trace import Tracer
+
+        tracer = self.tracer or Tracer(sinks=[])
+        clock = self.metrics.clock if self.metrics is not None else None
+        started = clock() if clock is not None else 0.0
+        with tracer.span("round", round=round_number,
+                         batch_size=self.batch_size):
+            with tracer.span("propose"):
+                batch = self._propose_batch()
+            if not batch:
+                return False
+            dispatch = tracer.span("dispatch", requests=len(batch))
+            with dispatch:
+                trace_id = self.tracer.trace_id if self.tracer else None
+                parent = dispatch.span_id if self.tracer else None
+                requests = [
+                    self._request_for(fault, trace_id, parent)
+                    for fault in batch
+                ]
+                if self.metrics is not None:
+                    self.metrics.gauge("fabric.queue_depth").set(len(requests))
+                    with self.metrics.timer("fabric.dispatch_seconds"):
+                        reports = self.cluster.run_batch(requests)
+                else:
+                    reports = self.cluster.run_batch(requests)
+            for report in reports:
+                for span_event in getattr(report, "spans", ()):
+                    tracer.emit(span_event)
+            for fault, report in zip(batch, reports):
+                executed = self._account(fault, report)
+                with tracer.span("verdict", index=executed.index) as span:
+                    span.set(impact=executed.impact,
+                             failed=executed.result.failed)
+        if self.metrics is not None and clock is not None:
+            elapsed = clock() - started
+            self.metrics.counter("session.rounds").inc()
+            self.metrics.histogram("session.round_seconds").observe(elapsed)
+            if elapsed > 0:
+                self.metrics.gauge("session.proposals_per_s").set(
+                    len(batch) / elapsed
+                )
+        return True
+
     def _propose_batch(self) -> list[Fault]:
         return self.strategy.propose_batch(self.batch_size)
 
-    def _request_for(self, fault: Fault) -> TestRequest:
+    def _request_for(
+        self,
+        fault: Fault,
+        trace_id: str | None = None,
+        parent_span: str | None = None,
+    ) -> TestRequest:
         request_id = self._next_request_id
         self._next_request_id += 1
         return TestRequest(
             request_id=request_id,
             subspace=fault.subspace,
             scenario=fault.as_dict(),
+            trace_id=trace_id,
+            parent_span=parent_span,
         )
 
     def _account(self, fault: Fault, report: TestReport) -> ExecutedTest:
@@ -150,6 +268,9 @@ class ClusterExplorer:
         impact = self.metric.score(result)
         if self.environment is not None:
             impact = self.environment.weight_impact(fault, impact)
+        if self.metrics is not None:
+            self._tests_counter.inc()
+            self._fitness_hist.observe(impact)
         self.strategy.observe(fault, impact, result)
         executed = ExecutedTest(
             index=len(self.executed),

@@ -36,7 +36,7 @@ import time
 from collections.abc import Callable
 from concurrent.futures import ThreadPoolExecutor
 from concurrent.futures import TimeoutError as _FutureTimeout
-from dataclasses import dataclass, field, fields
+from dataclasses import dataclass, fields
 
 from repro.cluster.messages import TestReport, TestRequest
 from repro.errors import ClusterError
@@ -151,12 +151,44 @@ class FabricHealth:
             + self.retried_missing + self.retried_corrupt
         )
 
+    #: counters that describe *distinct failure events* rather than
+    #: request flow.  When two layers observe the same traffic (a
+    #: wrapper and the fabric it wraps), flow counters (``dispatches``,
+    #: ``requests``, ``completed``) describe the *same* logical requests
+    #: twice, but each retry/timeout/death is a distinct event seen by
+    #: exactly one layer — so only these may be summed across layers.
+    _LAYER_COUNTERS = (
+        "retries", "retried_after_timeout", "retried_after_error",
+        "retried_missing", "retried_corrupt", "timeouts", "worker_deaths",
+        "worker_replacements", "stragglers", "corrupt_reports", "fallbacks",
+    )
+
     def merge(self, other: "FabricHealth") -> "FabricHealth":
-        """Fold another record's counters into this one (e.g. a process
-        pool's internal health into the wrapping fabric's)."""
+        """Fold another record's counters into this one.
+
+        Sums *every* field — correct only when the two records describe
+        disjoint traffic (e.g. two side-by-side fabrics).  For stacked
+        layers observing the same requests, use :meth:`merge_layer`.
+        """
         for spec in fields(self):
             setattr(self, spec.name,
                     getattr(self, spec.name) + getattr(other, spec.name))
+        return self
+
+    def merge_layer(self, other: "FabricHealth") -> "FabricHealth":
+        """Fold an *inner layer's* record into this one without
+        double-counting request flow.
+
+        Only failure/recovery event counters are summed (each such
+        event happens at exactly one layer); ``dispatches`` /
+        ``requests`` / ``completed`` keep this record's values, since
+        the inner layer saw the same logical requests this one did.
+        Preserves the :meth:`accounted` invariant: both records satisfy
+        it individually and the cause counters sum alongside
+        ``retries``.
+        """
+        for name in self._LAYER_COUNTERS:
+            setattr(self, name, getattr(self, name) + getattr(other, name))
         return self
 
     def as_dict(self) -> dict[str, int]:
@@ -380,6 +412,23 @@ class FaultTolerantFabric:
             self.health.completed += 1
             self.monitor.observe(report)
         return corrupt_ids
+
+    def combined_health(self) -> FabricHealth:
+        """This layer's record folded with the inner fabric's own.
+
+        A wrapped :class:`~repro.cluster.process_pool.ProcessPoolCluster`
+        retries failed *chunks* internally before the wrapper ever sees
+        a problem; those retries live in the pool's own health record.
+        The combined view layers them in via
+        :meth:`FabricHealth.merge_layer`, so every retry appears exactly
+        once and request flow is not double-counted.  Returns a copy —
+        neither layer's live record is mutated.
+        """
+        combined = FabricHealth(**self.health.as_dict())
+        inner_health = getattr(self.inner, "health", None)
+        if isinstance(inner_health, FabricHealth):
+            combined.merge_layer(inner_health)
+        return combined
 
     def poll_heartbeats(self) -> int:
         """Actively probe the inner fabric's managers for liveness.

@@ -20,10 +20,11 @@ from repro.cluster.messages import TestReport, TestRequest, WorkerHeartbeat
 from repro.cluster.sensors import Sensor, default_sensors
 from repro.core.cache import ResultCache
 from repro.core.fault import Fault
-from repro.core.runner import TargetRunner
+from repro.core.runner import TargetRunner, injection_identity
 from repro.errors import ClusterError
 from repro.injection.injector import FaultInjector, InjectorRegistry
 from repro.injection.libfi import LibFaultInjector
+from repro.obs.trace import worker_spans
 from repro.sim.testsuite import Target
 
 __all__ = ["NodeManager"]
@@ -40,6 +41,7 @@ class NodeManager:
         sensors: tuple[Sensor, ...] | None = None,
         step_budget: int = 50_000,
         cache: ResultCache | None = None,
+        metrics: "object | None" = None,
     ) -> None:
         if not name:
             raise ClusterError("node manager needs a non-empty name")
@@ -50,10 +52,18 @@ class NodeManager:
         self._injector_name = (injector or LibFaultInjector()).name
         self.sensors = sensors if sensors is not None else default_sensors()
         # The cache is thread-safe, so one instance may back every
-        # manager of a thread-pool fabric.
+        # manager of a thread-pool fabric.  The metrics registry (a
+        # :class:`~repro.obs.metrics.MetricsRegistry`, shared the same
+        # way on in-process fabrics) receives the simulator-layer
+        # series: injected calls by function/errno, tests by manager.
+        self.metrics = metrics
+        if metrics is not None:
+            self._tests_counter = metrics.counter(
+                "manager.tests", manager=name
+            )
         self._runner = TargetRunner(
             target, self.registry.get(self._injector_name),
-            step_budget=step_budget, cache=cache,
+            step_budget=step_budget, cache=cache, metrics=metrics,
         )
         #: total tests executed by this manager (load accounting).
         self.executed = 0
@@ -73,6 +83,16 @@ class NodeManager:
 
         self.executed += 1
         self.busy_seconds += cost
+        if self.metrics is not None:
+            self._tests_counter.inc()
+        spans: tuple = ()
+        if request.trace_id is not None:
+            function, errno = injection_identity(result)
+            spans = worker_spans(
+                request.trace_id, request.parent_span, request.request_id,
+                self.name, started, started + cost,
+                injected_function=function, injected_errno=errno,
+            )
         return TestReport(
             request_id=request.request_id,
             manager=self.name,
@@ -86,6 +106,7 @@ class NodeManager:
             measurements=measurements,
             cost=cost,
             invariant_violations=result.invariant_violations,
+            spans=spans,
         )
 
     def heartbeat(self) -> WorkerHeartbeat:

@@ -23,6 +23,11 @@ class TestRequest:
     subspace: str
     #: named fault attributes, e.g. {"test": 7, "function": "read", "call": 3}.
     scenario: dict[str, object]
+    #: observability context (None when tracing is off): the explorer's
+    #: trace id and the dispatch span the worker's spans should nest
+    #: under.  Plain strings so the wire format stays picklable.
+    trace_id: str | None = None
+    parent_span: str | None = None
 
     def describe(self) -> str:
         attrs = " ".join(f"{k}={v}" for k, v in self.scenario.items())
@@ -51,6 +56,10 @@ class TestReport:
     cost: float = 0.0
     #: violated always-true properties, if the target defines invariants.
     invariant_violations: tuple[str, ...] = ()
+    #: worker-side span events (see :func:`repro.obs.trace.worker_spans`),
+    #: shipped back across the process boundary for the explorer's
+    #: tracer to absorb; empty when the request carried no trace id.
+    spans: tuple = ()
 
     @property
     def crashed(self) -> bool:

@@ -159,6 +159,30 @@ class ResultCache:
             "evictions": self.evictions,
         }
 
+    def bind_metrics(self, registry: "object") -> None:
+        """Publish this cache's statistics into a metrics registry.
+
+        Registers a snapshot-time collector on a
+        :class:`~repro.obs.metrics.MetricsRegistry` rather than paying
+        per-operation increments: the cache already counts hits,
+        misses, and evictions, so export pulls those totals into the
+        ``cache.*`` gauges (plus the derived ``cache.hit_ratio``)
+        whenever a snapshot is taken.  Idempotent per registry.
+        """
+        bound = getattr(self, "_bound_registries", None)
+        if bound is None:
+            bound = self._bound_registries = set()
+        if id(registry) in bound:
+            return
+        bound.add(id(registry))
+
+        def _collect(reg) -> None:
+            for name, value in self.stats().items():
+                reg.gauge(f"cache.{name}").set(value)
+            reg.gauge("cache.hit_ratio").set(self.hit_rate)
+
+        registry.register_collector(_collect)  # type: ignore[attr-defined]
+
     @property
     def hit_rate(self) -> float:
         total = self.hits + self.misses

@@ -50,6 +50,12 @@ Runner = Callable[[Fault], RunResult]
 #: batch-runner signature: faults -> run outcomes, in the same order.
 BatchRunner = Callable[[Sequence[Fault]], Sequence[RunResult]]
 
+#: impact scores are small non-negative reals; these buckets resolve
+#: the paper's 0-10 composite range (and a tail for weighted metrics).
+FITNESS_BUCKETS: tuple[float, ...] = (
+    0.0, 0.5, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 8.0, 10.0, 15.0, 25.0, 50.0,
+)
+
 
 class ExplorationSession:
     """Drives one strategy against one target until the goal is met."""
@@ -70,6 +76,8 @@ class ExplorationSession:
         checkpoint_every: int = 0,
         checkpoint_meta: dict[str, object] | None = None,
         resume_from: Checkpoint | None = None,
+        metrics: "object | None" = None,
+        tracer: "object | None" = None,
     ) -> None:
         if batch_size < 1:
             raise SearchError(f"batch size must be >= 1, got {batch_size}")
@@ -84,15 +92,46 @@ class ExplorationSession:
         self.batch_size = batch_size
         self.batch_runner = batch_runner
         self.resume_from = resume_from
+        #: optional :class:`~repro.obs.metrics.MetricsRegistry` — the
+        #: session reports per-round fitness, round latency, and
+        #: proposal throughput into it.
+        self.metrics = metrics
+        #: optional :class:`~repro.obs.trace.Tracer` — every round
+        #: emits round/propose/dispatch/verdict spans.
+        self.tracer = tracer
+        if metrics is not None:
+            # Resolved once: series lookups are string formatting plus a
+            # dict probe, which adds up on the per-test path the <5 %
+            # overhead budget covers.
+            self._tests_counter = metrics.counter("session.tests")
+            self._fitness_hist = metrics.histogram(
+                "session.fitness", boundaries=FITNESS_BUCKETS
+            )
+            self._rounds_counter = metrics.counter("session.rounds")
+            self._round_hist = metrics.histogram("session.round_seconds")
+            self._proposals_gauge = metrics.gauge("session.proposals_per_s")
         self.checkpointer = (
             CheckpointWriter(
                 checkpoint_path, checkpoint_every, space, batch_size,
                 meta=checkpoint_meta,
+                meta_provider=self._obs_meta if metrics is not None else None,
             )
             if checkpoint_path is not None else None
         )
         self.executed: list[ExecutedTest] = []
         self._started = False
+        self._round = 0
+
+    def _obs_meta(self) -> dict[str, object]:
+        """Checkpoint metadata: the metrics snapshot at a round boundary
+        plus the trace schema version (recorded next to the checkpoint
+        schema version so a resumed run knows both formats)."""
+        from repro.obs.trace import TRACE_SCHEMA_VERSION
+
+        return {
+            "trace_schema": TRACE_SCHEMA_VERSION,
+            "metrics": self.metrics.snapshot(),  # type: ignore[union-attr]
+        }
 
     def run(self) -> ResultSet:
         """Run the session to completion and return the result set.
@@ -117,15 +156,46 @@ class ExplorationSession:
                 self.space, self._account, rng=self.rng,
             )
         while not self.target.done(self.executed):
-            batch = self.strategy.propose_batch(self.batch_size)
-            if not batch:
-                break  # space exhausted (or strategy gave up)
-            self._execute_batch(batch)
+            if self.tracer is None and self.metrics is None:
+                batch = self.strategy.propose_batch(self.batch_size)
+                if not batch:
+                    break  # space exhausted (or strategy gave up)
+                self._execute_batch(batch)
+            else:
+                if not self._observed_round():
+                    break
             if self.checkpointer is not None:
                 self.checkpointer.maybe_write(self.executed, self.rng)
         if self.checkpointer is not None:
             self.checkpointer.maybe_write(self.executed, self.rng, force=True)
         return ResultSet(self.executed)
+
+    def _observed_round(self) -> bool:
+        """One instrumented round; returns False when the space is dry."""
+        from repro.obs.trace import Tracer
+
+        tracer = self.tracer or Tracer(sinks=[])
+        clock = self.metrics.clock if self.metrics is not None else None
+        started = clock() if clock is not None else 0.0
+        self._round += 1
+        with tracer.span("round", round=self._round,
+                         batch_size=self.batch_size):
+            with tracer.span("propose"):
+                batch = self.strategy.propose_batch(self.batch_size)
+            if not batch:
+                return False
+            with tracer.span("dispatch", requests=len(batch)):
+                executed = self._execute_batch(batch)
+            for test in executed:
+                with tracer.span("verdict", index=test.index) as span:
+                    span.set(impact=test.impact, failed=test.result.failed)
+        if self.metrics is not None and clock is not None:
+            elapsed = clock() - started
+            self._rounds_counter.inc()
+            self._round_hist.observe(elapsed)
+            if elapsed > 0:
+                self._proposals_gauge.set(len(batch) / elapsed)
+        return True
 
     def _execute_batch(self, batch: list[Fault]) -> list[ExecutedTest]:
         """Execute one generation and account results in proposal order."""
@@ -152,6 +222,9 @@ class ExplorationSession:
         impact = self.metric.score(result)
         if self.environment is not None:
             impact = self.environment.weight_impact(fault, impact)
+        if self.metrics is not None:
+            self._tests_counter.inc()
+            self._fitness_hist.observe(impact)
         self.strategy.observe(fault, impact, result)
         executed = ExecutedTest(
             index=len(self.executed),

@@ -1,0 +1,51 @@
+"""Observability for the exploration fabric: metrics, traces, profiles.
+
+See ``docs/OBSERVABILITY.md`` for the metric name catalogue, the trace
+schema, and how to read ``--profile`` output.
+"""
+
+from repro.obs.export import (
+    parse_prometheus,
+    profile_payload,
+    render_table,
+    to_prometheus,
+)
+from repro.obs.metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    series_id,
+)
+from repro.obs.trace import (
+    TRACE_SCHEMA_VERSION,
+    JsonLinesSink,
+    RingBufferSink,
+    Span,
+    Tracer,
+    assemble,
+    read_jsonl,
+    worker_spans,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "DEFAULT_LATENCY_BUCKETS",
+    "series_id",
+    "Tracer",
+    "Span",
+    "RingBufferSink",
+    "JsonLinesSink",
+    "TRACE_SCHEMA_VERSION",
+    "assemble",
+    "read_jsonl",
+    "worker_spans",
+    "render_table",
+    "to_prometheus",
+    "parse_prometheus",
+    "profile_payload",
+]

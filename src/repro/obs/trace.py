@@ -1,0 +1,311 @@
+"""Structured tracing: one exploration round, reconstructable end to end.
+
+A trace is the story of one exploration: a ``round`` span per
+generation, with ``propose`` / ``dispatch`` / ``verdict`` children on
+the explorer side and ``execute`` / ``inject`` children on the worker
+side — propose → cache lookup → dispatch → inject → verdict, the §6.1
+pipeline made visible.  Span events are plain dicts (JSON lines on
+disk, a bounded ring buffer in memory), so a recorded trace can be
+replayed and checked: every span names its trace, its parent, and its
+start/end, and :func:`assemble` rebuilds the tree.
+
+Cross-process spans: the explorer threads its ``trace_id`` and the
+dispatch span's id through :class:`~repro.cluster.messages.TestRequest`;
+a worker (possibly in another process, with an unrelated clock) builds
+its span payloads locally — deterministic ids derived from the request
+id — and ships them back inside the
+:class:`~repro.cluster.messages.TestReport`.  The explorer absorbs them
+into its own sinks via :meth:`Tracer.emit`.  Worker timestamps are
+worker-local (process clocks are not comparable); nesting across the
+boundary is by parent id, not by time, and :func:`assemble` treats it so.
+
+Ids are deterministic — a trace id is fixed per tracer, span ids count
+up — so two identical runs produce structurally identical traces (only
+timestamps differ).  ``TRACE_SCHEMA_VERSION`` is recorded on every
+event and in checkpoint metadata next to the checkpoint schema version.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import threading
+import time
+from collections import deque
+from collections.abc import Callable, Iterable
+from pathlib import Path
+
+__all__ = [
+    "TRACE_SCHEMA_VERSION",
+    "Span",
+    "RingBufferSink",
+    "JsonLinesSink",
+    "Tracer",
+    "assemble",
+    "read_jsonl",
+]
+
+#: bump on any incompatible change to the span event schema (recorded
+#: on every event and alongside CHECKPOINT_VERSION in checkpoint meta).
+TRACE_SCHEMA_VERSION = 1
+
+
+class RingBufferSink:
+    """Bounded in-memory sink: always on, never grows without bound."""
+
+    def __init__(self, capacity: int = 4096) -> None:
+        if capacity < 1:
+            raise ValueError(f"ring capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._events: deque[dict] = deque(maxlen=capacity)
+        #: total events ever emitted (>= len(events) once wrapped).
+        self.emitted = 0
+
+    def emit(self, event: dict) -> None:
+        self._events.append(event)
+        self.emitted += 1
+
+    @property
+    def events(self) -> list[dict]:
+        return list(self._events)
+
+    def close(self) -> None:  # sink protocol symmetry
+        pass
+
+
+class JsonLinesSink:
+    """Appends one JSON object per line to a file (created lazily)."""
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self._handle = None
+
+    def emit(self, event: dict) -> None:
+        if self._handle is None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._handle = self.path.open("a")
+        self._handle.write(json.dumps(event, sort_keys=True) + "\n")
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+
+def read_jsonl(path: str | Path) -> list[dict]:
+    """Load every span event a :class:`JsonLinesSink` wrote."""
+    events = []
+    with Path(path).open() as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                events.append(json.loads(line))
+    return events
+
+
+class Span:
+    """One live span; emitted to the sinks when it closes."""
+
+    __slots__ = ("tracer", "trace_id", "span_id", "parent_id", "name",
+                 "attrs", "start", "end")
+
+    def __init__(
+        self,
+        tracer: "Tracer",
+        trace_id: str,
+        span_id: str,
+        parent_id: str | None,
+        name: str,
+        attrs: dict[str, object],
+    ) -> None:
+        self.tracer = tracer
+        self.trace_id = trace_id
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.name = name
+        self.attrs = attrs
+        self.start = 0.0
+        self.end = 0.0
+
+    def set(self, **attrs: object) -> None:
+        """Attach attributes to a span that is already open."""
+        self.attrs.update(attrs)
+
+    def __enter__(self) -> "Span":
+        self.start = self.tracer.clock()
+        self.tracer._push(self)
+        return self
+
+    def __exit__(self, exc_type, *exc_info) -> None:
+        self.end = self.tracer.clock()
+        if exc_type is not None:
+            self.attrs["error"] = exc_type.__name__
+        self.tracer._pop(self)
+        self.tracer.emit(self.as_event())
+
+    def as_event(self) -> dict:
+        event = {
+            "v": TRACE_SCHEMA_VERSION,
+            "trace": self.trace_id,
+            "span": self.span_id,
+            "parent": self.parent_id,
+            "name": self.name,
+            "start": self.start,
+            "end": self.end,
+        }
+        if self.attrs:
+            event["attrs"] = self.attrs
+        return event
+
+
+class Tracer:
+    """Emits structured span events for one exploration.
+
+    ``span()`` opens a child of the current thread's innermost open
+    span (explicit ``parent=`` overrides, which is how worker-side
+    spans attach to a dispatch that lives in another process).  Span
+    ids are a simple shared counter — deterministic run to run — and
+    the clock is injectable for exact tests.
+    """
+
+    def __init__(
+        self,
+        sinks: Iterable[object] | None = None,
+        clock: Callable[[], float] = time.perf_counter,
+        trace_id: str = "t0",
+    ) -> None:
+        self.sinks = list(sinks) if sinks is not None else [RingBufferSink()]
+        self.clock = clock
+        self.trace_id = trace_id
+        # next(count) is a single C-level op — thread-safe under the GIL
+        # without a lock, which matters at one id per span on hot paths.
+        self._ids = itertools.count()
+        self._stack = threading.local()
+
+    # -- span lifecycle --------------------------------------------------------
+
+    def span(
+        self,
+        name: str,
+        parent: str | None = None,
+        **attrs: object,
+    ) -> Span:
+        span_id = f"s{next(self._ids)}"
+        if parent is None:
+            stack = getattr(self._stack, "spans", None)
+            parent = stack[-1].span_id if stack else None
+        return Span(self, self.trace_id, span_id, parent, name, attrs)
+
+    @property
+    def current_span(self) -> Span | None:
+        stack = getattr(self._stack, "spans", None)
+        return stack[-1] if stack else None
+
+    def _push(self, span: Span) -> None:
+        stack = getattr(self._stack, "spans", None)
+        if stack is None:
+            stack = self._stack.spans = []
+        stack.append(span)
+
+    def _pop(self, span: Span) -> None:
+        stack = getattr(self._stack, "spans", [])
+        if stack and stack[-1] is span:
+            stack.pop()
+
+    # -- event plumbing --------------------------------------------------------
+
+    def emit(self, event: dict) -> None:
+        """Forward a span event (local or foreign) to every sink."""
+        for sink in self.sinks:
+            sink.emit(event)
+
+    def close(self) -> None:
+        for sink in self.sinks:
+            close = getattr(sink, "close", None)
+            if close is not None:
+                close()
+
+
+def worker_spans(
+    trace_id: str,
+    parent_id: str | None,
+    request_id: int,
+    manager: str,
+    start: float,
+    end: float,
+    injected_function: str | None = None,
+    injected_errno: str | None = None,
+) -> tuple[dict, ...]:
+    """Span payloads a node manager ships back inside a report.
+
+    Workers cannot share the explorer's :class:`Tracer` (they may live
+    in another process), so their span ids are derived from the request
+    id — globally unique within a trace because request ids are — and
+    their timestamps are worker-local.  The ``execute`` span is a child
+    of the explorer's dispatch span; the ``inject`` span (present only
+    when a fault actually fired) is a child of ``execute`` and is a
+    point event at the worker's clock (the simulator does not timestamp
+    the interception itself).
+    """
+    execute_id = f"w{request_id}"
+    execute = {
+        "v": TRACE_SCHEMA_VERSION,
+        "trace": trace_id,
+        "span": execute_id,
+        "parent": parent_id,
+        "name": "execute",
+        "start": start,
+        "end": end,
+        "attrs": {"manager": manager, "request_id": request_id},
+    }
+    if injected_function is None:
+        return (execute,)
+    inject = {
+        "v": TRACE_SCHEMA_VERSION,
+        "trace": trace_id,
+        "span": f"w{request_id}i",
+        "parent": execute_id,
+        "name": "inject",
+        "start": end,
+        "end": end,
+        "attrs": {
+            "function": injected_function,
+            "errno": injected_errno,
+            "request_id": request_id,
+        },
+    }
+    return (execute, inject)
+
+
+def assemble(events: Iterable[dict]) -> dict[str, dict]:
+    """Rebuild span trees from recorded events.
+
+    Returns ``{trace_id: {"roots": [node, ...], "spans": {span_id:
+    node}}}`` where each node is ``{"event": ..., "children": [...]}``;
+    children are ordered by start time (worker-local clocks order
+    correctly *within* one worker; cross-parent order is by id).  An
+    event whose parent never appears is treated as a root — a truncated
+    ring buffer must still assemble.
+    """
+    traces: dict[str, dict] = {}
+    for event in events:
+        trace = traces.setdefault(
+            event["trace"], {"roots": [], "spans": {}}
+        )
+        trace["spans"][event["span"]] = {"event": event, "children": []}
+    for trace in traces.values():
+        spans = trace["spans"]
+        for node in spans.values():
+            parent = node["event"].get("parent")
+            if parent is not None and parent in spans:
+                spans[parent]["children"].append(node)
+            else:
+                trace["roots"].append(node)
+        for node in spans.values():
+            node["children"].sort(
+                key=lambda n: (n["event"]["start"], n["event"]["span"])
+            )
+        trace["roots"].sort(
+            key=lambda n: (n["event"]["start"], n["event"]["span"])
+        )
+    return traces

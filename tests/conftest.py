@@ -4,8 +4,16 @@ for MiniDB creates 1,147 closures; no need to repeat it per test)."""
 from __future__ import annotations
 
 import pytest
+from hypothesis import settings
 
 from repro.sim.targets.coreutils import CoreutilsTarget
+
+# Property-based tests run under a fixed deterministic profile: no
+# random example selection run to run (derandomize), no per-example
+# deadline (simulator executions vary with machine load), bounded
+# example counts so CI time stays predictable.
+settings.register_profile("ci", derandomize=True, deadline=None)
+settings.load_profile("ci")
 from repro.sim.targets.docstore import DocStoreTarget
 from repro.sim.targets.httpd import HttpdTarget
 from repro.sim.targets.minidb import MiniDbTarget

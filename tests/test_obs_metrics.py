@@ -1,0 +1,252 @@
+"""The metrics registry: exact bucket/percentile math, stable exports.
+
+The observability layer's contract is that its numbers are *checkable*:
+with an injected clock every observation is exact, so bucket counts,
+percentile estimates, exposition text, and snapshots are deterministic
+functions a test can compute independently.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.obs import (
+    DEFAULT_LATENCY_BUCKETS,
+    Histogram,
+    MetricsRegistry,
+    parse_prometheus,
+    profile_payload,
+    render_table,
+    series_id,
+    to_prometheus,
+)
+
+
+class TestSeriesId:
+    def test_no_labels_is_the_bare_name(self):
+        assert series_id("session.tests") == "session.tests"
+
+    def test_labels_sorted_by_key(self):
+        a = series_id("sim.injected_calls",
+                      {"function": "malloc", "errno": "ENOMEM"})
+        b = series_id("sim.injected_calls",
+                      {"errno": "ENOMEM", "function": "malloc"})
+        assert a == b == 'sim.injected_calls{errno="ENOMEM",function="malloc"}'
+
+
+class TestCounterAndGauge:
+    def test_counter_accumulates(self):
+        registry = MetricsRegistry()
+        registry.counter("a").inc()
+        registry.counter("a").inc(4)
+        assert registry.counters() == {"a": 5}
+
+    def test_counter_rejects_negative(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry().counter("a").inc(-1)
+
+    def test_gauge_set_and_add(self):
+        gauge = MetricsRegistry().gauge("depth")
+        gauge.set(4.0)
+        gauge.add(-1.5)
+        assert gauge.value == 2.5
+
+    def test_labeled_series_are_distinct(self):
+        registry = MetricsRegistry()
+        registry.counter("m.tests", manager="n0").inc()
+        registry.counter("m.tests", manager="n1").inc(2)
+        assert registry.counters() == {
+            'm.tests{manager="n0"}': 1, 'm.tests{manager="n1"}': 2,
+        }
+
+
+class TestHistogramBuckets:
+    def test_boundary_is_inclusive_upper_bound(self):
+        h = Histogram("h", boundaries=(1.0, 2.0))
+        h.observe(1.0)   # exactly on the first boundary -> first bucket
+        h.observe(1.001)
+        h.observe(5.0)   # above the last boundary -> overflow
+        assert h.bucket_counts == [1, 1, 1]
+
+    def test_rejects_unsorted_or_empty_boundaries(self):
+        with pytest.raises(ValueError):
+            Histogram("h", boundaries=())
+        with pytest.raises(ValueError):
+            Histogram("h", boundaries=(2.0, 1.0))
+        with pytest.raises(ValueError):
+            Histogram("h", boundaries=(1.0, 1.0))
+
+    def test_default_boundaries_strictly_increase(self):
+        assert list(DEFAULT_LATENCY_BUCKETS) == \
+            sorted(set(DEFAULT_LATENCY_BUCKETS))
+
+
+class TestHistogramPercentiles:
+    """Exact percentile math: rank = ceil(p/100 * count), linear
+    interpolation between the winning bucket's bounds by rank."""
+
+    def test_hand_computed_interpolation(self):
+        h = Histogram("h", boundaries=(1.0, 2.0, 4.0))
+        for value in (0.5, 1.5, 3.0, 3.5):
+            h.observe(value)
+        # count=4; p50 -> rank 2 -> bucket (1,2] holds obs #2 and is its
+        # only one: 1.0 + (2.0-1.0) * (2-1)/1 = 2.0
+        assert h.percentile(50) == pytest.approx(2.0)
+        # p75 -> rank 3 -> bucket (2,4], first of its two obs:
+        # 2.0 + 2.0 * 1/2 = 3.0
+        assert h.percentile(75) == pytest.approx(3.0)
+        assert h.percentile(100) == pytest.approx(4.0)
+
+    def test_overflow_bucket_reports_the_max(self):
+        h = Histogram("h", boundaries=(1.0,))
+        h.observe(7.5)
+        h.observe(9.25)
+        assert h.percentile(50) == 9.25  # no upper bound to interpolate to
+        assert h.percentile(99) == 9.25
+
+    def test_empty_histogram_is_zero(self):
+        h = Histogram("h", boundaries=(1.0,))
+        assert h.percentile(50) == 0.0
+        assert h.summary() == {"count": 0, "sum": 0.0}
+
+    def test_percentile_range_validated(self):
+        h = Histogram("h", boundaries=(1.0,))
+        with pytest.raises(ValueError):
+            h.percentile(101)
+        with pytest.raises(ValueError):
+            h.percentile(-1)
+
+    def test_summary_digest(self):
+        h = Histogram("h", boundaries=(1.0, 2.0))
+        h.observe(0.5)
+        h.observe(1.5)
+        digest = h.summary()
+        assert digest["count"] == 2
+        assert digest["sum"] == pytest.approx(2.0)
+        assert digest["min"] == 0.5 and digest["max"] == 1.5
+        assert digest["mean"] == pytest.approx(1.0)
+
+
+class TestInjectedClock:
+    def test_timer_observes_exact_durations(self):
+        now = [0.0]
+        registry = MetricsRegistry(clock=lambda: now[0])
+        with registry.timer("op.seconds", op="save"):
+            now[0] += 0.25
+        with registry.timer("op.seconds", op="save"):
+            now[0] += 0.75
+        h = registry.histogram("op.seconds", op="save")
+        assert h.count == 2
+        assert h.total == pytest.approx(1.0)
+        assert h.min == 0.25 and h.max == 0.75
+
+
+class TestCollectors:
+    def test_collectors_run_at_snapshot_time(self):
+        registry = MetricsRegistry()
+        pulls = []
+        registry.register_collector(
+            lambda reg: (pulls.append(1), reg.gauge("lazy").set(len(pulls)))
+        )
+        assert pulls == []  # nothing until a snapshot is taken
+        assert registry.snapshot()["gauges"]["lazy"] == 1
+        assert registry.snapshot()["gauges"]["lazy"] == 2
+
+
+class TestPrometheusExposition:
+    def _registry(self) -> MetricsRegistry:
+        registry = MetricsRegistry()
+        registry.counter("session.tests").inc(12)
+        registry.counter("sim.injected_calls", function="read",
+                         errno="EIO").inc(3)
+        registry.gauge("fabric.queue_depth").set(4)
+        h = registry.histogram("fabric.dispatch_seconds",
+                               boundaries=(0.1, 1.0))
+        for value in (0.05, 0.5, 2.0):
+            h.observe(value)
+        return registry
+
+    def test_counters_gain_total_suffix_and_labels_survive(self):
+        text = to_prometheus(self._registry())
+        assert "# TYPE afex_session_tests_total counter" in text
+        assert "afex_session_tests_total 12" in text
+        assert ('afex_sim_injected_calls_total'
+                '{errno="EIO",function="read"} 3') in text
+
+    def test_histogram_buckets_are_cumulative_with_inf(self):
+        text = to_prometheus(self._registry())
+        assert 'afex_fabric_dispatch_seconds_bucket{le="0.1"} 1' in text
+        assert 'afex_fabric_dispatch_seconds_bucket{le="1"} 2' in text
+        assert 'afex_fabric_dispatch_seconds_bucket{le="+Inf"} 3' in text
+        assert "afex_fabric_dispatch_seconds_count 3" in text
+
+    def test_parse_round_trips_values(self):
+        registry = self._registry()
+        parsed = parse_prometheus(to_prometheus(registry))
+        assert parsed["afex_session_tests_total"]["type"] == "counter"
+        assert parsed["afex_session_tests_total"]["samples"] == {
+            "afex_session_tests_total": 12.0,
+        }
+        assert parsed["afex_fabric_queue_depth"]["samples"] == {
+            "afex_fabric_queue_depth": 4.0,
+        }
+        histogram = parsed["afex_fabric_dispatch_seconds"]
+        assert histogram["type"] == "histogram"
+        assert histogram["samples"][
+            'afex_fabric_dispatch_seconds_bucket{le="+Inf"}'] == 3.0
+
+    def test_parse_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            parse_prometheus("not a metric line at all{{{")
+
+
+class TestRenderAndProfile:
+    def test_table_lists_every_series(self):
+        registry = MetricsRegistry()
+        registry.counter("a.count").inc()
+        registry.gauge("b.depth").set(2)
+        registry.histogram("c.seconds", boundaries=(1.0,)).observe(0.5)
+        text = render_table(registry)
+        for series in ("a.count", "b.depth", "c.seconds"):
+            assert series in text
+
+    def test_profile_payload_shape(self):
+        registry = MetricsRegistry()
+        registry.counter("session.tests").inc(5)
+        registry.histogram("x.seconds", boundaries=(1.0,)).observe(0.5)
+        payload = profile_payload(registry, meta={"target": "coreutils"})
+        assert payload["benchmark"] == "observability"
+        assert payload["schema"] == 1
+        assert payload["meta"] == {"target": "coreutils"}
+        assert payload["counters"]["session.tests"] == 5
+        digest = payload["histograms"]["x.seconds"]
+        assert "p99" in digest and "bucket_counts" not in digest
+
+
+class TestSnapshotStability:
+    def test_snapshot_keys_sorted(self):
+        registry = MetricsRegistry()
+        registry.counter("z.last").inc()
+        registry.counter("a.first").inc()
+        snapshot = registry.snapshot()
+        assert list(snapshot["counters"]) == ["a.first", "z.last"]
+
+    def test_thread_safe_series_creation(self):
+        registry = MetricsRegistry()
+        barrier = threading.Barrier(8)
+
+        def hammer() -> None:
+            barrier.wait()
+            for _ in range(200):
+                registry.counter("shared").inc()
+
+        threads = [threading.Thread(target=hammer) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        # One Counter object for all threads (creation is locked).
+        assert registry.counter("shared") is registry.counter("shared")
+        assert 0 < registry.counters()["shared"] <= 1600

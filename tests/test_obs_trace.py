@@ -1,0 +1,210 @@
+"""The tracer: span nesting, sinks, cross-process payloads, assembly.
+
+Span ids are deterministic (a counter per tracer, request-derived ids on
+workers), the clock is injectable, and events are plain dicts — so every
+structural property here is exact, not statistical.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.obs import (
+    TRACE_SCHEMA_VERSION,
+    JsonLinesSink,
+    RingBufferSink,
+    Tracer,
+    assemble,
+    read_jsonl,
+    worker_spans,
+)
+
+
+def tick_clock():
+    now = [0.0]
+
+    def clock() -> float:
+        now[0] += 1.0
+        return now[0]
+
+    return clock
+
+
+class TestSpanLifecycle:
+    def test_nesting_follows_the_thread_local_stack(self):
+        ring = RingBufferSink()
+        tracer = Tracer(sinks=[ring], clock=tick_clock())
+        with tracer.span("round"):
+            with tracer.span("propose"):
+                pass
+            with tracer.span("dispatch"):
+                with tracer.span("execute"):
+                    pass
+        events = {e["name"]: e for e in ring.events}
+        assert events["round"]["parent"] is None
+        assert events["propose"]["parent"] == events["round"]["span"]
+        assert events["dispatch"]["parent"] == events["round"]["span"]
+        assert events["execute"]["parent"] == events["dispatch"]["span"]
+
+    def test_span_ids_count_up_deterministically(self):
+        tracer = Tracer(sinks=[RingBufferSink()])
+        assert [tracer.span("a").span_id for _ in range(3)] == \
+            ["s0", "s1", "s2"]
+
+    def test_explicit_parent_overrides_the_stack(self):
+        ring = RingBufferSink()
+        tracer = Tracer(sinks=[ring])
+        with tracer.span("outer"):
+            with tracer.span("adopted", parent="w7"):
+                pass
+        adopted = [e for e in ring.events if e["name"] == "adopted"][0]
+        assert adopted["parent"] == "w7"
+
+    def test_timestamps_nest_and_schema_version_is_stamped(self):
+        ring = RingBufferSink()
+        tracer = Tracer(sinks=[ring], clock=tick_clock())
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        inner, outer = ring.events  # inner closes (and is emitted) first
+        assert outer["start"] < inner["start"] <= inner["end"] < outer["end"]
+        assert all(e["v"] == TRACE_SCHEMA_VERSION for e in ring.events)
+
+    def test_exception_is_recorded_and_span_still_emitted(self):
+        ring = RingBufferSink()
+        tracer = Tracer(sinks=[ring])
+        with pytest.raises(RuntimeError):
+            with tracer.span("doomed"):
+                raise RuntimeError("boom")
+        assert ring.events[0]["attrs"]["error"] == "RuntimeError"
+
+    def test_set_attaches_attributes_mid_span(self):
+        ring = RingBufferSink()
+        tracer = Tracer(sinks=[ring])
+        with tracer.span("verdict", index=3) as span:
+            span.set(impact=2.0)
+        assert ring.events[0]["attrs"] == {"index": 3, "impact": 2.0}
+
+
+class TestSinks:
+    def test_ring_buffer_bounds_memory_but_counts_everything(self):
+        ring = RingBufferSink(capacity=3)
+        tracer = Tracer(sinks=[ring])
+        for index in range(10):
+            with tracer.span(f"e{index}"):
+                pass
+        assert ring.emitted == 10
+        assert [e["name"] for e in ring.events] == ["e7", "e8", "e9"]
+
+    def test_ring_capacity_validated(self):
+        with pytest.raises(ValueError):
+            RingBufferSink(capacity=0)
+
+    def test_jsonl_sink_round_trips(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        tracer = Tracer(sinks=[JsonLinesSink(path)], clock=tick_clock())
+        with tracer.span("round", round=1):
+            with tracer.span("propose"):
+                pass
+        tracer.close()
+        events = read_jsonl(path)
+        assert [e["name"] for e in events] == ["propose", "round"]
+        assert events[1]["attrs"] == {"round": 1}
+        assert all(e["v"] == TRACE_SCHEMA_VERSION for e in events)
+
+    def test_every_sink_receives_every_event(self, tmp_path):
+        ring = RingBufferSink()
+        path = tmp_path / "t.jsonl"
+        tracer = Tracer(sinks=[ring, JsonLinesSink(path)])
+        with tracer.span("a"):
+            pass
+        tracer.close()
+        assert ring.events == read_jsonl(path)
+
+
+class TestWorkerSpans:
+    def test_execute_span_id_derived_from_request(self):
+        (execute,) = worker_spans("t0", "s5", 17, "node2", 1.0, 2.0)
+        assert execute["span"] == "w17"
+        assert execute["parent"] == "s5"
+        assert execute["name"] == "execute"
+        assert execute["attrs"]["manager"] == "node2"
+
+    def test_inject_is_a_point_event_child_of_execute(self):
+        execute, inject = worker_spans(
+            "t0", "s5", 17, "node2", 1.0, 2.0,
+            injected_function="read", injected_errno="EIO",
+        )
+        assert inject["span"] == "w17i"
+        assert inject["parent"] == "w17"
+        assert inject["start"] == inject["end"]
+        assert inject["attrs"]["function"] == "read"
+        assert inject["attrs"]["errno"] == "EIO"
+
+
+class TestAssemble:
+    def test_rebuilds_the_tree_with_ordered_children(self):
+        ring = RingBufferSink()
+        tracer = Tracer(sinks=[ring], clock=tick_clock())
+        with tracer.span("round"):
+            with tracer.span("propose"):
+                pass
+            with tracer.span("dispatch"):
+                pass
+        traces = assemble(ring.events)
+        (root,) = traces["t0"]["roots"]
+        assert root["event"]["name"] == "round"
+        assert [c["event"]["name"] for c in root["children"]] == \
+            ["propose", "dispatch"]
+
+    def test_orphans_become_roots(self):
+        # A truncated ring buffer may keep a child whose parent is gone.
+        events = [{"v": 1, "trace": "t0", "span": "s9", "parent": "sGone",
+                   "name": "late", "start": 1.0, "end": 2.0}]
+        traces = assemble(events)
+        assert [n["event"]["name"] for n in traces["t0"]["roots"]] == ["late"]
+
+    def test_foreign_worker_events_nest_by_parent_id(self):
+        ring = RingBufferSink()
+        tracer = Tracer(sinks=[ring], clock=tick_clock())
+        dispatch = tracer.span("dispatch")
+        with dispatch:
+            # Worker clocks are not comparable with the explorer's;
+            # nesting must come from the parent id alone.
+            for event in worker_spans("t0", dispatch.span_id, 3, "n0",
+                                      1e9, 1e9 + 1):
+                tracer.emit(event)
+        traces = assemble(ring.events)
+        (root,) = traces["t0"]["roots"]
+        assert [c["event"]["span"] for c in root["children"]] == ["w3"]
+
+
+class TestConcurrency:
+    def test_threads_keep_independent_span_stacks(self):
+        ring = RingBufferSink()
+        tracer = Tracer(sinks=[ring])
+        barrier = threading.Barrier(4)
+        errors: list[str] = []
+
+        def worker(name: str) -> None:
+            barrier.wait()
+            for index in range(25):
+                with tracer.span(f"{name}-outer", i=index) as outer:
+                    with tracer.span(f"{name}-inner") as inner:
+                        if inner.parent_id != outer.span_id:
+                            errors.append(f"{name}@{index}")
+
+        threads = [
+            threading.Thread(target=worker, args=(f"t{i}",)) for i in range(4)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert errors == []
+        assert ring.emitted == 4 * 25 * 2
+        # Every span id is unique despite concurrent allocation.
+        ids = [e["span"] for e in ring.events]
+        assert len(ids) == len(set(ids))
