@@ -1,0 +1,150 @@
+"""Online vs batch clustering: the streaming quality stage's scaling claim.
+
+The batch §5 pass pays O(n²) edit distances at report time; the online
+engine assigns each result as it arrives, pruning with the exact-match
+fast path, per-cluster length ranges, and representative triangle
+bounds.  This benchmark times both over an AFEX-shaped workload —
+stack traces concentrated on a few dozen injection points, with
+call-path noise producing near-duplicates — at n ∈ {250, 1000, 2000},
+checks the partitions are *identical*, and writes ``BENCH_cluster.json``
+at the repo root.
+
+Gate: at n=2000 the online engine must finish in at most half the batch
+pass's time (the PR's ≥2x claim).
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import time
+from pathlib import Path
+
+from conftest import run_once
+from repro.quality.clustering import cluster_stacks_reference
+from repro.quality.online import OnlineClusters
+from repro.util.tables import TextTable
+
+SIZES = (250, 1000, 2000)
+GATED_SIZE = 2000
+MAX_DISTANCE = 1
+SEED = 42
+INJECTION_POINTS = 32
+NOISE_FRAMES = 8
+DUP_RATE = 0.45
+BENCH_PATH = Path(__file__).parent.parent / "BENCH_cluster.json"
+
+
+def _workload(n: int, rng: random.Random) -> list[tuple[str, ...] | None]:
+    """Stack traces as an exploration produces them: most results
+    re-fire one of a few dozen injection points exactly (the dominant
+    exact-duplicate case), the rest differ from a base trace by one
+    frame (the near-duplicates clustering exists to merge)."""
+    bases = [
+        tuple(f"ip{i}_fn{j}" for j in range(rng.randint(4, 14)))
+        for i in range(INJECTION_POINTS)
+    ]
+    noise = [f"noise_{k}" for k in range(NOISE_FRAMES)]
+    stacks: list[tuple[str, ...] | None] = []
+    for _ in range(n):
+        if rng.random() < 0.05:
+            stacks.append(None)  # fault never fired
+            continue
+        base = list(rng.choice(bases))
+        if rng.random() >= DUP_RATE:
+            op = rng.randrange(3)
+            position = rng.randrange(len(base))
+            if op == 0 and len(base) > 1:
+                base.pop(position)
+            elif op == 1:
+                base.insert(position, rng.choice(noise))
+            else:
+                base[position] = rng.choice(noise)
+        stacks.append(tuple(base))
+    return stacks
+
+
+def _timed(func):
+    started = time.perf_counter()
+    result = func()
+    return result, time.perf_counter() - started
+
+
+def test_online_clustering_scaling(benchmark, report):
+    def experiment():
+        rows = []
+        for n in SIZES:
+            stacks = _workload(n, random.Random(SEED))
+
+            def run_online():
+                engine = OnlineClusters(max_distance=MAX_DISTANCE)
+                for stack in stacks:
+                    engine.add(stack)
+                return engine
+
+            batch, batch_s = _timed(
+                lambda: cluster_stacks_reference(
+                    stacks, max_distance=MAX_DISTANCE
+                )
+            )
+            engine, online_s = _timed(run_online)
+            online = engine.partition()
+            assert online.assignment == batch.assignment, n
+            rows.append({
+                "n": n,
+                "clusters": online.cluster_count,
+                "batch_seconds": batch_s,
+                "online_seconds": online_s,
+                "speedup": batch_s / online_s if online_s > 0 else float("inf"),
+                "stats": engine.stats(),
+            })
+        return rows
+
+    rows = run_once(benchmark, experiment)
+
+    payload = {
+        "benchmark": "cluster_scaling",
+        "max_distance": MAX_DISTANCE,
+        "seed": SEED,
+        "injection_points": INJECTION_POINTS,
+        "dup_rate": DUP_RATE,
+        "sizes": [
+            {
+                "n": row["n"],
+                "clusters": row["clusters"],
+                "batch_seconds": round(row["batch_seconds"], 4),
+                "online_seconds": round(row["online_seconds"], 4),
+                "speedup": round(row["speedup"], 2),
+                "comparisons": row["stats"]["comparisons"],
+                "comparisons_avoided": row["stats"]["comparisons_avoided"],
+                "cache_hit_ratio": round(
+                    float(row["stats"]["cache_hit_ratio"]), 4
+                ),
+            }
+            for row in rows
+        ],
+    }
+    BENCH_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+
+    table = TextTable(
+        ["n", "clusters", "batch s", "online s", "speedup",
+         "distances", "avoided"],
+        title="online vs batch clustering (identical partitions)",
+    )
+    for row in rows:
+        table.add_row([
+            row["n"], row["clusters"],
+            f"{row['batch_seconds']:.3f}", f"{row['online_seconds']:.3f}",
+            f"{row['speedup']:.2f}x",
+            row["stats"]["comparisons"],
+            row["stats"]["comparisons_avoided"],
+        ])
+    report("cluster_scaling", table.render()
+           + f"\nwritten to {BENCH_PATH.name}")
+
+    gated = next(row for row in rows if row["n"] == GATED_SIZE)
+    # The streaming engine must at least halve the batch pass's time at
+    # the gated size (equivalently: a >= 2x speedup).
+    assert gated["online_seconds"] <= 0.5 * gated["batch_seconds"], {
+        "batch": gated["batch_seconds"], "online": gated["online_seconds"],
+    }

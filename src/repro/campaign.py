@@ -89,6 +89,17 @@ class CampaignJob:
     checkpoint_every: int = 0
     #: a Checkpoint, or a path to one, to resume from.
     resume_from: Checkpoint | str | Path | None = None
+    #: run the streaming §5 clustering stage alongside the exploration,
+    #: so redundancy is known while the job runs, not after it.
+    online_quality: bool = False
+    #: edit-distance bound for the online clustering stage.
+    cluster_distance: int = 1
+    #: similarity below this is treated as fully novel by the feedback.
+    similarity_threshold: float = 0.0
+    #: feed the live novelty signal back into the strategy (sets
+    #: ``use_novelty`` on strategies that support it); implies
+    #: ``online_quality``.
+    live_feedback: bool = False
     #: optional :class:`~repro.obs.metrics.MetricsRegistry` every layer
     #: of the job (session/explorer, fabric, cache, simulator) reports
     #: into; its snapshot lands in the outcome and the scorecard.
@@ -98,6 +109,9 @@ class CampaignJob:
     tracer: "object | None" = None
     #: fabric health of the last execution (set by :meth:`execute`).
     fabric_health: "object | None" = field(default=None, compare=False)
+    #: online-clustering counters of the last execution (an
+    #: ``OnlineClusters.stats()`` dict; set by :meth:`execute`).
+    quality_stats: "dict | None" = field(default=None, compare=False)
 
     def execute(self) -> tuple[TargetRunner, ResultSet, SearchStrategy]:
         """Run the job, returning (runner for re-execution, results,
@@ -115,6 +129,9 @@ class CampaignJob:
         )
         stop = self.stop or IterationBudget(self.iterations)
         strategy = self.strategy_factory()
+        online = self.online_quality or self.live_feedback
+        if self.live_feedback and hasattr(strategy, "use_novelty"):
+            strategy.use_novelty = True
         resume = self.resume_from
         if isinstance(resume, (str, Path)):
             resume = load_checkpoint(resume)
@@ -134,9 +151,17 @@ class CampaignJob:
                 resume_from=resume,
                 metrics=self.metrics,
                 tracer=self.tracer,
+                online_quality=online,
+                cluster_distance=self.cluster_distance,
+                similarity_threshold=self.similarity_threshold,
             )
             self.fabric_health = None
-            return runner, session.run(), strategy
+            results = session.run()
+            self.quality_stats = (
+                session.quality.stats() if session.quality is not None
+                else None
+            )
+            return runner, results, strategy
 
         from repro.cluster import (
             ClusterExplorer,
@@ -189,6 +214,9 @@ class CampaignJob:
             resume_from=resume,
             metrics=self.metrics,
             tracer=self.tracer,
+            online_quality=online,
+            cluster_distance=self.cluster_distance,
+            similarity_threshold=self.similarity_threshold,
         )
         try:
             results = explorer.run()
@@ -196,6 +224,10 @@ class CampaignJob:
             if pool is not None:
                 pool.close()
         self.fabric_health = explorer.health
+        self.quality_stats = (
+            explorer.quality.stats() if explorer.quality is not None
+            else None
+        )
         return runner, results, strategy
 
 
@@ -214,6 +246,9 @@ class CampaignOutcome:
     #: metrics snapshot taken right after the job (None without a
     #: :attr:`CampaignJob.metrics` registry).
     metrics_snapshot: dict | None = None
+    #: online-clustering counters (None unless the job ran with
+    #: :attr:`CampaignJob.online_quality` or live feedback on).
+    quality_stats: dict | None = None
 
     @property
     def verdict(self) -> str:
@@ -254,6 +289,7 @@ class Campaign:
                 top_n=report_top_n,
                 of=lambda t: t.failed,
                 fabric_health=job.fabric_health,
+                quality_stats=job.quality_stats,
             )
             outcomes.append(CampaignOutcome(
                 job=job,
@@ -262,6 +298,7 @@ class Campaign:
                 seconds=time.perf_counter() - started,
                 strategy_name=strategy.name,
                 fabric_health=job.fabric_health,
+                quality_stats=job.quality_stats,
                 metrics_snapshot=(
                     job.metrics.snapshot()  # type: ignore[attr-defined]
                     if job.metrics is not None else None
@@ -274,13 +311,15 @@ class Campaign:
         """The combined certification summary across all jobs."""
         table = TextTable(
             ["system", "verdict", "tests", "failed", "crashes", "hangs",
-             "clusters", "retries", "cache hit%", "time (s)"],
+             "clusters", "live", "non-red%", "retries", "cache hit%",
+             "time (s)"],
             title="certification campaign scorecard",
         )
         for outcome in outcomes:
             health = outcome.fabric_health
             snapshot = outcome.metrics_snapshot or {}
             hit_ratio = snapshot.get("gauges", {}).get("cache.hit_ratio")
+            quality = outcome.quality_stats
             table.add_row([
                 outcome.job.name,
                 outcome.verdict,
@@ -289,6 +328,9 @@ class Campaign:
                 outcome.results.crash_count(),
                 len(outcome.results.hangs()),
                 outcome.report.cluster_count,
+                "-" if quality is None else quality.get("clusters", 0),
+                "-" if quality is None
+                else f"{100 * float(quality.get('novelty_ratio', 0)):.0f}",
                 "-" if health is None else getattr(health, "retries", 0),
                 "-" if hit_ratio is None else f"{hit_ratio * 100:.0f}",
                 f"{outcome.seconds:.1f}",

@@ -77,7 +77,24 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--top", type=int, default=10,
                      help="how many top-impact faults to print")
     run.add_argument("--feedback", action="store_true",
-                     help="enable the redundancy feedback loop (§7.4)")
+                     help="enable the redundancy feedback loop (§7.4); "
+                     "with --online-quality the live novelty signal is "
+                     "used instead of the batch similarity weight")
+    run.add_argument(
+        "--online-quality", action="store_true",
+        help="cluster results incrementally as they arrive (§5), report "
+        "live non-redundancy, and persist the cluster state in "
+        "checkpoints",
+    )
+    run.add_argument(
+        "--cluster-distance", type=int, default=1, metavar="N",
+        help="edit-distance bound for online clustering (default 1)",
+    )
+    run.add_argument(
+        "--similarity-threshold", type=float, default=0.0, metavar="S",
+        help="similarity below S counts as fully novel for the live "
+        "feedback signal (default 0.0)",
+    )
     run.add_argument(
         "--fabric", default="serial", choices=_FABRICS,
         help="execution fabric: in-process serial loop, GIL-bound "
@@ -235,7 +252,14 @@ def _explore_on_fabric(args: argparse.Namespace, target, space, strategy):
         if getattr(args, "trace_out", None):
             sinks.append(JsonLinesSink(args.trace_out))
         tracer = Tracer(sinks=sinks)
+    online = bool(getattr(args, "online_quality", False))
+    quality_kwargs = dict(
+        online_quality=online,
+        cluster_distance=getattr(args, "cluster_distance", 1),
+        similarity_threshold=getattr(args, "similarity_threshold", 0.0),
+    )
     health = None
+    quality = None
     started = time.perf_counter()
     if fabric == "serial":
         session = ExplorationSession(
@@ -253,8 +277,10 @@ def _explore_on_fabric(args: argparse.Namespace, target, space, strategy):
             resume_from=resume,
             metrics=metrics,
             tracer=tracer,
+            **quality_kwargs,
         )
         results = session.run()
+        quality = session.quality
     else:
         import functools
 
@@ -301,6 +327,7 @@ def _explore_on_fabric(args: argparse.Namespace, target, space, strategy):
             resume_from=resume,
             metrics=metrics,
             tracer=tracer,
+            **quality_kwargs,
         )
         try:
             results = explorer.run()
@@ -308,10 +335,11 @@ def _explore_on_fabric(args: argparse.Namespace, target, space, strategy):
             if pool is not None:
                 pool.close()
         health = explorer.health
+        quality = explorer.quality
     elapsed = time.perf_counter() - started
     if cache is not None and args.cache:
         cache.save()
-    return results, elapsed, cache, health, metrics, tracer
+    return results, elapsed, cache, health, quality, metrics, tracer
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
@@ -329,9 +357,15 @@ def _cmd_run(args: argparse.Namespace) -> int:
         if not isinstance(strategy, FitnessGuidedSearch):
             print("--feedback requires the fitness strategy")
             return 2
-        strategy.fitness_weight = RedundancyFeedback()
-    results, elapsed, cache, health, metrics, tracer = _explore_on_fabric(
-        args, target, space, strategy
+        if getattr(args, "online_quality", False):
+            # With the streaming clustering stage on, the incremental
+            # novelty signal replaces the quadratic batch similarity
+            # weight — same §7.4 loop, O(1) amortized per result.
+            strategy.use_novelty = True
+        else:
+            strategy.fitness_weight = RedundancyFeedback()
+    results, elapsed, cache, health, quality, metrics, tracer = (
+        _explore_on_fabric(args, target, space, strategy)
     )
 
     from repro.core.checkpoint import history_digest
@@ -350,6 +384,14 @@ def _cmd_run(args: argparse.Namespace) -> int:
                        f"{stats['hits']}/{stats['misses']}"])
     if health is not None:
         table.add_row(["fabric health", health.describe()])
+    if quality is not None:
+        stats = quality.stats()
+        table.add_row(["live clusters", stats["clusters"]])
+        table.add_row(["non-redundant",
+                       f"{100 * stats['novelty_ratio']:.0f}%"])
+        table.add_row(["distances computed/avoided",
+                       f"{stats['comparisons']}/"
+                       f"{stats['comparisons_avoided']}"])
     print(table.render())
     # Stable content digest of the result history: two runs print the
     # same line iff their histories are byte-identical (what the CI

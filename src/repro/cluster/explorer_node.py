@@ -32,8 +32,9 @@ from repro.core.impact import ImpactMetric
 from repro.core.results import ExecutedTest, ResultSet
 from repro.core.search.base import SearchStrategy
 from repro.core.targets import SearchTarget
-from repro.errors import ClusterError
+from repro.errors import CheckpointError, ClusterError
 from repro.injection.plan import InjectionPlan
+from repro.quality.online import OnlineClusters, QualityDelta
 from repro.quality.relevance import EnvironmentModel
 from repro.sim.process import RunResult
 from repro.util.rng import ensure_rng
@@ -75,6 +76,9 @@ class ClusterExplorer:
         resume_from: Checkpoint | None = None,
         metrics: "object | None" = None,
         tracer: "object | None" = None,
+        online_quality: bool = False,
+        cluster_distance: int = 1,
+        similarity_threshold: float = 0.0,
     ) -> None:
         self.cluster = cluster
         self.space = space
@@ -97,6 +101,20 @@ class ClusterExplorer:
         #: round/propose/dispatch/verdict spans, and worker-side
         #: execute/inject spans shipped back in reports are absorbed.
         self.tracer = tracer
+        #: the streaming §5 quality stage; reports carry worker-computed
+        #: stack digests so exact repeats cost one dict probe here.
+        self.quality: OnlineClusters | None = (
+            OnlineClusters(
+                max_distance=cluster_distance,
+                similarity_threshold=similarity_threshold,
+            )
+            if online_quality else None
+        )
+        #: per-round cluster movement (online quality only).
+        self.quality_deltas: list[QualityDelta] = []
+        self._quality_prev: dict[str, object] | None = None
+        if self.quality is not None and metrics is not None:
+            self.quality.bind_metrics(metrics)
         if metrics is not None:
             from repro.core.session import FITNESS_BUCKETS
 
@@ -141,6 +159,8 @@ class ClusterExplorer:
 
             meta["trace_schema"] = TRACE_SCHEMA_VERSION
             meta["metrics"] = self.metrics.snapshot()
+        if self.quality is not None:
+            meta["quality"] = self.quality.state_payload()
         return meta
 
     def _collect_fabric(self, registry) -> None:
@@ -171,6 +191,7 @@ class ClusterExplorer:
             # Replayed tests were dispatched by the original run;
             # request ids continue where it left off.
             self._next_request_id = replayed
+            self._verify_quality_resume()
         round_number = 0
         while not self.target.done(self.executed):
             round_number += 1
@@ -182,6 +203,7 @@ class ClusterExplorer:
                 reports = self.cluster.run_batch(requests)
                 for fault, report in zip(batch, reports):
                     self._account(fault, report)
+                self._publish_quality_delta()
             elif not self._observed_round(round_number):
                 break
             if self.checkpointer is not None:
@@ -231,6 +253,11 @@ class ClusterExplorer:
                 with tracer.span("verdict", index=executed.index) as span:
                     span.set(impact=executed.impact,
                              failed=executed.result.failed)
+            if self.quality is not None:
+                with tracer.span("quality") as span:
+                    delta = self._publish_quality_delta()
+                    if delta is not None:
+                        span.set(**delta.as_dict())
         if self.metrics is not None and clock is not None:
             elapsed = clock() - started
             self.metrics.counter("session.rounds").inc()
@@ -261,17 +288,37 @@ class ClusterExplorer:
         )
 
     def _account(self, fault: Fault, report: TestReport) -> ExecutedTest:
-        return self._account_result(fault, _report_to_result(fault, report))
+        return self._account_result(
+            fault, _report_to_result(fault, report),
+            stack_digest=getattr(report, "stack_digest", None),
+        )
 
-    def _account_result(self, fault: Fault, result: RunResult) -> ExecutedTest:
-        """Score, feed back, and record one result (live or replayed)."""
+    def _account_result(
+        self,
+        fault: Fault,
+        result: RunResult,
+        stack_digest: str | None = None,
+    ) -> ExecutedTest:
+        """Score, feed back, and record one result (live or replayed).
+
+        Checkpoint replay drives this path too (without the wire
+        digest), so a resumed explorer rebuilds its cluster engine in
+        exactly the recorded state.
+        """
         impact = self.metric.score(result)
         if self.environment is not None:
             impact = self.environment.weight_impact(fault, impact)
         if self.metrics is not None:
             self._tests_counter.inc()
             self._fitness_hist.observe(impact)
-        self.strategy.observe(fault, impact, result)
+        if self.quality is not None:
+            update = self.quality.add(
+                result.injection_stack, digest=stack_digest
+            )
+            self.strategy.observe(fault, impact, result,
+                                  novelty=update.novelty)
+        else:
+            self.strategy.observe(fault, impact, result)
         executed = ExecutedTest(
             index=len(self.executed),
             fault=fault,
@@ -283,6 +330,30 @@ class ClusterExplorer:
         if self.on_test is not None:
             self.on_test(executed)
         return executed
+
+    def _publish_quality_delta(self) -> QualityDelta | None:
+        """Record the round's cluster movement (online quality only)."""
+        if self.quality is None:
+            return None
+        delta = self.quality.delta(
+            len(self.quality_deltas) + 1, self._quality_prev
+        )
+        self._quality_prev = self.quality.stats()
+        self.quality_deltas.append(delta)
+        return delta
+
+    def _verify_quality_resume(self) -> None:
+        """Cross-check the replay-rebuilt cluster state against the
+        checkpoint's recorded summary."""
+        if self.quality is None or self.resume_from is None:
+            return
+        persisted = self.resume_from.meta.get("quality")
+        if not isinstance(persisted, dict):
+            return  # checkpoint predates online quality (or it was off)
+        try:
+            self.quality.verify_state(persisted)
+        except ValueError as exc:
+            raise CheckpointError(str(exc)) from None
 
 
 def _report_to_result(fault: Fault, report: TestReport) -> RunResult:

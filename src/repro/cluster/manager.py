@@ -25,6 +25,7 @@ from repro.errors import ClusterError
 from repro.injection.injector import FaultInjector, InjectorRegistry
 from repro.injection.libfi import LibFaultInjector
 from repro.obs.trace import worker_spans
+from repro.quality.online import stack_digest
 from repro.sim.testsuite import Target
 
 __all__ = ["NodeManager"]
@@ -107,6 +108,7 @@ class NodeManager:
             cost=cost,
             invariant_violations=result.invariant_violations,
             spans=spans,
+            stack_digest=stack_digest(result.injection_stack),
         )
 
     def heartbeat(self) -> WorkerHeartbeat:

@@ -60,6 +60,12 @@ class TestReport:
     #: shipped back across the process boundary for the explorer's
     #: tracer to absorb; empty when the request carried no trace id.
     spans: tuple = ()
+    #: content digest of ``injection_stack`` (see
+    #: :func:`repro.quality.online.stack_digest`), computed worker-side
+    #: so the explorer's online clustering resolves exact repeats with
+    #: one dict probe instead of re-hashing the whole stack on its hot
+    #: path.  None when nothing fired.
+    stack_digest: str | None = None
 
     @property
     def crashed(self) -> bool:

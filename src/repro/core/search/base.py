@@ -83,8 +83,21 @@ class SearchStrategy(ABC):
             batch.append(fault)
         return batch
 
-    def observe(self, fault: Fault, impact: float, result: RunResult) -> None:
-        """Feedback hook: called after each executed test."""
+    def observe(
+        self,
+        fault: Fault,
+        impact: float,
+        result: RunResult,
+        novelty: float | None = None,
+    ) -> None:
+        """Feedback hook: called after each executed test.
+
+        ``novelty`` is the optional live §7.4 signal from the online
+        clustering engine (1.0 = nothing similar seen before, 0.0 = an
+        exact repeat); the session only passes it when online quality is
+        enabled, and strategies only act on it when explicitly opted in
+        (``use_novelty``), so default trajectories stay byte-identical.
+        """
 
     # -- shared helpers --------------------------------------------------------
 

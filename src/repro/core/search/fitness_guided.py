@@ -66,6 +66,7 @@ class FitnessGuidedSearch(SearchStrategy):
         use_sensitivity: bool = True,
         aging: bool = True,
         fitness_weight: FitnessWeight | None = None,
+        use_novelty: bool = False,
         adaptive_sigma: bool = False,
         sigma_shrink: float = 0.93,
         sigma_grow: float = 1.04,
@@ -89,6 +90,11 @@ class FitnessGuidedSearch(SearchStrategy):
         self.use_sensitivity = use_sensitivity
         self.aging = aging
         self.fitness_weight = fitness_weight
+        #: §7.4 live feedback: when True, the novelty signal streamed
+        #: from the online clustering engine scales fitness directly —
+        #: redundant results decay toward zero weight without the
+        #: all-pairs scan the batch ``RedundancyFeedback`` hook pays.
+        self.use_novelty = use_novelty
         #: §3 future work: "σ can also be computed dynamically, based on
         #: the evolution of tests in the currently explored vicinity".
         #: When enabled, each axis's σ factor shrinks while mutations
@@ -258,11 +264,21 @@ class FitnessGuidedSearch(SearchStrategy):
 
     # -- feedback ----------------------------------------------------------------
 
-    def observe(self, fault: Fault, impact: float, result: RunResult) -> None:
+    def observe(
+        self,
+        fault: Fault,
+        impact: float,
+        result: RunResult,
+        novelty: float | None = None,
+    ) -> None:
         queue = self._queue()
         fitness = impact
         if self.fitness_weight is not None:
             fitness = self.fitness_weight(fault, result, impact)
+        if self.use_novelty and novelty is not None:
+            # §7.4 online: a redundant result (low novelty) seeds fewer
+            # offspring; a brand-new cluster keeps its full fitness.
+            fitness *= novelty
         mutated_axis = self._mutated_axis.pop(fault, None)
         queue.add(Candidate(fault, impact, fitness, mutated_axis))
         if mutated_axis is not None:

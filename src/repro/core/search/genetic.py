@@ -36,6 +36,7 @@ class GeneticSearch(SearchStrategy):
         mutation_rate: float = 0.2,
         elite: int = 4,
         sigma_factor: float = 0.2,
+        use_novelty: bool = False,
     ) -> None:
         super().__init__()
         if population_size < 4:
@@ -46,6 +47,9 @@ class GeneticSearch(SearchStrategy):
         self.mutation_rate = mutation_rate
         self.elite = elite
         self.sigma_factor = sigma_factor
+        #: §7.4 live feedback: scale selection fitness by the streamed
+        #: novelty signal, so redundant individuals breed less.
+        self.use_novelty = use_novelty
         self._pending: deque[Fault] = deque()
         self._evaluated: list[tuple[Fault, float]] = []
         self._generation = 0
@@ -63,8 +67,17 @@ class GeneticSearch(SearchStrategy):
         # Breeding produced only duplicates: widen with random samples.
         return self._random_unseen()
 
-    def observe(self, fault: Fault, impact: float, result: RunResult) -> None:
-        self._evaluated.append((fault, impact))
+    def observe(
+        self,
+        fault: Fault,
+        impact: float,
+        result: RunResult,
+        novelty: float | None = None,
+    ) -> None:
+        fitness = impact
+        if self.use_novelty and novelty is not None:
+            fitness *= novelty
+        self._evaluated.append((fault, fitness))
 
     # -- GA mechanics -----------------------------------------------------------
 

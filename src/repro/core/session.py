@@ -37,7 +37,8 @@ from repro.core.impact import ImpactMetric
 from repro.core.results import ExecutedTest, ResultSet
 from repro.core.search.base import SearchStrategy
 from repro.core.targets import SearchTarget
-from repro.errors import SearchError
+from repro.errors import CheckpointError, SearchError
+from repro.quality.online import OnlineClusters, QualityDelta
 from repro.quality.relevance import EnvironmentModel
 from repro.sim.process import RunResult
 from repro.util.rng import ensure_rng
@@ -78,6 +79,9 @@ class ExplorationSession:
         resume_from: Checkpoint | None = None,
         metrics: "object | None" = None,
         tracer: "object | None" = None,
+        online_quality: bool = False,
+        cluster_distance: int = 1,
+        similarity_threshold: float = 0.0,
     ) -> None:
         if batch_size < 1:
             raise SearchError(f"batch size must be >= 1, got {batch_size}")
@@ -99,6 +103,24 @@ class ExplorationSession:
         #: optional :class:`~repro.obs.trace.Tracer` — every round
         #: emits round/propose/dispatch/verdict spans.
         self.tracer = tracer
+        #: the streaming §5 quality stage: every executed result is
+        #: assigned to a redundancy cluster as it arrives, and the
+        #: per-result novelty flows into :meth:`SearchStrategy.observe`
+        #: (strategies act on it only when opted in via ``use_novelty``,
+        #: so the default trajectory is untouched).
+        self.quality: OnlineClusters | None = (
+            OnlineClusters(
+                max_distance=cluster_distance,
+                similarity_threshold=similarity_threshold,
+            )
+            if online_quality else None
+        )
+        #: per-round cluster movement (populated when online quality is
+        #: on; campaigns and the CLI surface it as live non-redundancy).
+        self.quality_deltas: list[QualityDelta] = []
+        self._quality_prev: dict[str, object] | None = None
+        if self.quality is not None and metrics is not None:
+            self.quality.bind_metrics(metrics)
         if metrics is not None:
             # Resolved once: series lookups are string formatting plus a
             # dict probe, which adds up on the per-test path the <5 %
@@ -114,7 +136,11 @@ class ExplorationSession:
             CheckpointWriter(
                 checkpoint_path, checkpoint_every, space, batch_size,
                 meta=checkpoint_meta,
-                meta_provider=self._obs_meta if metrics is not None else None,
+                meta_provider=(
+                    self._checkpoint_meta
+                    if metrics is not None or self.quality is not None
+                    else None
+                ),
             )
             if checkpoint_path is not None else None
         )
@@ -132,6 +158,18 @@ class ExplorationSession:
             "trace_schema": TRACE_SCHEMA_VERSION,
             "metrics": self.metrics.snapshot(),  # type: ignore[union-attr]
         }
+
+    def _checkpoint_meta(self) -> dict[str, object]:
+        """Dynamic checkpoint metadata: the obs snapshot plus the
+        versioned cluster-state summary.  Both live in ``meta``, which
+        the history digest does not cover — adding them cannot shift a
+        resumed trajectory."""
+        meta: dict[str, object] = {}
+        if self.metrics is not None:
+            meta.update(self._obs_meta())
+        if self.quality is not None:
+            meta["quality"] = self.quality.state_payload()
+        return meta
 
     def run(self) -> ResultSet:
         """Run the session to completion and return the result set.
@@ -155,12 +193,14 @@ class ExplorationSession:
                 self.resume_from, self.strategy, self.batch_size,
                 self.space, self._account, rng=self.rng,
             )
+            self._verify_quality_resume()
         while not self.target.done(self.executed):
             if self.tracer is None and self.metrics is None:
                 batch = self.strategy.propose_batch(self.batch_size)
                 if not batch:
                     break  # space exhausted (or strategy gave up)
                 self._execute_batch(batch)
+                self._publish_quality_delta()
             else:
                 if not self._observed_round():
                     break
@@ -189,6 +229,11 @@ class ExplorationSession:
             for test in executed:
                 with tracer.span("verdict", index=test.index) as span:
                     span.set(impact=test.impact, failed=test.result.failed)
+            if self.quality is not None:
+                with tracer.span("quality") as span:
+                    delta = self._publish_quality_delta()
+                    if delta is not None:
+                        span.set(**delta.as_dict())
         if self.metrics is not None and clock is not None:
             elapsed = clock() - started
             self._rounds_counter.inc()
@@ -225,7 +270,12 @@ class ExplorationSession:
         if self.metrics is not None:
             self._tests_counter.inc()
             self._fitness_hist.observe(impact)
-        self.strategy.observe(fault, impact, result)
+        if self.quality is not None:
+            update = self.quality.add(result.injection_stack)
+            self.strategy.observe(fault, impact, result,
+                                  novelty=update.novelty)
+        else:
+            self.strategy.observe(fault, impact, result)
         executed = ExecutedTest(
             index=len(self.executed),
             fault=fault,
@@ -237,6 +287,32 @@ class ExplorationSession:
         if self.on_test is not None:
             self.on_test(executed)
         return executed
+
+    def _publish_quality_delta(self) -> QualityDelta | None:
+        """Record the round's cluster movement (online quality only)."""
+        if self.quality is None:
+            return None
+        delta = self.quality.delta(
+            len(self.quality_deltas) + 1, self._quality_prev
+        )
+        self._quality_prev = self.quality.stats()
+        self.quality_deltas.append(delta)
+        return delta
+
+    def _verify_quality_resume(self) -> None:
+        """Cross-check the replay-rebuilt cluster state against what the
+        checkpoint recorded (replay re-feeds every recorded result
+        through :meth:`_account`, so the engine must land exactly where
+        it was)."""
+        if self.quality is None or self.resume_from is None:
+            return
+        persisted = self.resume_from.meta.get("quality")
+        if not isinstance(persisted, dict):
+            return  # checkpoint predates online quality (or it was off)
+        try:
+            self.quality.verify_state(persisted)
+        except ValueError as exc:
+            raise CheckpointError(str(exc)) from None
 
     @property
     def iterations(self) -> int:

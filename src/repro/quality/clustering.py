@@ -19,7 +19,12 @@ from dataclasses import dataclass
 
 from repro.quality.levenshtein import levenshtein
 
-__all__ = ["RedundancyClusters", "cluster_stacks", "stack_similarity"]
+__all__ = [
+    "RedundancyClusters",
+    "cluster_stacks",
+    "cluster_stacks_reference",
+    "stack_similarity",
+]
 
 Stack = tuple[str, ...]
 
@@ -83,8 +88,31 @@ def cluster_stacks(
     injection point) each form their own singleton cluster — a test that
     injected nothing is not redundant with anything.
 
-    Identical stacks are grouped first through a dict, so the quadratic
-    pairwise pass runs over *distinct* traces only.
+    This is a thin wrapper over the streaming
+    :class:`~repro.quality.online.OnlineClusters` engine — the same
+    incremental pass that assigns clusters while a session runs — so
+    report-time clustering is near-linear in practice instead of
+    quadratic.  The partition (and cluster numbering) is identical to
+    the quadratic all-pairs pass, kept below as
+    :func:`cluster_stacks_reference` and enforced by a property test.
+    """
+    from repro.quality.online import OnlineClusters
+
+    engine = OnlineClusters(max_distance=max_distance)
+    for stack in stacks:
+        engine.add(stack)
+    return engine.partition()
+
+
+def cluster_stacks_reference(
+    stacks: Sequence[Stack | None],
+    max_distance: int = 1,
+) -> RedundancyClusters:
+    """The original quadratic all-pairs pass, kept as the oracle the
+    online engine is verified against (tests and the scaling benchmark).
+
+    Identical stacks are grouped first through a dict, so the pairwise
+    pass runs over *distinct* traces only.
     """
     n = len(stacks)
     # Group identical stacks (including the None group -> handled apart).

@@ -29,6 +29,14 @@ def levenshtein(
     bound, so the exact overshoot is irrelevant) — this enables the
     early-exit optimization.
     """
+    # The length difference alone is a lower bound on the distance
+    # (every missing item costs at least one edit), so a threshold
+    # comparison can bail out before even the O(min(m,n)) equality
+    # scan below.  The online clustering engine leans on this guard:
+    # its length-bucket pruning assumes a length gap beyond the
+    # threshold can never cluster, which is exactly this inequality.
+    if upper_bound is not None and abs(len(a) - len(b)) > upper_bound:
+        return upper_bound + 1
     if a == b:
         return 0
     # Ensure `a` is the shorter sequence: memory is O(len(a)).
@@ -36,8 +44,6 @@ def levenshtein(
         a, b = b, a
     if not a:
         return len(b)
-    if upper_bound is not None and len(b) - len(a) > upper_bound:
-        return upper_bound + 1
 
     previous = list(range(len(a) + 1))
     current = [0] * (len(a) + 1)

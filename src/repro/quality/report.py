@@ -92,6 +92,9 @@ class ExplorationReport:
     #: fabric fault-tolerance counters (a ``FabricHealth.as_dict()``)
     #: when the exploration ran on a hardened fabric.
     fabric_health: dict[str, object] | None = None
+    #: live clustering counters (an ``OnlineClusters.stats()``) when the
+    #: exploration ran with the streaming quality stage on.
+    quality_stats: dict[str, object] | None = None
 
     def render(self) -> str:
         lines = [
@@ -113,6 +116,17 @@ class ExplorationReport:
                 f"{h.get('worker_deaths', 0)} worker deaths, "
                 f"{h.get('corrupt_reports', 0)} corrupt reports); "
                 f"{h.get('worker_replacements', 0)} worker replacements"
+            )
+        if self.quality_stats is not None:
+            q = self.quality_stats
+            ratio = float(q.get("novelty_ratio", 0.0) or 0.0)
+            lines.append(
+                "  online quality: "
+                f"{q.get('clusters', 0)} live clusters over "
+                f"{q.get('items', 0)} results "
+                f"({100 * ratio:.0f}% non-redundant); "
+                f"{q.get('comparisons', 0)} distances computed, "
+                f"{q.get('comparisons_avoided', 0)} avoided"
             )
         lines.append("")
         headers = ["rank", "impact", "fault", "cluster", "precision"]
@@ -154,6 +168,7 @@ def build_report(
     of: Callable[["ExecutedTest"], bool] | None = None,
     precision_metric_factory: Callable[[], "ImpactMetric"] = _stateless_metric,
     fabric_health: object | None = None,
+    quality_stats: dict[str, object] | None = None,
 ) -> ExplorationReport:
     """Assemble the §6.3 report from a finished exploration.
 
@@ -228,6 +243,7 @@ def build_report(
             if hasattr(fabric_health, "as_dict")
             else fabric_health  # already a dict (or None)
         ),
+        quality_stats=quality_stats,
     )
 
 

@@ -118,6 +118,36 @@ class TestCli:
         out = capsys.readouterr().out
         assert "174" in out  # 29*2*3 space size
 
+    def test_run_online_quality_prints_live_rows(self, capsys):
+        assert main([
+            "run", "--target", "coreutils", "--iterations", "25",
+            "--seed", "1", "--online-quality",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "live clusters" in out
+        assert "non-redundant" in out
+        assert "distances computed/avoided" in out
+
+    def test_run_online_quality_leaves_history_unchanged(self, capsys):
+        args = ["run", "--target", "coreutils", "--iterations", "20",
+                "--seed", "4"]
+        assert main(args) == 0
+        plain = capsys.readouterr().out
+        assert main(args + ["--online-quality"]) == 0
+        online = capsys.readouterr().out
+        digest = [line for line in plain.splitlines()
+                  if line.startswith("history digest:")]
+        assert digest and digest[0] in online
+
+    def test_feedback_with_online_quality_uses_live_novelty(self, capsys):
+        assert main([
+            "run", "--target", "coreutils", "--iterations", "20",
+            "--seed", "2", "--feedback", "--online-quality",
+            "--similarity-threshold", "0.4",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "live clusters" in out
+
     def test_profile_command_emits_dsl(self, capsys):
         assert main(["profile", "--target", "coreutils",
                      "--max-call", "2"]) == 0
