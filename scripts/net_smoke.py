@@ -1,0 +1,174 @@
+"""CI smoke for the socket fabric: real processes, real TCP, one digest.
+
+Runs the same exploration twice through the ``afex`` CLI:
+
+1. an in-process reference (``--fabric threads``), and
+2. a socket-fabric campaign — a manager process plus N ``afex node``
+   subprocesses on localhost —
+
+and requires their ``history digest:`` lines to be byte-identical: the
+network moves placement, never outcomes.  With ``--kill-one``, one node
+process is SIGKILLed mid-campaign; the digest must *still* match,
+proving the requeue path loses and duplicates nothing.
+
+Exit code 0 on success; non-zero with a diagnostic otherwise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import re
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+ENDPOINT = re.compile(r"socket fabric listening on ([\d.]+:\d+)")
+REGISTERED = re.compile(r"node\(s\) registered; exploring")
+DIGEST = re.compile(r"^history digest: ([0-9a-f]{64})$", re.MULTILINE)
+
+
+def cli_env() -> dict[str, str]:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO / "src")
+    env["PYTHONUNBUFFERED"] = "1"
+    return env
+
+
+def run_cli(args: list[str], timeout: float) -> str:
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro.cli", *args],
+        capture_output=True, text=True, timeout=timeout, env=cli_env(),
+        cwd=REPO,
+    )
+    if proc.returncode != 0:
+        raise SystemExit(
+            f"afex {' '.join(args)} failed ({proc.returncode}):\n"
+            f"{proc.stdout}\n{proc.stderr}"
+        )
+    return proc.stdout
+
+
+def digest_of(output: str, label: str) -> str:
+    match = DIGEST.search(output)
+    if not match:
+        raise SystemExit(f"no history digest in {label} output:\n{output}")
+    return match.group(1)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--target", default="minidb")
+    parser.add_argument("--iterations", type=int, default=200)
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--nodes", type=int, default=2)
+    parser.add_argument("--batch-size", type=int, default=8)
+    parser.add_argument("--timeout", type=float, default=300.0)
+    parser.add_argument(
+        "--kill-one", action="store_true",
+        help="SIGKILL one node mid-campaign; the digest must still match",
+    )
+    args = parser.parse_args()
+
+    common = [
+        "run", "--target", args.target, "--strategy", "fitness",
+        "--iterations", str(args.iterations), "--seed", str(args.seed),
+        "--batch-size", str(args.batch_size), "--top", "0",
+    ]
+
+    print(f"[1/2] in-process reference ({args.nodes} thread workers)")
+    reference = run_cli(
+        common + ["--fabric", "threads", "--workers", str(args.nodes)],
+        timeout=args.timeout,
+    )
+    want = digest_of(reference, "reference")
+    print(f"      digest {want}")
+
+    print(f"[2/2] socket fabric: manager + {args.nodes} node processes"
+          + (" (killing one mid-run)" if args.kill_one else ""))
+    manager = subprocess.Popen(
+        [sys.executable, "-m", "repro.cli", *common,
+         "--fabric", "socket", "--listen", "127.0.0.1:0",
+         "--nodes", str(args.nodes), "--node-wait", "60"],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+        env=cli_env(), cwd=REPO,
+    )
+    nodes: list[subprocess.Popen] = []
+    try:
+        captured: list[str] = []
+        assert manager.stdout is not None
+
+        def wait_for_line(pattern: re.Pattern, what: str,
+                          timeout: float = 90.0) -> str:
+            deadline = time.monotonic() + timeout
+            while True:
+                if time.monotonic() > deadline:
+                    raise SystemExit(
+                        f"manager never printed {what}:\n"
+                        + "".join(captured)
+                    )
+                line = manager.stdout.readline()
+                if not line:
+                    raise SystemExit(
+                        f"manager exited before printing {what}:\n"
+                        + "".join(captured)
+                    )
+                captured.append(line)
+                match = pattern.search(line)
+                if match:
+                    return match.group(1) if match.groups() else line
+
+        endpoint = wait_for_line(ENDPOINT, "its endpoint", timeout=30.0)
+        print(f"      manager at {endpoint}")
+
+        for i in range(args.nodes):
+            nodes.append(subprocess.Popen(
+                [sys.executable, "-m", "repro.cli", "node",
+                 "--connect", endpoint, "--target", args.target,
+                 "--name", f"smoke{i}", "--capacity", "4"],
+                stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL,
+                env=cli_env(), cwd=REPO,
+            ))
+
+        if args.kill_one:
+            # Only kill once the whole fleet has registered and the
+            # campaign is dispatching, so the victim dies mid-round.
+            wait_for_line(REGISTERED, "the fleet registration")
+            time.sleep(0.2)
+            victim = nodes[0]
+            victim.send_signal(signal.SIGKILL)
+            print(f"      killed node pid {victim.pid}")
+
+        remaining_output, _ = manager.communicate(timeout=args.timeout)
+        captured.append(remaining_output)
+        output = "".join(captured)
+        if manager.returncode != 0:
+            raise SystemExit(
+                f"manager exited {manager.returncode}:\n{output}"
+            )
+        got = digest_of(output, "socket campaign")
+        print(f"      digest {got}")
+        if got != want:
+            raise SystemExit(
+                f"DIGEST MISMATCH\n  reference: {want}\n  socket:    {got}"
+            )
+        print("OK: socket-fabric history is byte-identical to in-process")
+        return 0
+    finally:
+        if manager.poll() is None:
+            manager.kill()
+        for node in nodes:
+            if node.poll() is None:
+                node.terminate()
+        for node in nodes:
+            try:
+                node.wait(timeout=10)
+            except subprocess.TimeoutExpired:
+                node.kill()
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -39,7 +39,7 @@ from repro.util.tables import TextTable
 __all__ = ["CampaignJob", "CampaignOutcome", "Campaign", "FABRICS"]
 
 #: the selectable execution fabrics ("auto" = serial unless nodes > 1).
-FABRICS = ("auto", "serial", "threads", "processes", "virtual")
+FABRICS = ("auto", "serial", "threads", "processes", "virtual", "socket")
 
 
 @dataclass
@@ -56,7 +56,11 @@ class CampaignJob:
     be shared across jobs — and re-runs of the whole campaign — to make
     duplicate tests free.  The process fabric needs a picklable
     ``target_factory``; without one it degrades gracefully to in-process
-    execution.
+    execution.  ``socket`` runs the job over the networked multi-node
+    fabric: the job binds ``listen``, waits up to ``node_wait`` seconds
+    for ``nodes`` explorer-node processes to register (launch them from
+    the ``on_fabric`` hook or out of band with ``afex node``), and
+    partitions the fault space among them dynamically by sensitivity.
 
     Jobs are **fault-tolerant and resumable**: every parallel fabric is
     wrapped in a :class:`~repro.cluster.FaultTolerantFabric` governed by
@@ -79,6 +83,17 @@ class CampaignJob:
     nodes: int = 1
     fabric: str = "auto"
     batch_size: int | None = None
+    #: ``host:port`` the ``socket`` fabric's manager listens on (port 0
+    #: binds an ephemeral port — see ``on_fabric`` to learn it).
+    listen: str = "127.0.0.1:0"
+    #: how long the ``socket`` fabric waits for ``nodes`` explorer
+    #: nodes to register before the job fails.
+    node_wait: float = 60.0
+    #: called with the live :class:`~repro.cluster.SocketFabric` right
+    #: after it binds, *before* the job waits for nodes — the hook a
+    #: caller uses to learn the bound port and launch node processes
+    #: (``afex node --connect host:port``).
+    on_fabric: Callable[[object], None] | None = None
     cache: ResultCache | None = None
     target_factory: Callable[[], Target] | None = None
     #: recovery policy for parallel fabrics (None = library default).
@@ -170,12 +185,31 @@ class CampaignJob:
             NodeManager,
             ProcessPoolCluster,
             RetryPolicy,
+            SocketFabric,
             VirtualCluster,
         )
 
         nodes = max(self.nodes, 1)
         pool: ProcessPoolCluster | None = None
-        if fabric == "processes":
+        net: SocketFabric | None = None
+        if fabric == "socket":
+            # The networked fabric: explorer nodes are separate
+            # processes (launched via ``on_fabric`` or out of band with
+            # ``afex node``) that connect to this manager over TCP.
+            net = SocketFabric(self.listen, expected_nodes=nodes)
+            try:
+                if self.on_fabric is not None:
+                    self.on_fabric(net)
+                net.wait_for_nodes(timeout=self.node_wait)
+            except BaseException:
+                net.close()
+                raise
+            cluster = FaultTolerantFabric(
+                net,
+                policy=self.retry_policy or RetryPolicy(),
+                dispatch_deadline=self.dispatch_deadline,
+            )
+        elif fabric == "processes":
             # Without a picklable factory the pool degrades to in-process
             # execution on its own — same results, no parallelism.  The
             # pool carries its own retry/deadline machinery, so it is not
@@ -223,6 +257,8 @@ class CampaignJob:
         finally:
             if pool is not None:
                 pool.close()
+            if net is not None:
+                net.close()
         self.fabric_health = explorer.health
         self.quality_stats = (
             explorer.quality.stats() if explorer.quality is not None

@@ -34,7 +34,7 @@ __all__ = ["main", "build_parser"]
 
 _TARGETS = ("coreutils", "minidb", "httpd", "docstore", "docstore-0.8", "docstore-2.0")
 _STRATEGIES = ("fitness", "random", "exhaustive", "genetic")
-_FABRICS = ("serial", "threads", "processes", "virtual")
+_FABRICS = ("serial", "threads", "processes", "virtual", "socket")
 
 
 def _positive_int(text: str) -> int:
@@ -98,8 +98,25 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument(
         "--fabric", default="serial", choices=_FABRICS,
         help="execution fabric: in-process serial loop, GIL-bound "
-        "thread pool, multi-core process pool, or the deterministic "
-        "virtual-time cluster model (default: serial)",
+        "thread pool, multi-core process pool, the deterministic "
+        "virtual-time cluster model, or the networked multi-node "
+        "socket fabric (default: serial)",
+    )
+    run.add_argument(
+        "--listen", default="127.0.0.1:0", metavar="HOST:PORT",
+        help="with --fabric socket: endpoint the manager listens on "
+        "(port 0 binds an ephemeral port, printed at startup; "
+        "default 127.0.0.1:0)",
+    )
+    run.add_argument(
+        "--nodes", type=_positive_int, default=1,
+        help="with --fabric socket: explorer-node processes to wait "
+        "for before exploring (start them with `afex node`; default 1)",
+    )
+    run.add_argument(
+        "--node-wait", type=float, default=60.0, metavar="SECONDS",
+        help="with --fabric socket: how long to wait for --nodes "
+        "registrations before giving up (default 60)",
     )
     run.add_argument(
         "--batch-size", type=_positive_int, default=None,
@@ -178,6 +195,34 @@ def build_parser() -> argparse.ArgumentParser:
         help="directory to write the report and replay scripts into",
     )
 
+    node = sub.add_parser(
+        "node",
+        help="run an explorer node that serves a socket-fabric manager",
+    )
+    node.add_argument(
+        "--connect", required=True, metavar="HOST:PORT",
+        help="manager endpoint printed by `afex run --fabric socket`",
+    )
+    node.add_argument("--target", required=True, choices=_TARGETS)
+    node.add_argument(
+        "--name", default=None,
+        help="node name for registration (default: hostname-pid); "
+        "reconnects under the same name resume the registration",
+    )
+    node.add_argument(
+        "--capacity", type=_positive_int, default=4,
+        help="parallel slots this node advertises (default 4)",
+    )
+    node.add_argument(
+        "--heartbeat-interval", type=float, default=1.0, metavar="SECONDS",
+        help="seconds between wire heartbeats (default 1)",
+    )
+    node.add_argument(
+        "--reconnect-attempts", type=_positive_int, default=30,
+        help="connection attempts (with exponential backoff) before "
+        "giving up (default 30)",
+    )
+
     trace = sub.add_parser(
         "trace",
         help="ltrace-style dump of one test's library calls (no injection)",
@@ -223,13 +268,15 @@ def _explore_on_fabric(args: argparse.Namespace, target, space, strategy):
     from repro.core.cache import ResultCache
 
     fabric = args.fabric
-    if args.cache and fabric == "processes":
-        # Worker processes each hold their own memo dict; the shared
-        # in-memory cache only helps in-process fabrics.
-        print("note: --cache is ignored on the process fabric (workers "
+    if args.cache and fabric in ("processes", "socket"):
+        # Worker processes (and remote explorer nodes) each hold their
+        # own memo dict; the shared in-memory cache only helps
+        # in-process fabrics.
+        print(f"note: --cache is ignored on the {fabric} fabric (workers "
               "cannot share an in-memory cache); use serial or threads")
     cache = (ResultCache(path=args.cache)
-             if args.cache and fabric != "processes" else None)
+             if args.cache and fabric not in ("processes", "socket")
+             else None)
     resume = None
     if getattr(args, "resume", None):
         from repro.core.checkpoint import load_checkpoint
@@ -296,7 +343,28 @@ def _explore_on_fabric(args: argparse.Namespace, target, space, strategy):
 
         deadline = getattr(args, "dispatch_deadline", None)
         pool = None
-        if fabric == "processes":
+        net = None
+        if fabric == "socket":
+            from repro.cluster import SocketFabric
+
+            net = SocketFabric(getattr(args, "listen", "127.0.0.1:0"),
+                               expected_nodes=args.nodes)
+            print(f"socket fabric listening on {net.host}:{net.port}; "
+                  f"waiting for {args.nodes} node(s) -- start each with: "
+                  f"afex node --connect {net.host}:{net.port} "
+                  f"--target {args.target}")
+            try:
+                registered = net.wait_for_nodes(
+                    timeout=getattr(args, "node_wait", 60.0))
+                print(f"socket fabric: {registered} node(s) registered; "
+                      "exploring", flush=True)
+            except BaseException:
+                net.close()
+                raise
+            cluster = FaultTolerantFabric(
+                net, policy=RetryPolicy(), dispatch_deadline=deadline,
+            )
+        elif fabric == "processes":
             # The pool carries its own retry/deadline machinery.
             cluster = pool = ProcessPoolCluster(
                 functools.partial(target_by_name, args.target),
@@ -334,6 +402,8 @@ def _explore_on_fabric(args: argparse.Namespace, target, space, strategy):
         finally:
             if pool is not None:
                 pool.close()
+            if net is not None:
+                net.close()
         health = explorer.health
         quality = explorer.quality
     elapsed = time.perf_counter() - started
@@ -505,6 +575,37 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_node(args: argparse.Namespace) -> int:
+    import functools
+
+    from repro.cluster import ExplorerNode, RetryPolicy
+    from repro.errors import ClusterError
+
+    node = ExplorerNode(
+        args.connect,
+        functools.partial(target_by_name, args.target),
+        name=args.name,
+        capacity=args.capacity,
+        heartbeat_interval=args.heartbeat_interval,
+        reconnect_policy=RetryPolicy(
+            max_attempts=args.reconnect_attempts,
+            base_delay=0.05,
+            max_delay=2.0,
+        ),
+    )
+    print(f"explorer node {node.name!r} (capacity {args.capacity}) "
+          f"serving {args.connect}")
+    try:
+        node.run()
+    except ClusterError as exc:
+        print(f"node stopped: {exc}")
+        return 1
+    except KeyboardInterrupt:
+        node.stop()
+    print(f"node {node.name!r} finished: {node.describe()}")
+    return 0
+
+
 def _cmd_trace(args: argparse.Namespace) -> int:
     from repro.sim.process import run_test
 
@@ -533,6 +634,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_map(args)
     if args.command == "report":
         return _cmd_report(args)
+    if args.command == "node":
+        return _cmd_node(args)
     if args.command == "trace":
         return _cmd_trace(args)
     return 2  # pragma: no cover - argparse enforces the choices

@@ -24,6 +24,13 @@ Three execution fabrics are provided:
   because tests are independent — the "embarrassing parallelism" the
   paper leans on).
 
+* :class:`~repro.cluster.socket_fabric.SocketFabric` — the *networked
+  multi-node* fabric: a manager serves the length-prefixed JSON wire
+  protocol of :mod:`~repro.cluster.wire` over TCP while
+  :class:`~repro.cluster.socket_fabric.ExplorerNode` processes connect,
+  advertise capacity, and pull work with backpressure — the paper's
+  actual 10-node/EC2 deployment shape (§4; see docs/DISTRIBUTED.md).
+
 Every fabric can be hardened with the
 :mod:`~repro.cluster.fault_tolerance` layer —
 :class:`~repro.cluster.fault_tolerance.FaultTolerantFabric` adds
@@ -48,6 +55,12 @@ from repro.cluster.manager import NodeManager
 from repro.cluster.messages import TestReport, TestRequest, WorkerHeartbeat
 from repro.cluster.process_pool import ProcessPoolCluster
 from repro.cluster.scripts import ScriptTarget, UserScripts
+from repro.cluster.socket_fabric import (
+    ExplorerNode,
+    SensitivityPartitioner,
+    SocketFabric,
+)
+from repro.cluster.wire import PROTOCOL_VERSION, WireError
 from repro.cluster.sensors import (
     CoverageSensor,
     CrashSensor,
@@ -63,16 +76,21 @@ __all__ = [
     "CrashSensor",
     "ExecutionFabric",
     "ExitCodeSensor",
+    "ExplorerNode",
     "FabricHealth",
     "FaultTolerantFabric",
     "HeartbeatMonitor",
     "LocalCluster",
     "NodeManager",
+    "PROTOCOL_VERSION",
     "ProcessPoolCluster",
     "RetryPolicy",
     "ScriptTarget",
+    "SensitivityPartitioner",
     "Sensor",
+    "SocketFabric",
     "StepSensor",
+    "WireError",
     "TestReport",
     "TestRequest",
     "UserScripts",

@@ -119,6 +119,16 @@ class ClusterExplorer:
             from repro.core.session import FITNESS_BUCKETS
 
             metrics.register_collector(self._collect_fabric)
+            # Fabrics with their own export surface (the socket fabric's
+            # wire/fleet gauges) hook into the same registry; the bind is
+            # idempotent fabric-side.
+            bind = getattr(cluster, "bind_metrics", None)
+            if bind is None:
+                bind = getattr(
+                    getattr(cluster, "inner", None), "bind_metrics", None
+                )
+            if bind is not None:
+                bind(metrics)
             # Resolved once — series lookup is too costly per test.
             self._tests_counter = metrics.counter("session.tests")
             self._fitness_hist = metrics.histogram(

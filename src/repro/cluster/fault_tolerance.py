@@ -235,7 +235,22 @@ class HeartbeatMonitor:
         self.beats = 0
 
     def beat(self, worker: str, at: float | None = None) -> None:
-        """Record a liveness signal from ``worker``."""
+        """Record a liveness signal from ``worker``.
+
+        **Clock contract:** ``at`` must be a value of *this monitor's
+        own clock* (``time.monotonic()`` of the observing process, by
+        default).  ``time.monotonic()`` values from *other processes*
+        are not comparable — each process picks its own arbitrary
+        epoch — so a caller must never forward a worker-supplied
+        timestamp (e.g. :attr:`~repro.cluster.messages.WorkerHeartbeat.
+        sent_at` received over a wire) as ``at``: a skewed node clock
+        would make a live worker look hours dead, or a dead one immortal.
+        Remote fabrics stamp beats on *receipt* instead — the socket
+        fabric calls ``beat(worker)`` with no ``at`` the moment a frame
+        arrives, so liveness is always judged against the manager-side
+        clock.  Passing ``at`` is for same-process callers (and tests)
+        that already hold a reading of this monitor's clock.
+        """
         self._last_beat[worker] = self._clock() if at is None else at
         self.beats += 1
 

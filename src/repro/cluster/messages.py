@@ -92,5 +92,9 @@ class WorkerHeartbeat:
     executed: int
     #: cumulative busy time in seconds.
     busy_seconds: float
-    #: manager-side monotonic send time.
+    #: sender-side monotonic send time.  Only meaningful to the process
+    #: that produced it: ``time.monotonic()`` epochs differ across
+    #: processes, so a receiver on the far side of a wire must stamp
+    #: liveness with its *own* clock on receipt, never with this value
+    #: (see :meth:`repro.cluster.fault_tolerance.HeartbeatMonitor.beat`).
     sent_at: float

@@ -1,0 +1,271 @@
+"""The explorer ↔ node wire protocol: framing and message codecs.
+
+The networked fabric (:mod:`repro.cluster.socket_fabric`) speaks
+**length-prefixed JSON** over TCP: every frame is a 4-byte big-endian
+unsigned length followed by exactly that many bytes of UTF-8 JSON
+encoding one message object.  JSON (rather than pickle) keeps the
+protocol language-agnostic, auditable on the wire, and — critically for
+a fault-injection harness — *safe to parse from a hostile or corrupted
+peer*: a garbage frame is a :class:`WireError`, never remote code
+execution and never a crashed manager.
+
+Every message is a JSON object with a ``type`` field.  The protocol is
+**versioned**: the first frame on a connection is the node's ``hello``
+carrying :data:`PROTOCOL_VERSION`; the manager answers ``welcome`` (or
+``error`` and a close, on a mismatch), so incompatible builds refuse to
+pair instead of mis-parsing each other mid-campaign.
+
+Message types (direction, purpose):
+
+===============  ==============  ===============================================
+``hello``        node → manager  register: version, node name, capacity
+``welcome``      manager → node  registration accepted (echoes version)
+``error``        manager → node  registration refused; connection closes
+``ready``        node → manager  pull: node has ``slots`` free executors
+``work``         manager → node  a chunk of :class:`TestRequest` payloads
+``idle``         manager → node  no work right now; re-``ready`` after a beat
+``report``       node → manager  one completed :class:`TestReport`
+``heartbeat``    node → manager  liveness + load accounting
+``shutdown``     manager → node  campaign over: drain in-flight work and exit
+``bye``          node → manager  graceful disconnect
+===============  ==============  ===============================================
+
+:class:`TestRequest` and :class:`TestReport` are dataclasses of
+built-in types, so they serialize naturally; the only impedance is that
+JSON cannot represent tuples or frozensets.  Encoding canonicalizes
+(tuple → list, frozenset → sorted list) and decoding reverses it, the
+same convention :mod:`repro.core.checkpoint` uses, so a fault scenario
+or an injection stack round-trips the wire bit-exactly.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import struct
+
+from repro.cluster.messages import TestReport, TestRequest
+from repro.errors import ClusterError
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "MAX_FRAME_BYTES",
+    "WireError",
+    "encode_frame",
+    "send_frame",
+    "recv_frame",
+    "request_to_wire",
+    "request_from_wire",
+    "report_to_wire",
+    "report_from_wire",
+    "parse_endpoint",
+]
+
+#: bump on any incompatible change to framing or message schemas.
+PROTOCOL_VERSION = 1
+
+#: upper bound on one frame's payload.  A report for the largest
+#: simulated run is a few tens of kilobytes; anything near this bound
+#: is a corrupted or malicious length prefix, not a real message.
+MAX_FRAME_BYTES = 16 * 1024 * 1024
+
+_LENGTH = struct.Struct(">I")
+
+
+class WireError(ClusterError):
+    """A frame was truncated, oversized, or not valid protocol JSON."""
+
+
+def encode_frame(message: dict) -> bytes:
+    """One message as bytes: 4-byte big-endian length + UTF-8 JSON."""
+    payload = json.dumps(message, separators=(",", ":")).encode("utf-8")
+    if len(payload) > MAX_FRAME_BYTES:
+        raise WireError(
+            f"refusing to send a {len(payload)}-byte frame "
+            f"(limit {MAX_FRAME_BYTES})"
+        )
+    return _LENGTH.pack(len(payload)) + payload
+
+
+def send_frame(sock: socket.socket, message: dict) -> int:
+    """Write one framed message; returns the bytes put on the wire."""
+    data = encode_frame(message)
+    sock.sendall(data)
+    return len(data)
+
+
+def _recv_exactly(sock: socket.socket, count: int) -> bytes | None:
+    """Read exactly ``count`` bytes, or None on clean EOF at a frame
+    boundary; EOF *inside* a frame is a :class:`WireError`."""
+    chunks: list[bytes] = []
+    remaining = count
+    while remaining > 0:
+        chunk = sock.recv(min(remaining, 65536))
+        if not chunk:
+            if len(chunks) == 0:
+                return None
+            raise WireError(
+                f"connection closed mid-frame "
+                f"({count - remaining}/{count} bytes received)"
+            )
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def recv_frame(
+    sock: socket.socket, counter: "object | None" = None
+) -> dict | None:
+    """Read one framed message; None on clean EOF.
+
+    ``counter``, when given, is called with the frame's total wire size
+    (header + payload) — how the manager accounts inbound bytes without
+    a second pass over the stream.
+
+    Raises :class:`WireError` on a truncated frame, an oversized or
+    zero length prefix, undecodable bytes, or JSON that is not an
+    object with a string ``type`` — the caller must treat the
+    connection as poisoned (framing state is unrecoverable once the
+    byte stream desynchronizes).
+    """
+    header = _recv_exactly(sock, _LENGTH.size)
+    if header is None:
+        return None
+    # A partial header is mid-frame EOF too, handled in _recv_exactly.
+    (length,) = _LENGTH.unpack(header)
+    if length == 0 or length > MAX_FRAME_BYTES:
+        raise WireError(f"invalid frame length {length}")
+    payload = _recv_exactly(sock, length)
+    if payload is None:
+        raise WireError("connection closed between length prefix and payload")
+    if counter is not None:
+        counter(_LENGTH.size + length)
+    try:
+        message = json.loads(payload.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise WireError(f"undecodable frame: {exc}") from None
+    if not isinstance(message, dict) or not isinstance(message.get("type"), str):
+        raise WireError(f"frame is not a typed message object: {message!r}")
+    return message
+
+
+# -- value canonicalization -----------------------------------------------------
+
+
+def _canonical(value: object) -> object:
+    """JSON-stable view of a scenario value (tuples become lists)."""
+    if isinstance(value, tuple):
+        return [_canonical(v) for v in value]
+    return value
+
+
+def _decanonical(value: object) -> object:
+    """Inverse of :func:`_canonical`: JSON lists become tuples again."""
+    if isinstance(value, list):
+        return tuple(_decanonical(v) for v in value)
+    return value
+
+
+# -- message codecs -------------------------------------------------------------
+
+
+def request_to_wire(request: TestRequest) -> dict:
+    """A :class:`TestRequest` as a JSON-safe payload dict."""
+    return {
+        "request_id": request.request_id,
+        "subspace": request.subspace,
+        "scenario": [
+            [name, _canonical(value)]
+            for name, value in request.scenario.items()
+        ],
+        "trace_id": request.trace_id,
+        "parent_span": request.parent_span,
+    }
+
+
+def request_from_wire(payload: dict) -> TestRequest:
+    try:
+        return TestRequest(
+            request_id=int(payload["request_id"]),
+            subspace=str(payload["subspace"]),
+            scenario={
+                str(name): _decanonical(value)
+                for name, value in payload["scenario"]
+            },
+            trace_id=payload.get("trace_id"),
+            parent_span=payload.get("parent_span"),
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise WireError(f"malformed test request: {exc!r}") from None
+
+
+def report_to_wire(report: TestReport) -> dict:
+    """A :class:`TestReport` as a JSON-safe payload dict.
+
+    ``coverage`` is sorted so identical reports encode to identical
+    bytes; ``spans`` are already plain dicts (see
+    :func:`repro.obs.trace.worker_spans`), so worker-side trace spans
+    cross the wire unchanged.
+    """
+    return {
+        "request_id": report.request_id,
+        "manager": report.manager,
+        "failed": report.failed,
+        "crash_kind": report.crash_kind,
+        "exit_code": report.exit_code,
+        "coverage": sorted(report.coverage),
+        "injection_stack": (
+            list(report.injection_stack)
+            if report.injection_stack is not None else None
+        ),
+        "injected": report.injected,
+        "steps": report.steps,
+        "measurements": dict(report.measurements),
+        "cost": report.cost,
+        "invariant_violations": list(report.invariant_violations),
+        "spans": [dict(span) for span in report.spans],
+        "stack_digest": report.stack_digest,
+    }
+
+
+def report_from_wire(payload: dict) -> TestReport:
+    try:
+        return TestReport(
+            request_id=int(payload["request_id"]),
+            manager=str(payload["manager"]),
+            failed=bool(payload["failed"]),
+            crash_kind=payload["crash_kind"],
+            exit_code=int(payload["exit_code"]),
+            coverage=frozenset(payload["coverage"]),
+            injection_stack=(
+                tuple(payload["injection_stack"])
+                if payload["injection_stack"] is not None else None
+            ),
+            injected=bool(payload["injected"]),
+            steps=int(payload["steps"]),
+            measurements={
+                str(k): float(v) for k, v in payload["measurements"].items()
+            },
+            cost=float(payload["cost"]),
+            invariant_violations=tuple(payload["invariant_violations"]),
+            spans=tuple(payload.get("spans", ())),
+            stack_digest=payload.get("stack_digest"),
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise WireError(f"malformed test report: {exc!r}") from None
+
+
+def parse_endpoint(text: str) -> tuple[str, int]:
+    """``"host:port"`` → ``(host, port)``, validating the port range."""
+    host, sep, port_text = text.rpartition(":")
+    if not sep or not host:
+        raise ClusterError(
+            f"endpoint must look like HOST:PORT, got {text!r}"
+        )
+    try:
+        port = int(port_text)
+    except ValueError:
+        raise ClusterError(f"invalid port in endpoint {text!r}") from None
+    if not 0 <= port <= 65535:
+        raise ClusterError(f"port out of range in endpoint {text!r}")
+    return host, port

@@ -141,23 +141,35 @@ class ResultCache:
                 self.evictions += 1
 
     def __len__(self) -> int:
-        return len(self._entries)
+        # CPython dict len() happens to be atomic, but a concurrent
+        # put() may be mid-eviction; reading under the lock returns a
+        # count that actually existed at some instant.
+        with self._lock:
+            return len(self._entries)
 
     def __contains__(self, key: CacheKey) -> bool:
-        return key in self._entries
+        with self._lock:
+            return key in self._entries
 
     def clear(self) -> None:
         with self._lock:
             self._entries.clear()
 
     def stats(self) -> dict[str, int]:
-        """Hit/miss/eviction counters (reset only by constructing anew)."""
-        return {
-            "entries": len(self._entries),
-            "hits": self.hits,
-            "misses": self.misses,
-            "evictions": self.evictions,
-        }
+        """Hit/miss/eviction counters (reset only by constructing anew).
+
+        The snapshot is taken under the cache lock, so the four counts
+        are mutually consistent — an eviction racing this call can never
+        show up in ``evictions`` while the evicted entry still counts in
+        ``entries``.
+        """
+        with self._lock:
+            return {
+                "entries": len(self._entries),
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+            }
 
     def bind_metrics(self, registry: "object") -> None:
         """Publish this cache's statistics into a metrics registry.
@@ -185,8 +197,13 @@ class ResultCache:
 
     @property
     def hit_rate(self) -> float:
-        total = self.hits + self.misses
-        return self.hits / total if total else 0.0
+        # Both counters must come from the same instant: a get() racing
+        # an unlocked read could bump one but not yet the other and
+        # tear the ratio (hits > hits + misses reads > 1.0).
+        with self._lock:
+            hits, misses = self.hits, self.misses
+        total = hits + misses
+        return hits / total if total else 0.0
 
     # -- persistence -----------------------------------------------------------
 

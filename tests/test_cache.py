@@ -241,3 +241,85 @@ class TestSessionIntegration:
         second = explore()
         assert cache.hits == 40  # every re-executed fault was memoized
         assert second.to_json() == first.to_json()
+
+
+class TestConcurrency:
+    """The race the concurrent fabrics surfaced: every public read and
+    write must hold the cache lock, so counters torn mid-update can
+    never escape (hit_rate > 1.0, stats() disagreeing with itself,
+    len() counted mid-eviction)."""
+
+    def test_threads_hammering_a_tiny_cache_stay_consistent(self):
+        import threading
+
+        cache = ResultCache(capacity=8)  # tiny: constant eviction churn
+        errors: list[str] = []
+        start = threading.Barrier(8)
+
+        def worker(seed: int) -> None:
+            start.wait()
+            for i in range(300):
+                key = f"k{(seed * 300 + i) % 40}"
+                if cache.get(key) is None:
+                    cache.put(key, object())
+                # Reads racing writers must always be self-consistent.
+                stats = cache.stats()
+                if set(stats) != {"entries", "hits", "misses", "evictions"}:
+                    errors.append(f"stats keys: {stats}")
+                if not 0 <= stats["entries"] <= cache.capacity:
+                    errors.append(f"entries out of range: {stats}")
+                if any(v < 0 for v in stats.values()):
+                    errors.append(f"negative counter: {stats}")
+                rate = cache.hit_rate
+                if not 0.0 <= rate <= 1.0:
+                    errors.append(f"torn hit_rate: {rate}")
+                if not 0 <= len(cache) <= cache.capacity:
+                    errors.append(f"len out of range: {len(cache)}")
+                _ = key in cache
+                if i % 100 == 50 and seed == 0:
+                    cache.clear()
+
+        threads = [threading.Thread(target=worker, args=(s,))
+                   for s in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=60)
+        assert not errors, errors[:5]
+        # After quiescence the counters must balance exactly.
+        stats = cache.stats()
+        assert stats["hits"] + stats["misses"] == 8 * 300
+        assert len(cache) == stats["entries"]
+
+    def test_stats_snapshot_is_internally_consistent_under_eviction(self):
+        import threading
+
+        cache = ResultCache(capacity=4)
+        stop = threading.Event()
+        errors: list[str] = []
+
+        def churn() -> None:
+            i = 0
+            while not stop.is_set():
+                cache.put(f"c{i % 64}", object())
+                i += 1
+
+        def observe() -> None:
+            while not stop.is_set():
+                stats = cache.stats()
+                # entries can never exceed capacity, even observed
+                # mid-eviction, because the snapshot holds the lock.
+                if stats["entries"] > cache.capacity:
+                    errors.append(f"saw over-capacity snapshot: {stats}")
+
+        writers = [threading.Thread(target=churn) for _ in range(4)]
+        readers = [threading.Thread(target=observe) for _ in range(2)]
+        for t in writers + readers:
+            t.start()
+        import time
+
+        time.sleep(0.3)
+        stop.set()
+        for t in writers + readers:
+            t.join(timeout=10)
+        assert not errors, errors[:5]
