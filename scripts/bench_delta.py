@@ -1,0 +1,181 @@
+"""Benchmark delta: freshly measured BENCH_*.json vs the committed baseline.
+
+CI runs the benchmarks (which rewrite ``BENCH_parallel.json`` and
+``BENCH_net.json`` in the workspace), then calls this script.  It reads
+the *committed* copies via ``git show <ref>:<path>`` and prints a
+GitHub-flavoured markdown before/after table suitable for appending to
+``$GITHUB_STEP_SUMMARY``.
+
+It also re-asserts the hot-path acceptance gates on the fresh numbers —
+wire cost under 200 bytes and 0.5 frames per test, and, when the runner
+has the cores to make the comparison meaningful, process pool at or
+above serial — so a regression fails the job even if someone edits the
+gates out of the benchmarks themselves.
+
+Exit code 0 when the gates hold, 1 otherwise.  Missing baselines (first
+commit of a file) degrade to "n/a" rather than failing.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+FILES = ("BENCH_parallel.json", "BENCH_net.json")
+
+MAX_BYTES_PER_TEST = 200.0
+MAX_FRAMES_PER_TEST = 0.5
+MIN_POOL_SPEEDUP = 1.0
+
+
+def committed(ref: str, path: str) -> dict | None:
+    proc = subprocess.run(
+        ["git", "show", f"{ref}:{path}"],
+        capture_output=True, text=True, cwd=REPO,
+    )
+    if proc.returncode != 0:
+        return None
+    try:
+        return json.loads(proc.stdout)
+    except json.JSONDecodeError:
+        return None
+
+
+def workspace(path: str) -> dict | None:
+    target = REPO / path
+    if not target.is_file():
+        return None
+    return json.loads(target.read_text())
+
+
+def dig(payload: dict | None, *keys: str) -> object | None:
+    node: object | None = payload
+    for key in keys:
+        if not isinstance(node, dict) or key not in node:
+            return None
+        node = node[key]
+    return node
+
+
+def fmt(value: object | None, pattern: str = "{:.2f}") -> str:
+    if value is None:
+        return "n/a"
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, (int, float)):
+        return pattern.format(value)
+    return str(value)
+
+
+def delta(before: object | None, after: object | None) -> str:
+    if not isinstance(before, (int, float)) or isinstance(before, bool):
+        return ""
+    if not isinstance(after, (int, float)) or isinstance(after, bool):
+        return ""
+    if before == 0:
+        return ""
+    change = (after - before) / before * 100.0
+    return f"{change:+.1f}%"
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--baseline-ref", default="HEAD",
+        help="git ref holding the committed BENCH files (default: HEAD)",
+    )
+    args = parser.parse_args()
+
+    before = {name: committed(args.baseline_ref, name) for name in FILES}
+    after = {name: workspace(name) for name in FILES}
+
+    rows: list[tuple[str, object | None, object | None, str]] = []
+
+    def row(label: str, *keys: str, source: str, pattern: str = "{:.2f}"
+            ) -> None:
+        b, a = dig(before[source], *keys), dig(after[source], *keys)
+        rows.append((label, fmt(b, pattern), fmt(a, pattern), delta(b, a)))
+
+    row("serial tests/s", "serial", "tests_per_second",
+        source="BENCH_parallel.json", pattern="{:.0f}")
+    row("pool speedup vs serial", "process_pool", "speedup_vs_serial",
+        source="BENCH_parallel.json")
+    row("auto-batch speedup vs serial", "process_pool_auto",
+        "speedup_vs_serial", source="BENCH_parallel.json")
+    row("modelled 4-node speedup", "virtual_cluster", "modelled_speedup",
+        source="BENCH_parallel.json")
+    row("wire bytes/test", "wire", "bytes_per_test",
+        source="BENCH_net.json", pattern="{:.1f}")
+    row("wire frames/test", "wire", "frames_per_test",
+        source="BENCH_net.json")
+    row("wire encode seconds", "wire", "encode_seconds",
+        source="BENCH_net.json", pattern="{:.4f}")
+    row("socket digest == local", "socket", "digest_matches_local",
+        source="BENCH_net.json")
+
+    print(f"### Benchmark delta vs `{args.baseline_ref}`\n")
+    print("| metric | before | after | change |")
+    print("| --- | ---: | ---: | ---: |")
+    for label, b, a, change in rows:
+        print(f"| {label} | {b} | {a} | {change} |")
+    print()
+
+    failures: list[str] = []
+    net = after["BENCH_net.json"]
+    if net is None:
+        failures.append("BENCH_net.json was not produced by the benchmarks")
+    else:
+        bytes_per_test = dig(net, "wire", "bytes_per_test")
+        frames_per_test = dig(net, "wire", "frames_per_test")
+        matches = dig(net, "socket", "digest_matches_local")
+        if not isinstance(bytes_per_test, (int, float)) \
+                or bytes_per_test >= MAX_BYTES_PER_TEST:
+            failures.append(
+                f"wire bytes/test {fmt(bytes_per_test, '{:.1f}')} is not "
+                f"under {MAX_BYTES_PER_TEST:.0f}"
+            )
+        if not isinstance(frames_per_test, (int, float)) \
+                or frames_per_test >= MAX_FRAMES_PER_TEST:
+            failures.append(
+                f"wire frames/test {fmt(frames_per_test)} is not under "
+                f"{MAX_FRAMES_PER_TEST}"
+            )
+        if matches is not True:
+            failures.append("socket history digest diverged from in-process")
+
+    par = after["BENCH_parallel.json"]
+    if par is None:
+        failures.append(
+            "BENCH_parallel.json was not produced by the benchmarks"
+        )
+    else:
+        gate = dig(par, "speedup_gate") or {}
+        if isinstance(gate, dict) and gate.get("skipped"):
+            print(f"Pool >= serial gate skipped: {gate.get('reason')}\n")
+        else:
+            for arm in ("process_pool", "process_pool_auto"):
+                speedup = dig(par, arm, "speedup_vs_serial")
+                if not isinstance(speedup, (int, float)) \
+                        or speedup < MIN_POOL_SPEEDUP:
+                    failures.append(
+                        f"{arm} speedup {fmt(speedup)} fell below "
+                        f"{MIN_POOL_SPEEDUP}x serial"
+                    )
+
+    if failures:
+        print("**Gate failures:**\n")
+        for failure in failures:
+            print(f"- {failure}")
+        for failure in failures:
+            print(f"bench_delta: FAIL: {failure}", file=sys.stderr)
+        return 1
+    print("All throughput gates hold.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

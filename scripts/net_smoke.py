@@ -71,6 +71,11 @@ def main() -> int:
         "--kill-one", action="store_true",
         help="SIGKILL one node mid-campaign; the digest must still match",
     )
+    parser.add_argument(
+        "--wire-version", type=int, choices=(1, 2), default=None,
+        help="pin the node processes' wire protocol (1 = legacy JSON "
+             "data plane); the digest must match either way",
+    )
     args = parser.parse_args()
 
     common = [
@@ -124,11 +129,14 @@ def main() -> int:
         endpoint = wait_for_line(ENDPOINT, "its endpoint", timeout=30.0)
         print(f"      manager at {endpoint}")
 
+        node_args = []
+        if args.wire_version is not None:
+            node_args += ["--wire-version", str(args.wire_version)]
         for i in range(args.nodes):
             nodes.append(subprocess.Popen(
                 [sys.executable, "-m", "repro.cli", "node",
                  "--connect", endpoint, "--target", args.target,
-                 "--name", f"smoke{i}", "--capacity", "4"],
+                 "--name", f"smoke{i}", "--capacity", "4", *node_args],
                 stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL,
                 env=cli_env(), cwd=REPO,
             ))

@@ -44,6 +44,17 @@ def _positive_int(text: str) -> int:
     return value
 
 
+def _batch_size(text: str) -> "int | str":
+    if text == "auto":
+        return "auto"
+    try:
+        return _positive_int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"must be a positive int or 'auto', got {text!r}"
+        ) from None
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="afex",
@@ -119,9 +130,11 @@ def build_parser() -> argparse.ArgumentParser:
         "registrations before giving up (default 60)",
     )
     run.add_argument(
-        "--batch-size", type=_positive_int, default=None,
+        "--batch-size", type=_batch_size, default=None,
         help="speculative candidates proposed per round before feedback "
-        "(default: 1 for the serial fabric, worker count otherwise)",
+        "(default: 1 for the serial fabric, worker count otherwise); "
+        "'auto' sizes rounds adaptively from observed per-test latency "
+        "on parallel fabrics",
     )
     run.add_argument(
         "--workers", type=_positive_int, default=4,
@@ -216,6 +229,12 @@ def build_parser() -> argparse.ArgumentParser:
     node.add_argument(
         "--heartbeat-interval", type=float, default=1.0, metavar="SECONDS",
         help="seconds between wire heartbeats (default 1)",
+    )
+    node.add_argument(
+        "--wire-version", type=int, default=None, choices=(1, 2),
+        help="highest wire protocol version to offer the manager "
+        "(default: the newest this build speaks; pin 1 to exercise "
+        "the JSON back-compat data plane)",
     )
     node.add_argument(
         "--reconnect-attempts", type=_positive_int, default=30,
@@ -413,6 +432,16 @@ def _explore_on_fabric(args: argparse.Namespace, target, space, strategy):
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
+    if getattr(args, "batch_size", None) == "auto":
+        if args.fabric == "serial":
+            print("--batch-size auto needs a parallel fabric "
+                  "(threads, processes, virtual, socket)")
+            return 2
+        if getattr(args, "checkpoint", None) or getattr(args, "resume", None):
+            print("--batch-size auto cannot be combined with "
+                  "--checkpoint/--resume: replay requires a fixed "
+                  "batch size")
+            return 2
     target = target_by_name(args.target)
     if args.space:
         with open(args.space) as handle:
@@ -578,7 +607,7 @@ def _cmd_report(args: argparse.Namespace) -> int:
 def _cmd_node(args: argparse.Namespace) -> int:
     import functools
 
-    from repro.cluster import ExplorerNode, RetryPolicy
+    from repro.cluster import PROTOCOL_VERSION, ExplorerNode, RetryPolicy
     from repro.errors import ClusterError
 
     node = ExplorerNode(
@@ -587,6 +616,10 @@ def _cmd_node(args: argparse.Namespace) -> int:
         name=args.name,
         capacity=args.capacity,
         heartbeat_interval=args.heartbeat_interval,
+        wire_version=(
+            PROTOCOL_VERSION if args.wire_version is None
+            else args.wire_version
+        ),
         reconnect_policy=RetryPolicy(
             max_attempts=args.reconnect_attempts,
             base_delay=0.05,

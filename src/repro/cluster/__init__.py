@@ -25,11 +25,19 @@ Three execution fabrics are provided:
   paper leans on).
 
 * :class:`~repro.cluster.socket_fabric.SocketFabric` — the *networked
-  multi-node* fabric: a manager serves the length-prefixed JSON wire
-  protocol of :mod:`~repro.cluster.wire` over TCP while
-  :class:`~repro.cluster.socket_fabric.ExplorerNode` processes connect,
-  advertise capacity, and pull work with backpressure — the paper's
-  actual 10-node/EC2 deployment shape (§4; see docs/DISTRIBUTED.md).
+  multi-node* fabric: a manager serves the length-prefixed wire
+  protocol of :mod:`~repro.cluster.wire` over TCP (negotiated per
+  connection: the batched binary v2 data plane, or v1 JSON for legacy
+  nodes) while :class:`~repro.cluster.socket_fabric.ExplorerNode`
+  processes connect, advertise capacity, and pull work with
+  backpressure — the paper's actual 10-node/EC2 deployment shape (§4;
+  see docs/DISTRIBUTED.md and docs/PERFORMANCE.md).
+
+Batch width per round is either fixed or steered online by
+:class:`~repro.cluster.autobatch.AdaptiveBatchController`
+(``--batch-size auto``), which grows batches until the fabric's fixed
+per-round dispatch cost is amortized and shrinks them when feedback
+staleness would hurt the search.
 
 Every fabric can be hardened with the
 :mod:`~repro.cluster.fault_tolerance` layer —
@@ -42,6 +50,7 @@ dispatches on purpose (kills, hangs, corrupt and dropped reports) to
 prove the recovery machinery actually recovers.
 """
 
+from repro.cluster.autobatch import AdaptiveBatchController
 from repro.cluster.chaos import ChaosCluster
 from repro.cluster.explorer_node import ClusterExplorer, ExecutionFabric
 from repro.cluster.fault_tolerance import (
@@ -60,7 +69,11 @@ from repro.cluster.socket_fabric import (
     SensitivityPartitioner,
     SocketFabric,
 )
-from repro.cluster.wire import PROTOCOL_VERSION, WireError
+from repro.cluster.wire import (
+    MIN_PROTOCOL_VERSION,
+    PROTOCOL_VERSION,
+    WireError,
+)
 from repro.cluster.sensors import (
     CoverageSensor,
     CrashSensor,
@@ -70,6 +83,7 @@ from repro.cluster.sensors import (
 )
 
 __all__ = [
+    "AdaptiveBatchController",
     "ChaosCluster",
     "ClusterExplorer",
     "CoverageSensor",
@@ -81,6 +95,7 @@ __all__ = [
     "FaultTolerantFabric",
     "HeartbeatMonitor",
     "LocalCluster",
+    "MIN_PROTOCOL_VERSION",
     "NodeManager",
     "PROTOCOL_VERSION",
     "ProcessPoolCluster",

@@ -19,10 +19,12 @@ computed, not what is measured.
 from __future__ import annotations
 
 import random
+import time
 from collections.abc import Callable
 from pathlib import Path
 from typing import Protocol
 
+from repro.cluster.autobatch import AdaptiveBatchController
 from repro.cluster.fault_tolerance import FabricHealth
 from repro.cluster.messages import TestReport, TestRequest
 from repro.core.checkpoint import Checkpoint, CheckpointWriter, replay_history
@@ -67,7 +69,7 @@ class ClusterExplorer:
         strategy: SearchStrategy,
         target: SearchTarget,
         rng: random.Random | int | None = None,
-        batch_size: int | None = None,
+        batch_size: "int | str | None" = None,
         environment: EnvironmentModel | None = None,
         on_test: Callable[[ExecutedTest], None] | None = None,
         checkpoint_path: str | Path | None = None,
@@ -88,7 +90,26 @@ class ClusterExplorer:
         self.rng = ensure_rng(rng)
         self.environment = environment
         self.on_test = on_test
-        self.batch_size = len(cluster) if batch_size is None else batch_size
+        #: the ``--batch-size auto`` controller; None for a fixed size.
+        self.autobatch: AdaptiveBatchController | None = None
+        if batch_size == "auto":
+            if checkpoint_path is not None or resume_from is not None:
+                raise ClusterError(
+                    "adaptive batch sizing ('auto') cannot be combined "
+                    "with checkpointing: replay requires a fixed batch "
+                    "size to reproduce round boundaries"
+                )
+            self.autobatch = AdaptiveBatchController(len(cluster))
+            self.batch_size = self.autobatch.batch_size()
+        elif isinstance(batch_size, str):
+            raise ClusterError(
+                f"batch size must be a positive int or 'auto', "
+                f"got {batch_size!r}"
+            )
+        else:
+            self.batch_size = (
+                len(cluster) if batch_size is None else batch_size
+            )
         if self.batch_size < 1:
             raise ClusterError(f"batch size must be >= 1, got {self.batch_size}")
         self.resume_from = resume_from
@@ -129,6 +150,8 @@ class ClusterExplorer:
                 )
             if bind is not None:
                 bind(metrics)
+            if self.autobatch is not None:
+                self.autobatch.bind_metrics(metrics)
             # Resolved once — series lookup is too costly per test.
             self._tests_counter = metrics.counter("session.tests")
             self._fitness_hist = metrics.histogram(
@@ -210,7 +233,11 @@ class ClusterExplorer:
                 if not batch:
                     break
                 requests = [self._request_for(fault) for fault in batch]
+                dispatch_started = time.perf_counter()
                 reports = self.cluster.run_batch(requests)
+                self._observe_dispatch(
+                    len(requests), time.perf_counter() - dispatch_started
+                )
                 for fault, report in zip(batch, reports):
                     self._account(fault, report)
                 self._publish_quality_delta()
@@ -251,10 +278,16 @@ class ClusterExplorer:
                 ]
                 if self.metrics is not None:
                     self.metrics.gauge("fabric.queue_depth").set(len(requests))
+                    self.metrics.gauge("fabric.batch.size").set(len(requests))
+                    dispatch_started = time.perf_counter()
                     with self.metrics.timer("fabric.dispatch_seconds"):
                         reports = self.cluster.run_batch(requests)
                 else:
+                    dispatch_started = time.perf_counter()
                     reports = self.cluster.run_batch(requests)
+                self._observe_dispatch(
+                    len(requests), time.perf_counter() - dispatch_started
+                )
             for report in reports:
                 for span_event in getattr(report, "spans", ()):
                     tracer.emit(span_event)
@@ -280,6 +313,11 @@ class ClusterExplorer:
 
     def _propose_batch(self) -> list[Fault]:
         return self.strategy.propose_batch(self.batch_size)
+
+    def _observe_dispatch(self, tests: int, elapsed: float) -> None:
+        """Feed one round's dispatch wall-clock to the batch controller."""
+        if self.autobatch is not None:
+            self.batch_size = self.autobatch.observe(tests, elapsed)
 
     def _request_for(
         self,

@@ -26,6 +26,12 @@ which is exactly how the paper's prototype ran on 1–14 EC2 machines
   replaced by rebuilding the executor, and every recovery action is
   tallied in a :class:`~repro.cluster.fault_tolerance.FabricHealth`
   record;
+* the dispatch path is **serialize-once**: the target factory is
+  pickled a single time at construction (the picklability probe's
+  bytes are cached per factory and shipped verbatim as the worker-init
+  payload), and each batch's chunks are pickled once and submitted as
+  bytes — reused unchanged when a chunk retries — so neither the
+  factory nor a retried chunk is ever re-serialized;
 * construction takes a zero-argument **target factory** (e.g.
   ``functools.partial(target_by_name, "minidb")``) because target
   instances themselves close over test bodies and cannot be pickled;
@@ -43,6 +49,7 @@ import pickle
 import random
 import time
 import warnings
+import weakref
 from collections.abc import Callable
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures import TimeoutError as _FutureTimeout
@@ -66,16 +73,58 @@ TargetFactory = Callable[[], Target]
 #: per-worker-process state: the factory and the lazily-built manager.
 _WORKER_STATE: dict[str, object] = {}
 
+#: cached picklability probes: factory → its encoded bytes.  The probe
+#: doubles as the worker-initialization payload, so a factory shared by
+#: many fabrics (a campaign constructs one pool per job) is serialized
+#: exactly once per process lifetime.  Weak keys keep the cache from
+#: pinning factories (and the targets they close over) alive.
+_FACTORY_BYTES: "weakref.WeakKeyDictionary[object, bytes]" = (
+    weakref.WeakKeyDictionary()
+)
 
-def _worker_init(factory: TargetFactory, step_budget: int) -> None:
-    """Runs once in each worker process; defers the expensive build."""
-    _WORKER_STATE["factory"] = factory
+
+def _encode_factory(factory: TargetFactory) -> bytes:
+    """The factory's pickled bytes, cached across constructions.
+
+    Raises whatever :func:`pickle.dumps` raises for an unpicklable
+    factory — the caller turns that into the graceful in-process
+    fallback.
+    """
+    try:
+        cached = _FACTORY_BYTES.get(factory)
+    except TypeError:  # unhashable factory: probe without caching
+        cached = None
+    if cached is not None:
+        return cached
+    data = pickle.dumps(factory, protocol=pickle.HIGHEST_PROTOCOL)
+    try:
+        _FACTORY_BYTES[factory] = data
+    except TypeError:  # not weak-referenceable (e.g. a plain function is;
+        pass           # some callables are not) — probe still succeeded
+    return data
+
+
+def _worker_init(factory_bytes: bytes, step_budget: int) -> None:
+    """Runs once in each worker process; defers the expensive build.
+
+    Receives the factory pre-pickled (the construction-time probe's
+    bytes, shipped verbatim) so the parent never re-serializes it —
+    neither per dispatch nor per pool rebuild.
+    """
+    _WORKER_STATE["factory"] = pickle.loads(factory_bytes)
     _WORKER_STATE["step_budget"] = step_budget
     _WORKER_STATE["manager"] = None
 
 
-def _worker_run_chunk(requests: list[TestRequest]) -> list[TestReport]:
-    """Execute one chunk on this worker's warm node manager."""
+def _worker_run_chunk(packed: bytes) -> bytes:
+    """Execute one pre-packed chunk on this worker's warm node manager.
+
+    Takes the chunk as pickled bytes (packed once by the parent and
+    reused verbatim across retries) and returns the reports the same
+    way, so the executor's own argument/result pickling degenerates to
+    a byte-string copy.
+    """
+    requests: list[TestRequest] = pickle.loads(packed)
     manager = _WORKER_STATE.get("manager")
     if manager is None:
         factory: TargetFactory = _WORKER_STATE["factory"]  # type: ignore[assignment]
@@ -85,7 +134,10 @@ def _worker_run_chunk(requests: list[TestRequest]) -> list[TestReport]:
             step_budget=int(_WORKER_STATE["step_budget"]),  # type: ignore[arg-type]
         )
         _WORKER_STATE["manager"] = manager
-    return [manager.execute(request) for request in requests]
+    return pickle.dumps(
+        [manager.execute(request) for request in requests],
+        protocol=pickle.HIGHEST_PROTOCOL,
+    )
 
 
 class ProcessPoolCluster:
@@ -124,8 +176,14 @@ class ProcessPoolCluster:
         self._fallback_warned = False
         #: why the fallback engaged, for operator-facing diagnostics.
         self.fallback_reason: str | None = None
+        #: cumulative seconds spent pickling dispatch chunks — the
+        #: pool's serialization cost, exported via :meth:`bind_metrics`.
+        self.encode_seconds = 0.0
+        #: the factory's pickled bytes, probed once (and cached across
+        #: constructions) — shipped to workers as the init payload.
+        self._factory_bytes: bytes | None = None
         try:
-            pickle.dumps(target_factory)
+            self._factory_bytes = _encode_factory(target_factory)
         except Exception as exc:
             self.fallback_reason = (
                 f"target factory is not picklable ({exc!r}); "
@@ -154,7 +212,7 @@ class ProcessPoolCluster:
                 max_workers=self.workers,
                 mp_context=context,
                 initializer=_worker_init,
-                initargs=(self.target_factory, self.step_budget),
+                initargs=(self._factory_bytes, self.step_budget),
             )
         return self._executor
 
@@ -209,11 +267,19 @@ class ProcessPoolCluster:
         for i, request in enumerate(requests):
             chunks[i % self.workers].append(request)
         reports: dict[int, TestReport] = {}
-        pending = [chunk for chunk in chunks if chunk]
+        # Each chunk is pickled exactly once per batch; the bytes are
+        # what crosses the process boundary, reused verbatim when a
+        # chunk must be re-dispatched after a worker failure.
+        started = time.perf_counter()
+        pending = [
+            (chunk, pickle.dumps(chunk, protocol=pickle.HIGHEST_PROTOCOL))
+            for chunk in chunks if chunk
+        ]
+        self.encode_seconds += time.perf_counter() - started
         attempt = 0
         while pending:
             self.health.dispatches += 1
-            self.health.requests += sum(len(chunk) for chunk in pending)
+            self.health.requests += sum(len(chunk) for chunk, _ in pending)
             failed = self._dispatch_round(pending, reports)
             if not failed:
                 break
@@ -225,46 +291,48 @@ class ProcessPoolCluster:
                     f"process pool still failing after {attempt} attempts "
                     f"({self.retry_policy.describe()})"
                 )
-                remaining = [r for chunk, _ in failed for r in chunk]
+                remaining = [r for (chunk, _), _ in failed for r in chunk]
                 for report in self._ensure_fallback().run_batch(remaining):
                     reports[report.request_id] = report
                 break
-            for chunk, cause in failed:
+            for (chunk, _), cause in failed:
                 self.health.record_retry(cause, len(chunk))
             delay = self.retry_policy.delay_for(attempt, self._retry_rng)
             if delay > 0:
                 self._sleep(delay)
-            pending = [chunk for chunk, _ in failed]
+            pending = [entry for entry, _ in failed]
         return [reports[r.request_id] for r in requests]
 
     def _dispatch_round(
         self,
-        pending: list[list[TestRequest]],
+        pending: list[tuple[list[TestRequest], bytes]],
         reports: dict[int, TestReport],
-    ) -> list[tuple[list[TestRequest], str]]:
+    ) -> list[tuple[tuple[list[TestRequest], bytes], str]]:
         """One dispatch of every pending chunk; returns what must retry.
 
-        Each entry of the returned list is ``(requests, cause)`` with
-        ``cause`` one of ``timeout`` (deadline hit — a straggler),
-        ``error`` (worker death / broken pool), or ``missing`` (the
-        worker answered but dropped or corrupted reports).
+        ``pending`` pairs each chunk with its pre-pickled bytes, which
+        are what actually gets submitted.  Each entry of the returned
+        list is ``((requests, packed), cause)`` with ``cause`` one of
+        ``timeout`` (deadline hit — a straggler), ``error`` (worker
+        death / broken pool), or ``missing`` (the worker answered but
+        dropped or corrupted reports).
         """
-        failed: list[tuple[list[TestRequest], str]] = []
+        failed: list[tuple[tuple[list[TestRequest], bytes], str]] = []
         try:
             executor = self._ensure_executor()
             futures = [
-                (executor.submit(_worker_run_chunk, chunk), chunk)
-                for chunk in pending
+                (executor.submit(_worker_run_chunk, packed), chunk, packed)
+                for chunk, packed in pending
             ]
         except Exception:
             self.health.worker_deaths += 1
             self._replace_workers()
-            return [(chunk, "error") for chunk in pending]
+            return [(entry, "error") for entry in pending]
         replaced_this_round = False
-        for future, chunk in futures:
+        for future, chunk, packed in futures:
             expected = {r.request_id for r in chunk}
             try:
-                received = future.result(timeout=self.dispatch_deadline)
+                result = future.result(timeout=self.dispatch_deadline)
             except _FutureTimeout:
                 self.health.timeouts += 1
                 self.health.stragglers += len(chunk)
@@ -274,15 +342,16 @@ class ProcessPoolCluster:
                     # pool is rebuilt; replacements take over.
                     self._replace_workers()
                     replaced_this_round = True
-                failed.append((chunk, "timeout"))
+                failed.append(((chunk, packed), "timeout"))
                 continue
             except Exception:
                 self.health.worker_deaths += 1
                 if not replaced_this_round:
                     self._replace_workers()
                     replaced_this_round = True
-                failed.append((chunk, "error"))
+                failed.append(((chunk, packed), "error"))
                 continue
+            received = self._decode_reports(result)
             for report in received:
                 request_id = getattr(report, "request_id", None)
                 if (not isinstance(report, TestReport)
@@ -294,8 +363,44 @@ class ProcessPoolCluster:
                 self.monitor.observe(report)
             still = [r for r in chunk if r.request_id not in reports]
             if still:
-                failed.append((still, "missing"))
+                repacked = packed if len(still) == len(chunk) else \
+                    pickle.dumps(still, protocol=pickle.HIGHEST_PROTOCOL)
+                failed.append(((still, repacked), "missing"))
         return failed
+
+    def _decode_reports(self, result: object) -> list:
+        """Unpack a worker's reply; garbage is 'missing', never a crash.
+
+        Workers answer with pickled report lists; a plain list is also
+        accepted (chaos harnesses and older workers).  Undecodable
+        bytes count as corrupt and yield nothing — the retry loop
+        re-dispatches the chunk.
+        """
+        if isinstance(result, bytes):
+            try:
+                result = pickle.loads(result)
+            except Exception:
+                self.health.corrupt_reports += 1
+                return []
+        return result if isinstance(result, list) else []
+
+    def bind_metrics(self, registry: "object") -> None:
+        """Export the pool's dispatch-path cost gauges (idempotent per
+        registry, same contract as :meth:`SocketFabric.bind_metrics
+        <repro.cluster.socket_fabric.SocketFabric.bind_metrics>`)."""
+        bound = getattr(self, "_bound_registries", None)
+        if bound is None:
+            bound = self._bound_registries = set()
+        if id(registry) in bound:
+            return
+        bound.add(id(registry))
+
+        def _collect(reg) -> None:
+            reg.gauge("fabric.dispatch.encode_seconds").set(
+                self.encode_seconds
+            )
+
+        registry.register_collector(_collect)  # type: ignore[attr-defined]
 
     def close(self) -> None:
         """Shut the worker processes down (idempotent)."""

@@ -73,9 +73,13 @@ from repro.cluster.fault_tolerance import (
 from repro.cluster.manager import NodeManager
 from repro.cluster.messages import TestReport, TestRequest
 from repro.cluster.wire import (
+    MIN_PROTOCOL_VERSION,
     PROTOCOL_VERSION,
     WireError,
     encode_frame,
+    encode_report_frame,
+    encode_work_frame,
+    negotiate_version,
     parse_endpoint,
     recv_frame,
     report_from_wire,
@@ -191,11 +195,15 @@ class _NodeConnection:
     """Manager-side state for one registered explorer node."""
 
     def __init__(
-        self, name: str, sock: socket.socket, capacity: int
+        self, name: str, sock: socket.socket, capacity: int,
+        version: int = PROTOCOL_VERSION,
     ) -> None:
         self.name = name
         self.sock = sock
         self.capacity = capacity
+        #: the protocol version negotiated at handshake — per
+        #: connection, so v1 and v2 nodes coexist in one fleet.
+        self.version = version
         #: free executor slots the node has declared and not yet been
         #: sent work for (the backpressure credit).
         self.slots = 0
@@ -208,8 +216,13 @@ class _NodeConnection:
         self.outbox: "queue.Queue[object]" = queue.Queue()
 
     def enqueue(self, message: dict) -> int:
-        """Queue a frame for the writer thread; returns its wire size."""
+        """Queue a JSON frame for the writer thread; returns its size."""
         data = encode_frame(message)
+        self.outbox.put(data)
+        return len(data)
+
+    def enqueue_raw(self, data: bytes) -> int:
+        """Queue an already-encoded frame (the v2 binary data plane)."""
         self.outbox.put(data)
         return len(data)
 
@@ -271,6 +284,10 @@ class SocketFabric:
         self.bytes_out = 0
         self.frames_in = 0
         self.frames_out = 0
+        #: cumulative seconds spent encoding outbound work frames — the
+        #: dispatch path's serialization cost, exported as the
+        #: ``fabric.dispatch.encode_seconds`` gauge.
+        self.encode_seconds = 0.0
         #: requests requeued off dead or replaced connections.
         self.requeued = 0
         #: well-formed reports that arrived after their round moved on.
@@ -499,6 +516,14 @@ class SocketFabric:
                 reg.gauge("fabric.net.requeued").set(self.requeued)
                 reg.gauge("fabric.net.late_reports").set(self.late_reports)
                 reg.gauge("fabric.net.registrations").set(self.registrations)
+                reg.gauge("fabric.dispatch.encode_seconds").set(
+                    self.encode_seconds
+                )
+                completed = self.health.completed
+                reg.gauge("fabric.net.bytes_per_test").set(
+                    (self.bytes_in + self.bytes_out) / completed
+                    if completed else 0.0
+                )
             for s in stats:
                 reg.gauge(
                     "fabric.worker_busy_seconds", worker=str(s["node"])
@@ -554,7 +579,7 @@ class SocketFabric:
             writer.start()
             node.enqueue({
                 "type": "welcome",
-                "version": PROTOCOL_VERSION,
+                "version": node.version,
                 "node": node.name,
                 "manager": self.name,
             })
@@ -600,13 +625,18 @@ class SocketFabric:
             _close_socket(sock)
             return None
         refusal: str | None = None
+        version: int | None = None
         if hello.get("type") != "hello":
             refusal = f"expected hello, got {hello.get('type')!r}"
-        elif hello.get("version") != PROTOCOL_VERSION:
-            refusal = (
-                f"protocol version mismatch: manager speaks "
-                f"v{PROTOCOL_VERSION}, node sent {hello.get('version')!r}"
-            )
+        else:
+            version = negotiate_version(hello)
+            if version is None:
+                refusal = (
+                    f"protocol version mismatch: manager speaks "
+                    f"v{MIN_PROTOCOL_VERSION}..v{PROTOCOL_VERSION}, node "
+                    f"sent {hello.get('version')!r} (min "
+                    f"{hello.get('min_version', hello.get('version'))!r})"
+                )
         name = hello.get("node")
         capacity = hello.get("capacity")
         if refusal is None and (not isinstance(name, str) or not name):
@@ -625,7 +655,10 @@ class SocketFabric:
                 pass
             _close_socket(sock)
             return None
-        node = _NodeConnection(str(name), sock, int(capacity))  # type: ignore[arg-type]
+        node = _NodeConnection(
+            str(name), sock, int(capacity),  # type: ignore[arg-type]
+            version=int(version),  # type: ignore[arg-type]
+        )
         with self._cond:
             if self._closed:
                 node.retired = True
@@ -670,6 +703,19 @@ class SocketFabric:
                 return False
             self._absorb_report(node, report)
             return True
+        if kind == "report_batch":
+            reports = message.get("reports")
+            slots = message.get("slots")
+            if not isinstance(reports, list) or not all(
+                isinstance(r, TestReport) for r in reports
+            ):
+                with self._cond:
+                    self.health.corrupt_reports += 1
+                return False
+            self._absorb_report_batch(
+                node, reports, slots if isinstance(slots, int) else None
+            )
+            return True
         if kind == "heartbeat":
             with self._cond:
                 executed = message.get("executed")
@@ -708,6 +754,38 @@ class SocketFabric:
             self.health.completed += 1
             self._cond.notify_all()
 
+    def _absorb_report_batch(
+        self,
+        node: _NodeConnection,
+        reports: list[TestReport],
+        slots: int | None,
+    ) -> None:
+        """Absorb one coalesced v2 report frame under a single lock.
+
+        The frame's piggybacked ``slots`` is the node's post-chunk
+        backpressure credit (what v1 sent as a separate ``ready``), so
+        refilling happens here too — one lock round-trip per chunk
+        instead of one per test.
+        """
+        with self._cond:
+            for report in reports:
+                request = node.assigned.pop(report.request_id, None)
+                if request is None:
+                    self.health.corrupt_reports += 1
+                    continue
+                if report.request_id not in self._pending:
+                    self.late_reports += 1
+                    continue
+                self.partitioner.observe(request, report)
+                self._reports[report.request_id] = report
+                node.executed += 1
+                node.busy_seconds += report.cost
+                self.health.completed += 1
+            if slots is not None and not node.retired:
+                node.slots = min(slots, node.capacity)
+                self._fill_nodes_locked()
+            self._cond.notify_all()
+
     def _writer_loop(self, node: _NodeConnection) -> None:
         while True:
             item = node.outbox.get()
@@ -744,10 +822,17 @@ class SocketFabric:
                 continue
             node.slots -= len(chunk)
             node.assigned.update({r.request_id: r for r in chunk})
-            node.enqueue({
-                "type": "work",
-                "requests": [request_to_wire(r) for r in chunk],
-            })
+            started = time.perf_counter()
+            if node.version >= 2:
+                # The whole chunk is packed once, into one binary frame.
+                data = encode_work_frame(chunk)
+            else:
+                data = encode_frame({
+                    "type": "work",
+                    "requests": [request_to_wire(r) for r in chunk],
+                })
+            self.encode_seconds += time.perf_counter() - started
+            node.enqueue_raw(data)
             sent += len(chunk)
         return sent
 
@@ -807,12 +892,15 @@ class ExplorerNode:
     """Node-side client: executes pulled work against a local target.
 
     Connects to a :class:`SocketFabric` manager, registers with its
-    declared ``capacity``, then loops: announce free slots (``ready``),
-    execute the pulled chunk on a warm local
-    :class:`~repro.cluster.manager.NodeManager`, stream one ``report``
-    frame per completed test.  A background thread emits ``heartbeat``
-    frames every ``heartbeat_interval`` seconds so a node grinding
-    through a slow chunk is still visibly alive.
+    declared ``capacity`` and wire-version range, then loops: announce
+    free slots (``ready``), execute the pulled chunk on a warm local
+    :class:`~repro.cluster.manager.NodeManager`, and report results —
+    one coalesced binary ``report_batch`` frame per chunk on the
+    negotiated v2 data plane, or one JSON ``report`` frame per test
+    plus a trailing ``ready`` when the manager only speaks v1.  A
+    background thread emits ``heartbeat`` frames every
+    ``heartbeat_interval`` seconds so a node grinding through a slow
+    chunk is still visibly alive.
 
     A dropped connection (manager crash, network fault) sends the node
     into a reconnect loop with exponential backoff under
@@ -833,11 +921,17 @@ class ExplorerNode:
         reconnect_policy: RetryPolicy | None = None,
         heartbeat_interval: float = 1.0,
         connect_timeout: float = 5.0,
+        wire_version: int = PROTOCOL_VERSION,
         sleep: Callable[[float], None] = time.sleep,
     ) -> None:
         if capacity < 1 or capacity > _MAX_CAPACITY:
             raise ClusterError(
                 f"node capacity must be 1..{_MAX_CAPACITY}, got {capacity}"
+            )
+        if not MIN_PROTOCOL_VERSION <= wire_version <= PROTOCOL_VERSION:
+            raise ClusterError(
+                f"wire version must be {MIN_PROTOCOL_VERSION}.."
+                f"{PROTOCOL_VERSION}, got {wire_version}"
             )
         if heartbeat_interval <= 0:
             raise ClusterError(
@@ -856,6 +950,11 @@ class ExplorerNode:
         )
         self.heartbeat_interval = heartbeat_interval
         self.connect_timeout = connect_timeout
+        #: the highest protocol version this node offers; pin to 1 to
+        #: emulate a legacy JSON node against a v2 manager.
+        self.wire_version = wire_version
+        #: the version actually agreed with the current manager.
+        self._negotiated = MIN_PROTOCOL_VERSION
         self._sleep = sleep
         self._rng = random.Random(0)
         self._stop = threading.Event()
@@ -952,10 +1051,15 @@ class ExplorerNode:
             with write_lock:
                 send_frame(sock, message)
 
+        def _send_raw(data: bytes) -> None:
+            with write_lock:
+                sock.sendall(data)
+
         sock.settimeout(self.connect_timeout)
         _send({
             "type": "hello",
-            "version": PROTOCOL_VERSION,
+            "version": self.wire_version,
+            "min_version": MIN_PROTOCOL_VERSION,
             "node": self.name,
             "capacity": self.capacity,
         })
@@ -963,15 +1067,25 @@ class ExplorerNode:
         if welcome is None:
             return False, False
         if welcome.get("type") == "error":
+            reason = str(welcome.get("reason"))
+            if self.wire_version > MIN_PROTOCOL_VERSION \
+                    and "version" in reason:
+                # A pre-negotiation manager refuses anything above its
+                # own version outright: drop to the floor and reconnect
+                # speaking v1 instead of giving up.
+                self.wire_version = MIN_PROTOCOL_VERSION
+                return False, False
             raise ClusterError(
                 f"node {self.name!r} refused by manager: "
                 f"{welcome.get('reason')}"
             )
-        if welcome.get("type") != "welcome" or \
-                welcome.get("version") != PROTOCOL_VERSION:
+        agreed = welcome.get("version")
+        if welcome.get("type") != "welcome" or not isinstance(agreed, int) \
+                or not MIN_PROTOCOL_VERSION <= agreed <= self.wire_version:
             raise ClusterError(
                 f"node {self.name!r}: bad welcome frame {welcome!r}"
             )
+        self._negotiated = agreed
         self.connections += 1
         sock.settimeout(None)
         hb_stop = threading.Event()
@@ -988,10 +1102,14 @@ class ExplorerNode:
                     return True, False  # manager dropped: reconnect
                 kind = message.get("type")
                 if kind == "work":
-                    self._execute_chunk(message, _send)
+                    self._execute_chunk(message, _send, _send_raw)
                     if self._stop.is_set():
                         return True, True
-                    _send({"type": "ready", "slots": self.capacity})
+                    if self._negotiated < 2:
+                        # v2 piggybacks the slot credit on the report
+                        # batch; only the v1 data plane needs the
+                        # separate ready frame.
+                        _send({"type": "ready", "slots": self.capacity})
                 elif kind == "shutdown":
                     try:
                         _send({"type": "bye"})
@@ -1007,15 +1125,40 @@ class ExplorerNode:
             hb_thread.join(timeout=1.0)
 
     def _execute_chunk(
-        self, message: dict, send: Callable[[dict], None]
+        self,
+        message: dict,
+        send: Callable[[dict], None],
+        send_raw: Callable[[bytes], None],
     ) -> None:
-        """Run every request in a work frame, streaming reports back."""
+        """Run every request in a work frame and report the results.
+
+        Over the v1 data plane each report streams back as its own JSON
+        frame; over v2 the whole chunk's reports coalesce into a single
+        binary ``report_batch`` frame that also carries the node's
+        refreshed slot count.
+        """
         payloads = message.get("requests")
         if not isinstance(payloads, list):
             raise WireError(f"work frame without request list: {message!r}")
         manager = self._node_manager()
+        if self._negotiated >= 2:
+            reports: list[TestReport] = []
+            for payload in payloads:
+                request = (
+                    payload if isinstance(payload, TestRequest)
+                    else request_from_wire(payload)
+                )
+                reports.append(manager.execute(request))
+                self.executed += 1
+                if self._stop.is_set():
+                    break
+            send_raw(encode_report_frame(reports, slots=self.capacity))
+            return
         for payload in payloads:
-            request = request_from_wire(payload)
+            request = (
+                payload if isinstance(payload, TestRequest)
+                else request_from_wire(payload)
+            )
             report = manager.execute(request)
             self.executed += 1
             send({"type": "report", "report": report_to_wire(report)})

@@ -224,6 +224,85 @@ class TestThreadFabricMetrics:
             + snapshot["counters"]['manager.tests{manager="n1"}'] == 10
 
 
+class TestHotPathGauges:
+    """The perf-tentpole series (encode cost, wire economy, batch size)
+    must reach the Prometheus export (satellite)."""
+
+    def test_socket_fabric_exports_wire_cost_gauges(self):
+        from repro.cluster import ExplorerNode, SocketFabric
+        from repro.obs import to_prometheus
+
+        target = target_by_name("coreutils")
+        metrics = MetricsRegistry()
+        net = SocketFabric("127.0.0.1:0", expected_nodes=1)
+        node = ExplorerNode(
+            (net.host, net.port),
+            functools.partial(target_by_name, "coreutils"),
+            name="obs", capacity=4,
+        )
+        thread = node.run_in_thread()
+        try:
+            net.wait_for_nodes(timeout=15)
+            ClusterExplorer(
+                net, small_space(target), standard_impact(),
+                FitnessGuidedSearch(), IterationBudget(12), rng=2,
+                batch_size=4, metrics=metrics,
+            ).run()
+            net.bind_metrics(metrics)
+            parsed = parse_prometheus(to_prometheus(metrics))
+        finally:
+            net.close()
+            node.stop()
+            thread.join(timeout=10)
+        encode = parsed["afex_fabric_dispatch_encode_seconds"]["samples"]
+        assert encode["afex_fabric_dispatch_encode_seconds"] >= 0.0
+        per_test = parsed["afex_fabric_net_bytes_per_test"]["samples"][
+            "afex_fabric_net_bytes_per_test"]
+        assert per_test > 0.0
+        # The whole point of wire v2: a test costs tens of bytes, not
+        # the ~1 kB the JSON dialect paid.
+        assert per_test < 1000.0
+
+    def test_process_pool_exports_encode_seconds(self):
+        from repro.obs import to_prometheus
+
+        target = target_by_name("coreutils")
+        metrics = MetricsRegistry()
+        pool = ProcessPoolCluster(
+            functools.partial(target_by_name, "coreutils"), workers=2,
+        )
+        pool.bind_metrics(metrics)
+        try:
+            ClusterExplorer(
+                pool, small_space(target), standard_impact(),
+                FitnessGuidedSearch(), IterationBudget(8), rng=2,
+                batch_size=4, metrics=metrics,
+            ).run()
+            parsed = parse_prometheus(to_prometheus(metrics))
+        finally:
+            pool.close()
+        samples = parsed["afex_fabric_dispatch_encode_seconds"]["samples"]
+        assert samples["afex_fabric_dispatch_encode_seconds"] > 0.0
+
+    def test_adaptive_batching_exports_batch_size_gauge(self):
+        from repro.obs import to_prometheus
+
+        target = target_by_name("coreutils")
+        metrics = MetricsRegistry()
+        managers = [NodeManager(f"g{i}", target) for i in range(2)]
+        ClusterExplorer(
+            LocalCluster(managers), small_space(target),
+            standard_impact(), FitnessGuidedSearch(), IterationBudget(20),
+            rng=2, batch_size="auto", metrics=metrics,
+        ).run()
+        parsed = parse_prometheus(to_prometheus(metrics))
+        size = parsed["afex_fabric_batch_size"]["samples"][
+            "afex_fabric_batch_size"]
+        assert size >= 2  # a real dispatch width, adapted at least once
+        assert parsed["afex_fabric_batch_per_test_seconds"]["samples"][
+            "afex_fabric_batch_per_test_seconds"] > 0.0
+
+
 class TestCampaignWiring:
     def test_outcome_carries_snapshot_and_scorecard_renders_hit_ratio(self):
         target = target_by_name("coreutils")

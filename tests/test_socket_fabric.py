@@ -32,7 +32,9 @@ from repro.cluster import (
 from repro.cluster.messages import TestReport as ClusterTestReport
 from repro.cluster.messages import TestRequest as ClusterTestRequest
 from repro.cluster.wire import (
+    BINARY_MAGIC,
     encode_frame,
+    encode_report_frame,
     recv_frame,
     report_from_wire,
     report_to_wire,
@@ -270,6 +272,16 @@ class TestNodeFailure:
         self, fleet
     ):
         net, nodes = fleet
+
+        # Slow the victim down so the kill deterministically lands while
+        # its chunk is still in flight (the batched v2 data plane would
+        # otherwise finish the whole round before a timer fires).
+        class SlowManager(NodeManager):
+            def execute(self, request):
+                time.sleep(0.05)
+                return super().execute(request)
+
+        nodes[0]._manager = SlowManager(nodes[0].name, MiniDbTarget())
         killer = threading.Timer(0.05, nodes[0].stop)
         killer.start()
         try:
@@ -521,11 +533,15 @@ class TestBackpressure:
         sock = socket.create_connection((net.host, net.port), timeout=5)
         sock.settimeout(5)
         try:
+            # This fake node hand-speaks the v1 JSON dialect (separate
+            # ready/report frames), so it pins version 1 in its hello.
             send_frame(sock, {
-                "type": "hello", "version": PROTOCOL_VERSION,
+                "type": "hello", "version": 1,
                 "node": "narrow", "capacity": 2,
             })
-            assert recv_frame(sock)["type"] == "welcome"
+            welcome = recv_frame(sock)
+            assert welcome["type"] == "welcome"
+            assert welcome["version"] == 1  # manager honours the pin
 
             outcome: dict = {}
 
@@ -654,3 +670,225 @@ class TestObservability:
         assert f"{net.host}:{net.port}" in net.describe()
         assert f"v{PROTOCOL_VERSION}" in net.describe()
         assert nodes[0].name in nodes[0].describe()
+
+    def test_wire_cost_gauges_are_exported(self, fleet):
+        net, _nodes = fleet
+        from repro.obs import MetricsRegistry
+
+        net.run_batch([make_request(i) for i in range(6)])
+        registry = MetricsRegistry()
+        net.bind_metrics(registry)
+        gauges = registry.snapshot()["gauges"]
+        assert gauges["fabric.dispatch.encode_seconds"] >= 0.0
+        per_test = gauges["fabric.net.bytes_per_test"]
+        assert 0 < per_test == \
+            (net.bytes_in + net.bytes_out) / net.health.completed
+
+
+class TestVersionNegotiationEndToEnd:
+    """The (manager, node) pairings the handshake can see (satellite)."""
+
+    def _campaign(self, fabric, minidb):
+        space = FaultSpace.product(
+            test=range(1, len(minidb.suite) + 1),
+            function=minidb.libc_functions(),
+            call=range(0, 3),
+        )
+        return ClusterExplorer(
+            FaultTolerantFabric(fabric, policy=RetryPolicy()),
+            space, standard_impact(), strategy_by_name("fitness"),
+            IterationBudget(32), rng=7, batch_size=4,
+        ).run()
+
+    def _fleet_digest(self, minidb, wire_version):
+        net = SocketFabric("127.0.0.1:0", expected_nodes=2)
+        nodes = [
+            ExplorerNode(
+                (net.host, net.port), MiniDbTarget, name=f"n{i}",
+                capacity=2, wire_version=wire_version,
+            )
+            for i in range(2)
+        ]
+        threads = [n.run_in_thread() for n in nodes]
+        try:
+            net.wait_for_nodes(timeout=15)
+            reports = self._campaign(net, minidb)
+            digest = history_digest(list(reports))
+            wire_bytes = net.bytes_in + net.bytes_out
+        finally:
+            net.close()
+            for node in nodes:
+                node.stop()
+            for thread in threads:
+                thread.join(timeout=10)
+        return digest, wire_bytes
+
+    def test_v1_pinned_nodes_complete_a_campaign_with_equal_digest(
+        self, minidb
+    ):
+        # A legacy JSON fleet and a v2 binary fleet run the same
+        # campaign: identical outcomes, and v2 pays far fewer bytes.
+        v2_digest, v2_bytes = self._fleet_digest(minidb, PROTOCOL_VERSION)
+        v1_digest, v1_bytes = self._fleet_digest(minidb, 1)
+        assert v1_digest == v2_digest
+        assert v2_bytes < v1_bytes / 2
+
+    def test_mixed_fleet_one_v1_one_v2_node(self, minidb):
+        net = SocketFabric("127.0.0.1:0", expected_nodes=2)
+        nodes = [
+            ExplorerNode(
+                (net.host, net.port), MiniDbTarget, name=f"mix{v}",
+                capacity=2, wire_version=v,
+            )
+            for v in (1, 2)
+        ]
+        threads = [n.run_in_thread() for n in nodes]
+        try:
+            net.wait_for_nodes(timeout=15)
+            reports = net.run_batch([make_request(i) for i in range(12)])
+            assert [r.request_id for r in reports] == list(range(12))
+            # Both dialects carried work.
+            assert all(n.executed > 0 for n in nodes)
+        finally:
+            net.close()
+            for node in nodes:
+                node.stop()
+            for thread in threads:
+                thread.join(timeout=10)
+
+    def test_future_node_that_speaks_down_gets_v2(self, fleet):
+        net, _nodes = fleet
+        sock = socket.create_connection((net.host, net.port), timeout=5)
+        try:
+            send_frame(sock, {
+                "type": "hello", "version": PROTOCOL_VERSION + 7,
+                "min_version": 1, "node": "poly", "capacity": 1,
+            })
+            welcome = recv_frame(sock)
+            assert welcome["type"] == "welcome"
+            assert welcome["version"] == PROTOCOL_VERSION
+        finally:
+            sock.close()
+
+    def test_node_downgrades_when_an_old_manager_refuses_v2(self, minidb):
+        # Simulate a pre-negotiation manager: refuse the first hello
+        # with a version-mismatch error, welcome the v1 retry, then
+        # shut the node down.  The node must land on wire_version 1.
+        server = socket.socket()
+        server.bind(("127.0.0.1", 0))
+        server.listen(2)
+        hellos = []
+
+        def old_manager():
+            for _ in range(2):
+                conn, _addr = server.accept()
+                conn.settimeout(5)
+                hello = recv_frame(conn)
+                hellos.append(hello)
+                if hello.get("version", 0) > 1:
+                    send_frame(conn, {
+                        "type": "error",
+                        "reason": "protocol version mismatch: "
+                                  "manager speaks v1",
+                    })
+                    conn.close()
+                    continue
+                send_frame(conn, {"type": "welcome", "version": 1})
+                send_frame(conn, {"type": "shutdown"})
+                recv_frame(conn)  # the node's bye
+                conn.close()
+                return
+
+        thread = threading.Thread(target=old_manager, daemon=True)
+        thread.start()
+        node = ExplorerNode(
+            server.getsockname(), MiniDbTarget, name="legacyable",
+            reconnect_policy=RetryPolicy(
+                max_attempts=10, base_delay=0.01, max_delay=0.02
+            ),
+            sleep=lambda _s: None,
+        )
+        try:
+            node.run()  # returns cleanly after the shutdown frame
+            thread.join(timeout=10)
+            assert [h.get("version") for h in hellos] == \
+                [PROTOCOL_VERSION, 1]
+            assert node.wire_version == 1
+        finally:
+            server.close()
+
+
+class TestHostileBinaryFramesLiveManager:
+    """Binary garbage must poison one peer, never the manager thread."""
+
+    def test_binary_garbage_from_registered_node_requeues(self, minidb):
+        net = SocketFabric("127.0.0.1:0", expected_nodes=1,
+                           ready_timeout=1.0)
+        sock = socket.create_connection((net.host, net.port), timeout=5)
+        try:
+            send_frame(sock, {
+                "type": "hello", "version": PROTOCOL_VERSION,
+                "node": "binrogue", "capacity": 1,
+            })
+            assert recv_frame(sock)["type"] == "welcome"
+            dispatcher = threading.Thread(
+                target=lambda: pytest.raises(
+                    ClusterError, net.run_batch, [make_request(0)]
+                ),
+                daemon=True,
+            )
+            dispatcher.start()
+            sock.settimeout(5)
+            send_frame(sock, {"type": "ready", "slots": 1})
+            while True:
+                frame = recv_frame(sock)
+                if frame["type"] == "work":
+                    break
+                send_frame(sock, {"type": "ready", "slots": 1})
+            # A binary frame that passes the magic check then rots.
+            payload = bytes([BINARY_MAGIC, 0x02]) + b"\xff\xff\xff\xff"
+            sock.sendall(struct.pack(">I", len(payload)) + payload)
+            deadline = time.monotonic() + 5
+            while net.requeued < 1 and time.monotonic() < deadline:
+                time.sleep(0.01)
+            assert net.requeued == 1
+        finally:
+            sock.close()
+            net.close()
+
+    def test_fabricated_binary_report_batch_is_corrupt_not_fatal(
+        self, minidb
+    ):
+        net = SocketFabric("127.0.0.1:0", expected_nodes=1)
+        sock = socket.create_connection((net.host, net.port), timeout=5)
+        try:
+            send_frame(sock, {
+                "type": "hello", "version": PROTOCOL_VERSION,
+                "node": "binliar", "capacity": 1,
+            })
+            assert recv_frame(sock)["type"] == "welcome"
+            sock.sendall(
+                encode_report_frame([make_report(998877)], slots=1)
+            )
+            deadline = time.monotonic() + 5
+            while net.health.corrupt_reports < 1 and \
+                    time.monotonic() < deadline:
+                time.sleep(0.01)
+            assert net.health.corrupt_reports == 1
+            assert net.late_reports == 0
+        finally:
+            sock.close()
+            net.close()
+
+    def test_fleet_survives_a_binary_fuzzing_peer(self, fleet):
+        net, _nodes = fleet
+        rng = __import__("random").Random(1234)
+        for _ in range(25):
+            sock = socket.create_connection((net.host, net.port), timeout=5)
+            blob = bytes([BINARY_MAGIC]) + bytes(
+                rng.randrange(256) for _ in range(rng.randrange(1, 64))
+            )
+            sock.sendall(struct.pack(">I", len(blob)) + blob)
+            sock.close()
+        reports = net.run_batch([make_request(i) for i in range(4)])
+        assert len(reports) == 4
