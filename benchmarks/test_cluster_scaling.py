@@ -20,7 +20,7 @@ import random
 import time
 from pathlib import Path
 
-from conftest import run_once
+from conftest import cores_info, run_once
 from repro.quality.clustering import cluster_stacks_reference
 from repro.quality.online import OnlineClusters
 from repro.util.tables import TextTable
@@ -104,6 +104,7 @@ def test_online_clustering_scaling(benchmark, report):
 
     payload = {
         "benchmark": "cluster_scaling",
+        "cores": cores_info(),
         "max_distance": MAX_DISTANCE,
         "seed": SEED,
         "injection_points": INJECTION_POINTS,

@@ -23,11 +23,10 @@ from __future__ import annotations
 
 import functools
 import json
-import os
 import time
 from pathlib import Path
 
-from conftest import run_once
+from conftest import cores_info, run_once
 from repro.campaign import CampaignJob
 from repro.core.checkpoint import history_digest
 from repro.obs import MetricsRegistry, RingBufferSink, Tracer, profile_payload
@@ -68,18 +67,6 @@ def _space() -> FaultSpace:
     )
 
 
-def _cores() -> dict:
-    """The machine's real parallelism, recorded in the payload: what
-    the OS reports (``cpu_count``) and what this process may actually
-    use (``usable``, the scheduler affinity mask where available)."""
-    cpu_count = os.cpu_count() or 1
-    try:
-        usable = len(os.sched_getaffinity(0))
-    except AttributeError:  # non-Linux
-        usable = cpu_count
-    return {"cpu_count": cpu_count, "usable": usable}
-
-
 def _timed(func):
     started = time.perf_counter()
     result = func()
@@ -87,7 +74,7 @@ def _timed(func):
 
 
 def test_parallel_fabric_throughput(benchmark, report):
-    cores = _cores()
+    cores = cores_info()
 
     def experiment():
         # -- serial baseline: the pre-batching in-process loop -------------
@@ -321,6 +308,7 @@ def test_observability_overhead(benchmark, report):
     snapshot = registry.snapshot()
     payload = profile_payload(registry, meta={
         "benchmark_config": "serial minidb",
+        "cores": cores_info(),
         "iterations": OBS_ITERATIONS,
         "repeats": OBS_REPEATS,
         "batch_size": BATCH_SIZE,

@@ -27,7 +27,7 @@ import json
 import time
 from pathlib import Path
 
-from conftest import run_once
+from conftest import cores_info, run_once
 from repro.cluster import (
     PROTOCOL_VERSION,
     ClusterExplorer,
@@ -131,6 +131,7 @@ def test_socket_fabric_wire_overhead(benchmark, report):
         "benchmark": "socket_fabric",
         "target": "minidb",
         "iterations": ITERATIONS,
+        "cores": cores_info(),
         "nodes": NODES,
         "capacity_per_node": CAPACITY,
         "batch_size": BATCH_SIZE,

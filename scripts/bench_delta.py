@@ -1,16 +1,20 @@
 """Benchmark delta: freshly measured BENCH_*.json vs the committed baseline.
 
-CI runs the benchmarks (which rewrite ``BENCH_parallel.json`` and
-``BENCH_net.json`` in the workspace), then calls this script.  It reads
-the *committed* copies via ``git show <ref>:<path>`` and prints a
-GitHub-flavoured markdown before/after table suitable for appending to
-``$GITHUB_STEP_SUMMARY``.
+CI runs the benchmarks (which rewrite ``BENCH_parallel.json``,
+``BENCH_net.json`` and ``BENCH_fleet.json`` in the workspace), then
+calls this script.  It reads the *committed* copies via ``git show
+<ref>:<path>`` and prints a GitHub-flavoured markdown before/after
+table suitable for appending to ``$GITHUB_STEP_SUMMARY``.
 
 It also re-asserts the hot-path acceptance gates on the fresh numbers —
-wire cost under 200 bytes and 0.5 frames per test, and, when the runner
-has the cores to make the comparison meaningful, process pool at or
-above serial — so a regression fails the job even if someone edits the
-gates out of the benchmarks themselves.
+wire cost under 200 bytes and 0.5 frames per test; process pool at or
+above serial whenever the runner has >= 2 usable cores (a skipped gate
+on multi-core hardware is itself a failure: the benchmark must not
+silently duck the comparison it exists to make); and the elastic-fleet
+bars (8-node throughput >= 3x single-node, history digests identical to
+the in-process reference at every node count) — so a regression fails
+the job even if someone edits the gates out of the benchmarks
+themselves.
 
 Exit code 0 when the gates hold, 1 otherwise.  Missing baselines (first
 commit of a file) degrade to "n/a" rather than failing.
@@ -25,11 +29,13 @@ import sys
 from pathlib import Path
 
 REPO = Path(__file__).resolve().parent.parent
-FILES = ("BENCH_parallel.json", "BENCH_net.json")
+FILES = ("BENCH_parallel.json", "BENCH_net.json", "BENCH_fleet.json")
 
 MAX_BYTES_PER_TEST = 200.0
 MAX_FRAMES_PER_TEST = 0.5
 MIN_POOL_SPEEDUP = 1.0
+MIN_FLEET_SPEEDUP = 3.0
+FLEET_GATED_NODES = 8
 
 
 def committed(ref: str, path: str) -> dict | None:
@@ -59,6 +65,16 @@ def dig(payload: dict | None, *keys: str) -> object | None:
             return None
         node = node[key]
     return node
+
+
+def fleet_arm(payload: dict | None, nodes: int) -> dict | None:
+    arms = dig(payload, "arms")
+    if not isinstance(arms, list):
+        return None
+    for arm in arms:
+        if isinstance(arm, dict) and arm.get("nodes") == nodes:
+            return arm
+    return None
 
 
 def fmt(value: object | None, pattern: str = "{:.2f}") -> str:
@@ -116,6 +132,23 @@ def main() -> int:
         source="BENCH_net.json", pattern="{:.4f}")
     row("socket digest == local", "socket", "digest_matches_local",
         source="BENCH_net.json")
+    for nodes in (FLEET_GATED_NODES, 16):
+        b_arm = fleet_arm(before["BENCH_fleet.json"], nodes)
+        a_arm = fleet_arm(after["BENCH_fleet.json"], nodes)
+        b = dig(b_arm, "speedup_vs_single")
+        a = dig(a_arm, "speedup_vs_single")
+        rows.append((f"fleet {nodes}-node speedup", fmt(b), fmt(a),
+                     delta(b, a)))
+    b_arm = fleet_arm(before["BENCH_fleet.json"], FLEET_GATED_NODES)
+    a_arm = fleet_arm(after["BENCH_fleet.json"], FLEET_GATED_NODES)
+    b = dig(b_arm, "stolen")
+    a = dig(a_arm, "stolen")
+    rows.append((f"fleet stolen ({FLEET_GATED_NODES} nodes)",
+                 fmt(b, "{:.0f}"), fmt(a, "{:.0f}"), delta(b, a)))
+    b = dig(b_arm, "dedup_rerun", "hit_rate")
+    a = dig(a_arm, "dedup_rerun", "hit_rate")
+    rows.append((f"fleet dedup rerun hit-rate ({FLEET_GATED_NODES} nodes)",
+                 fmt(b), fmt(a), delta(b, a)))
 
     print(f"### Benchmark delta vs `{args.baseline_ref}`\n")
     print("| metric | before | after | change |")
@@ -154,8 +187,21 @@ def main() -> int:
         )
     else:
         gate = dig(par, "speedup_gate") or {}
+        usable = dig(par, "cores", "usable")
         if isinstance(gate, dict) and gate.get("skipped"):
-            print(f"Pool >= serial gate skipped: {gate.get('reason')}\n")
+            # A skip is only legitimate on a single-core runner.  With
+            # real parallel hardware underneath, "skipped" means the
+            # pool lost to serial and the benchmark ducked saying so —
+            # fail loudly instead.
+            if isinstance(usable, int) and usable >= 2:
+                failures.append(
+                    f"pool >= serial gate was skipped although the "
+                    f"runner had {usable} usable cores "
+                    f"(reason recorded: {gate.get('reason')!r})"
+                )
+            else:
+                print(f"Pool >= serial gate skipped: {gate.get('reason')}"
+                      "\n")
         else:
             for arm in ("process_pool", "process_pool_auto"):
                 speedup = dig(par, arm, "speedup_vs_serial")
@@ -165,6 +211,33 @@ def main() -> int:
                         f"{arm} speedup {fmt(speedup)} fell below "
                         f"{MIN_POOL_SPEEDUP}x serial"
                     )
+
+    fleet = after["BENCH_fleet.json"]
+    if fleet is None:
+        failures.append(
+            "BENCH_fleet.json was not produced by the benchmarks"
+        )
+    else:
+        gated = fleet_arm(fleet, FLEET_GATED_NODES)
+        speedup = dig(gated, "speedup_vs_single")
+        if not isinstance(speedup, (int, float)) \
+                or speedup < MIN_FLEET_SPEEDUP:
+            failures.append(
+                f"{FLEET_GATED_NODES}-node fleet speedup {fmt(speedup)} "
+                f"fell below {MIN_FLEET_SPEEDUP}x single-node"
+            )
+        arms = dig(fleet, "arms")
+        for arm in arms if isinstance(arms, list) else []:
+            if dig(arm, "digest_matches_reference") is not True:
+                failures.append(
+                    f"fleet history digest diverged from the in-process "
+                    f"reference at {dig(arm, 'nodes')} node(s)"
+                )
+        if dig(fleet, "churn", "matches_reference") is not True:
+            failures.append(
+                "fleet churn run (join + drain) diverged from the "
+                "in-process reference"
+            )
 
     if failures:
         print("**Gate failures:**\n")

@@ -11,6 +11,12 @@ network moves placement, never outcomes.  With ``--kill-one``, one node
 process is SIGKILLed mid-campaign; the digest must *still* match,
 proving the requeue path loses and duplicates nothing.
 
+Elastic-fleet churn (protocol v3): ``--join-one`` starts one node
+short and lets the straggler join mid-campaign (the manager runs with
+``--min-nodes``); ``--drain-one`` gives one node a ``--drain-after``
+budget so it leaves gracefully mid-campaign.  Either way the digest
+must still match — membership churn moves placement, never outcomes.
+
 Exit code 0 on success; non-zero with a diagnostic otherwise.
 """
 
@@ -72,11 +78,34 @@ def main() -> int:
         help="SIGKILL one node mid-campaign; the digest must still match",
     )
     parser.add_argument(
-        "--wire-version", type=int, choices=(1, 2), default=None,
+        "--join-one", action="store_true",
+        help="start one node short and let the straggler join "
+             "mid-campaign (the manager runs with --min-nodes); the "
+             "digest must still match",
+    )
+    parser.add_argument(
+        "--drain-one", action="store_true",
+        help="give one node a --drain-after budget so it leaves "
+             "gracefully mid-campaign; the digest must still match",
+    )
+    parser.add_argument(
+        "--drain-after", type=int, default=10, metavar="N",
+        help="the drained node's test budget under --drain-one",
+    )
+    parser.add_argument(
+        "--wire-version", type=int, choices=(1, 2, 3), default=None,
         help="pin the node processes' wire protocol (1 = legacy JSON "
              "data plane); the digest must match either way",
     )
     args = parser.parse_args()
+
+    initial_nodes = args.nodes - 1 if args.join_one else args.nodes
+    if initial_nodes < 1:
+        raise SystemExit("--join-one needs --nodes >= 2")
+    if args.kill_one and args.drain_one and initial_nodes < 2:
+        raise SystemExit(
+            "--kill-one with --drain-one needs two distinct victims"
+        )
 
     common = [
         "run", "--target", args.target, "--strategy", "fitness",
@@ -92,12 +121,26 @@ def main() -> int:
     want = digest_of(reference, "reference")
     print(f"      digest {want}")
 
-    print(f"[2/2] socket fabric: manager + {args.nodes} node processes"
-          + (" (killing one mid-run)" if args.kill_one else ""))
+    churn = [
+        note for note, wanted in (
+            ("killing one mid-run", args.kill_one),
+            ("one joins mid-run", args.join_one),
+            ("one drains mid-run", args.drain_one),
+        ) if wanted
+    ]
+    print(f"[2/2] socket fabric: manager + {initial_nodes} node processes"
+          + (f" ({', '.join(churn)})" if churn else ""))
+    manager_args = [
+        "--fabric", "socket", "--listen", "127.0.0.1:0",
+        "--nodes", str(args.nodes), "--node-wait", "60",
+    ]
+    if args.join_one:
+        # Start exploring as soon as the initial fleet is up; the
+        # straggler is a mid-campaign join (--min-nodes implies
+        # --allow-join).
+        manager_args += ["--min-nodes", str(initial_nodes)]
     manager = subprocess.Popen(
-        [sys.executable, "-m", "repro.cli", *common,
-         "--fabric", "socket", "--listen", "127.0.0.1:0",
-         "--nodes", str(args.nodes), "--node-wait", "60"],
+        [sys.executable, "-m", "repro.cli", *common, *manager_args],
         stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
         env=cli_env(), cwd=REPO,
     )
@@ -132,20 +175,33 @@ def main() -> int:
         node_args = []
         if args.wire_version is not None:
             node_args += ["--wire-version", str(args.wire_version)]
-        for i in range(args.nodes):
+
+        def start_node(i: int, extra: list[str]) -> None:
             nodes.append(subprocess.Popen(
                 [sys.executable, "-m", "repro.cli", "node",
                  "--connect", endpoint, "--target", args.target,
-                 "--name", f"smoke{i}", "--capacity", "4", *node_args],
+                 "--name", f"smoke{i}", "--capacity", "4",
+                 *node_args, *extra],
                 stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL,
                 env=cli_env(), cwd=REPO,
             ))
 
-        if args.kill_one:
-            # Only kill once the whole fleet has registered and the
-            # campaign is dispatching, so the victim dies mid-round.
+        # The drain victim is the *last* initial node so it never
+        # collides with the kill victim (node 0).
+        drain_index = initial_nodes - 1 if args.drain_one else None
+        for i in range(initial_nodes):
+            start_node(i, ["--drain-after", str(args.drain_after)]
+                       if i == drain_index else [])
+
+        if args.kill_one or args.join_one:
+            # Wait for the initial fleet to register and the campaign
+            # to start dispatching, so churn lands mid-round.
             wait_for_line(REGISTERED, "the fleet registration")
             time.sleep(0.2)
+        if args.join_one:
+            start_node(args.nodes - 1, [])
+            print(f"      joined node pid {nodes[-1].pid} mid-campaign")
+        if args.kill_one:
             victim = nodes[0]
             victim.send_signal(signal.SIGKILL)
             print(f"      killed node pid {victim.pid}")

@@ -130,6 +130,19 @@ def build_parser() -> argparse.ArgumentParser:
         "registrations before giving up (default 60)",
     )
     run.add_argument(
+        "--min-nodes", type=_positive_int, default=None, metavar="M",
+        help="with --fabric socket: start exploring once M nodes have "
+        "registered instead of waiting for all --nodes; the rest may "
+        "join mid-campaign (implies --allow-join)",
+    )
+    run.add_argument(
+        "--allow-join", action="store_true",
+        help="with --fabric socket: accept new explorer nodes after "
+        "the campaign has started (the manager re-slices the remaining "
+        "fault space for the joiner); without it the fleet is sealed "
+        "at first dispatch — reconnects are always allowed",
+    )
+    run.add_argument(
         "--batch-size", type=_batch_size, default=None,
         help="speculative candidates proposed per round before feedback "
         "(default: 1 for the serial fabric, worker count otherwise); "
@@ -231,7 +244,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="seconds between wire heartbeats (default 1)",
     )
     node.add_argument(
-        "--wire-version", type=int, default=None, choices=(1, 2),
+        "--wire-version", type=int, default=None, choices=(1, 2, 3),
         help="highest wire protocol version to offer the manager "
         "(default: the newest this build speaks; pin 1 to exercise "
         "the JSON back-compat data plane)",
@@ -240,6 +253,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--reconnect-attempts", type=_positive_int, default=30,
         help="connection attempts (with exponential backoff) before "
         "giving up (default 30)",
+    )
+    node.add_argument(
+        "--drain-after", type=_positive_int, default=None, metavar="N",
+        help="leave the fleet gracefully after executing N tests: the "
+        "node sends a drain frame, finishes its in-flight work, and "
+        "exits when the manager deregisters it (needs a v3 manager)",
     )
 
     trace = sub.add_parser(
@@ -364,16 +383,30 @@ def _explore_on_fabric(args: argparse.Namespace, target, space, strategy):
         pool = None
         net = None
         if fabric == "socket":
-            from repro.cluster import SocketFabric
+            from repro.cluster import FleetResultCache, SocketFabric
 
-            net = SocketFabric(getattr(args, "listen", "127.0.0.1:0"),
-                               expected_nodes=args.nodes)
+            min_nodes = getattr(args, "min_nodes", None)
+            allow_join = bool(getattr(args, "allow_join", False)) \
+                or min_nodes is not None
+            net = SocketFabric(
+                getattr(args, "listen", "127.0.0.1:0"),
+                expected_nodes=args.nodes,
+                allow_join=allow_join,
+                # --cache on the socket fabric means *fleet-shared*
+                # dedup at the manager (per-node caches cannot see each
+                # other's duplicates); the path-backed cache still
+                # persists serial-fabric results only.
+                fleet_cache=FleetResultCache() if args.cache else None,
+            )
+            wanted = args.nodes if min_nodes is None \
+                else min(min_nodes, args.nodes)
             print(f"socket fabric listening on {net.host}:{net.port}; "
-                  f"waiting for {args.nodes} node(s) -- start each with: "
+                  f"waiting for {wanted} node(s) -- start each with: "
                   f"afex node --connect {net.host}:{net.port} "
                   f"--target {args.target}")
             try:
                 registered = net.wait_for_nodes(
+                    count=wanted,
                     timeout=getattr(args, "node_wait", 60.0))
                 print(f"socket fabric: {registered} node(s) registered; "
                       "exploring", flush=True)
@@ -620,6 +653,7 @@ def _cmd_node(args: argparse.Namespace) -> int:
             PROTOCOL_VERSION if args.wire_version is None
             else args.wire_version
         ),
+        drain_after=args.drain_after,
         reconnect_policy=RetryPolicy(
             max_attempts=args.reconnect_attempts,
             base_delay=0.05,

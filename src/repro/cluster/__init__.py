@@ -31,7 +31,12 @@ Three execution fabrics are provided:
   nodes) while :class:`~repro.cluster.socket_fabric.ExplorerNode`
   processes connect, advertise capacity, and pull work with
   backpressure — the paper's actual 10-node/EC2 deployment shape (§4;
-  see docs/DISTRIBUTED.md and docs/PERFORMANCE.md).
+  see docs/DISTRIBUTED.md and docs/PERFORMANCE.md).  The fleet is
+  *elastic* (protocol v3): idle slots steal backlog from the most
+  loaded node, nodes join mid-campaign and leave gracefully
+  (drain-then-deregister), and a
+  :class:`~repro.cluster.fleet.FleetResultCache` dedups duplicate
+  scenarios fleet-wide without moving the history digest.
 
 Batch width per round is either fixed or steered online by
 :class:`~repro.cluster.autobatch.AdaptiveBatchController`
@@ -50,7 +55,7 @@ dispatches on purpose (kills, hangs, corrupt and dropped reports) to
 prove the recovery machinery actually recovers.
 """
 
-from repro.cluster.autobatch import AdaptiveBatchController
+from repro.cluster.autobatch import AdaptiveBatchController, NodeLatencyTracker
 from repro.cluster.chaos import ChaosCluster
 from repro.cluster.explorer_node import ClusterExplorer, ExecutionFabric
 from repro.cluster.fault_tolerance import (
@@ -59,6 +64,7 @@ from repro.cluster.fault_tolerance import (
     HeartbeatMonitor,
     RetryPolicy,
 )
+from repro.cluster.fleet import FleetResultCache, scenario_digest
 from repro.cluster.local import LocalCluster, VirtualCluster
 from repro.cluster.manager import NodeManager
 from repro.cluster.messages import TestReport, TestRequest, WorkerHeartbeat
@@ -93,9 +99,11 @@ __all__ = [
     "ExplorerNode",
     "FabricHealth",
     "FaultTolerantFabric",
+    "FleetResultCache",
     "HeartbeatMonitor",
     "LocalCluster",
     "MIN_PROTOCOL_VERSION",
+    "NodeLatencyTracker",
     "NodeManager",
     "PROTOCOL_VERSION",
     "ProcessPoolCluster",
@@ -111,4 +119,5 @@ __all__ = [
     "UserScripts",
     "VirtualCluster",
     "WorkerHeartbeat",
+    "scenario_digest",
 ]

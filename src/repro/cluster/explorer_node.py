@@ -182,11 +182,26 @@ class ClusterExplorer:
             return combined()
         return getattr(self.cluster, "health", None)
 
+    def fleet_stats(self) -> dict[str, object] | None:
+        """Elastic-fleet accounting (stealing, membership, dedup) when
+        the fabric keeps it — the socket fabric does; in-process
+        fabrics answer None.  Reaches through a fault-tolerance
+        wrapper the same way the metrics bind does."""
+        stats = getattr(self.cluster, "fleet_stats", None)
+        if stats is None:
+            stats = getattr(
+                getattr(self.cluster, "inner", None), "fleet_stats", None
+            )
+        return stats() if callable(stats) else None
+
     def _health_meta(self) -> dict[str, object]:
         health = self.health
         meta: dict[str, object] = (
             {"fabric_health": health.as_dict()} if health else {}
         )
+        fleet = self.fleet_stats()
+        if fleet is not None:
+            meta["fleet"] = fleet
         if self.metrics is not None:
             from repro.obs.trace import TRACE_SCHEMA_VERSION
 

@@ -126,6 +126,10 @@ class FabricHealth:
     worker_deaths: int = 0
     #: worker pools torn down and rebuilt after a death or hang.
     worker_replacements: int = 0
+    #: nodes that left gracefully (drain-then-deregister) — counted
+    #: apart from ``worker_deaths`` because a drained node finished its
+    #: backlog first: nothing was requeued and nothing was lost.
+    graceful_exits: int = 0
     #: requests re-dispatched because their round outlived the deadline.
     stragglers: int = 0
     #: malformed or misaddressed reports discarded by validation.
@@ -160,7 +164,8 @@ class FabricHealth:
     _LAYER_COUNTERS = (
         "retries", "retried_after_timeout", "retried_after_error",
         "retried_missing", "retried_corrupt", "timeouts", "worker_deaths",
-        "worker_replacements", "stragglers", "corrupt_reports", "fallbacks",
+        "worker_replacements", "graceful_exits", "stragglers",
+        "corrupt_reports", "fallbacks",
     )
 
     def merge(self, other: "FabricHealth") -> "FabricHealth":

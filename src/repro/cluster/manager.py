@@ -62,6 +62,10 @@ class NodeManager:
             self._tests_counter = metrics.counter(
                 "manager.tests", manager=name
             )
+        #: the result cache backing this manager's runner (None when
+        #: caching is off); kept addressable so fleet tests can assert
+        #: "no double execution" straight from its hit/miss stats.
+        self.cache = cache
         self._runner = TargetRunner(
             target, self.registry.get(self._injector_name),
             step_budget=step_budget, cache=cache, metrics=metrics,
@@ -110,6 +114,17 @@ class NodeManager:
             spans=spans,
             stack_digest=stack_digest(result.injection_stack),
         )
+
+    def cache_stats(self) -> dict[str, int | float] | None:
+        """The backing :class:`~repro.core.cache.ResultCache` stats.
+
+        Returns None when the manager runs uncached.  ``misses`` is the
+        count of *real* executions: a scenario replayed from the cache
+        (a requeue race, a manager restart re-dispatch) never reaches
+        the simulator, so ``misses == unique scenarios`` is the
+        machine-checkable statement "nothing executed twice".
+        """
+        return None if self.cache is None else self.cache.stats()
 
     def heartbeat(self) -> WorkerHeartbeat:
         """Liveness probe: who I am and how much I have done.

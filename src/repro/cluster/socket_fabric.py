@@ -52,6 +52,33 @@ nodes pulling chunks therefore receive coherent regions of the fault
 space, and the partitioning axis shifts as the search discovers where
 the structure is.  Placement never changes *what* is executed, so
 history digests are unaffected.
+
+Elastic fleet operations (protocol v3, docs/DISTRIBUTED.md "Fleet
+operations"):
+
+* **work-stealing** — when the round queue drains while a node still
+  has free slots, the manager reassigns backlog from the most-loaded
+  live node (estimated by per-node EWMA latency ×
+  :class:`~repro.cluster.autobatch.NodeLatencyTracker`), revoking the
+  stolen ids at the victim with a ``steal`` frame.  A victim that
+  raced the revocation and executed anyway is resolved
+  first-report-wins (``steal_duplicates`` counts the waste); stolen
+  work lost with a dead *thief* is requeued at the front exactly like
+  any other in-flight chunk;
+* **dynamic membership** — a new node may register mid-campaign
+  (``allow_join``); the manager re-arranges the remaining queue through
+  the partitioner so the joiner receives a coherent slice.  A node
+  leaves gracefully by sending ``drain``: it stops receiving work,
+  finishes its backlog, and is deregistered with a ``shutdown`` frame —
+  a *distinct* path from crash detection, which stays with the
+  :class:`~repro.cluster.fault_tolerance.HeartbeatMonitor`;
+* **fleet-shared dedup** — with a
+  :class:`~repro.cluster.fleet.FleetResultCache` attached, duplicate
+  scenarios completed *anywhere* in the fleet are answered from the
+  manager's cache without dispatching, and newly recorded digests are
+  broadcast to v3 nodes piggybacked on the credit/dispatch path.
+  Executions are deterministic per fault, so dedup never moves the
+  campaign's history digest.
 """
 
 from __future__ import annotations
@@ -59,17 +86,20 @@ from __future__ import annotations
 import os
 import queue
 import random
+import select
 import socket
 import threading
 import time
 from collections import deque
 from collections.abc import Callable
 
+from repro.cluster.autobatch import NodeLatencyTracker
 from repro.cluster.fault_tolerance import (
     FabricHealth,
     HeartbeatMonitor,
     RetryPolicy,
 )
+from repro.cluster.fleet import FleetResultCache, scenario_digest
 from repro.cluster.manager import NodeManager
 from repro.cluster.messages import TestReport, TestRequest
 from repro.cluster.wire import (
@@ -88,6 +118,7 @@ from repro.cluster.wire import (
     request_to_wire,
     send_frame,
 )
+from repro.core.cache import ResultCache
 from repro.core.sensitivity import SensitivityTracker
 from repro.errors import ClusterError
 from repro.sim.libc import DEFAULT_STEP_BUDGET
@@ -209,6 +240,17 @@ class _NodeConnection:
         self.slots = 0
         #: in-flight requests, by id.
         self.assigned: dict[int, TestRequest] = {}
+        #: ids reassigned (stolen) to another node but possibly still
+        #: executing here — a report for one of these is a steal race,
+        #: not corruption, and is resolved first-report-wins.
+        self.stolen_away: set[int] = set()
+        #: graceful-leave state: a draining node receives no new work
+        #: and is deregistered (``drained``) once its backlog empties.
+        self.draining = False
+        self.drained = False
+        #: cursor into the fleet cache's append-only digest log — how
+        #: far this connection's dedup broadcast has caught up.
+        self.digest_cursor = 0
         #: load accounting from the node's heartbeats.
         self.executed = 0
         self.busy_seconds = 0.0
@@ -242,6 +284,15 @@ class SocketFabric:
     work; it must comfortably exceed the nodes' heartbeat interval.
     ``ready_timeout`` bounds how long a dispatch will wait with *zero*
     live nodes before failing the round.
+
+    ``allow_join=False`` seals the fleet at first dispatch: a *new*
+    node name registering mid-campaign is refused with an ``error``
+    frame (a returning node — same name — may always re-register;
+    reconnects are not joins).  ``fleet_cache`` attaches a
+    :class:`~repro.cluster.fleet.FleetResultCache` enabling
+    manager-side dedup of duplicate scenarios plus the digest
+    broadcast to v3 nodes; it is opt-in because it changes *load*
+    accounting (dedup hits execute nowhere), never results.
     """
 
     def __init__(
@@ -254,6 +305,8 @@ class SocketFabric:
         heartbeat_timeout: float = 10.0,
         handshake_timeout: float = 5.0,
         partitioner: SensitivityPartitioner | None = None,
+        allow_join: bool = True,
+        fleet_cache: FleetResultCache | None = None,
         clock: Callable[[], float] = time.monotonic,
     ) -> None:
         if expected_nodes < 1:
@@ -271,6 +324,12 @@ class SocketFabric:
             liveness_timeout=heartbeat_timeout, clock=clock
         )
         self.partitioner = partitioner or SensitivityPartitioner()
+        self.allow_join = allow_join
+        self.fleet_cache = fleet_cache
+        #: per-node seconds-per-test EWMA, fed from absorbed reports'
+        #: ``cost`` — ranks work-stealing victims by estimated
+        #: remaining time, not just queue depth.
+        self.latency = NodeLatencyTracker()
         self._clock = clock
         self._cond = threading.Condition()
         self._nodes: dict[str, _NodeConnection] = {}
@@ -279,6 +338,14 @@ class SocketFabric:
         self._reports: dict[int, TestReport] = {}
         self._round: "_Round | None" = None
         self._closed = False
+        self._dispatched = False
+        #: every node name that ever registered — distinguishes a
+        #: returning node (reconnect) from a genuine mid-campaign join.
+        self._seen_names: set[str] = set()
+        #: ids stolen once already — never re-stolen (no ping-pong; a
+        #: chunk is reassigned at most once per requeue, mirroring the
+        #: requeue-to-front rule).
+        self._stolen_once: set[int] = set()
         #: wire accounting (exported by :meth:`bind_metrics`).
         self.bytes_in = 0
         self.bytes_out = 0
@@ -294,6 +361,17 @@ class SocketFabric:
         self.late_reports = 0
         #: total registrations, counting every re-registration.
         self.registrations = 0
+        #: requests reassigned from a loaded node to an idle one.
+        self.stolen = 0
+        #: stolen requests the victim executed anyway (revocation race);
+        #: resolved first-report-wins, so this counts wasted work only.
+        self.steal_duplicates = 0
+        #: nodes that drained and deregistered gracefully (not deaths).
+        self.graceful_leaves = 0
+        #: new node names registered after the first dispatch.
+        self.mid_campaign_joins = 0
+        #: requests answered from the fleet cache without dispatching.
+        self.fleet_dedup_hits = 0
 
         host, port = parse_endpoint(listen)
         self._server = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
@@ -349,6 +427,7 @@ class SocketFabric:
                 self._round.abandoned = True
                 self._cond.notify_all()
             round_ = self._round = _Round({r.request_id for r in requests})
+            self._dispatched = True
             self.health.dispatches += 1
             self.health.requests += len(requests)
             # Requests already in flight from a superseded round keep
@@ -359,13 +438,38 @@ class SocketFabric:
                 rid: r for rid, r in self._pending.items()
                 if rid in round_.ids
             }
+            self._stolen_once &= set(self._pending)
+            for n in self._nodes.values():
+                n.stolen_away &= set(self._pending)
+            # A request is fresh unless a superseded round left it in
+            # flight (still in ``_pending``).  An id sitting in a
+            # node's ``assigned`` dict but *not* in ``_pending`` is a
+            # zombie: its round already completed through the other
+            # side of a steal race, nobody is waiting for the node's
+            # eventual late report, and trusting it here would leave
+            # this round waiting forever.
             fresh = [
                 r for r in requests
                 if r.request_id not in self._pending
                 and r.request_id not in self._reports
-                and not any(r.request_id in n.assigned
-                            for n in self._nodes.values())
             ]
+            if self.fleet_cache is not None:
+                # Fleet-wide dedup: a scenario completed anywhere in
+                # the fleet is answered from the manager's cache and
+                # never dispatched.  The synthesized report is what a
+                # deterministic re-execution would produce, so the
+                # history digest cannot move.
+                executable: list[TestRequest] = []
+                for r in fresh:
+                    synthesized = self.fleet_cache.synthesize(r)
+                    if synthesized is None:
+                        executable.append(r)
+                        continue
+                    self.fleet_dedup_hits += 1
+                    self.partitioner.observe(r, synthesized)
+                    self._reports[r.request_id] = synthesized
+                    self.health.completed += 1
+                fresh = executable
             self._pending.update({r.request_id: r for r in fresh})
             wanted = deque(
                 r for r in self._unassigned if r.request_id in round_.ids
@@ -484,9 +588,31 @@ class SocketFabric:
                     "in_flight": len(n.assigned),
                     "executed": n.executed,
                     "busy_seconds": n.busy_seconds,
+                    "draining": n.draining or n.drained,
+                    "per_test_seconds":
+                        self.latency.per_test_seconds(n.name),
                 }
                 for n in self._nodes.values() if not n.retired
             ]
+
+    def fleet_stats(self) -> dict[str, object]:
+        """Elastic-fleet accounting: stealing, membership, dedup."""
+        with self._cond:
+            stats: dict[str, object] = {
+                "nodes": sum(
+                    1 for n in self._nodes.values() if not n.retired
+                ),
+                "stolen": self.stolen,
+                "steal_duplicates": self.steal_duplicates,
+                "requeued": self.requeued,
+                "graceful_leaves": self.graceful_leaves,
+                "mid_campaign_joins": self.mid_campaign_joins,
+                "fleet_dedup_hits": self.fleet_dedup_hits,
+                "per_test_seconds": self.latency.stats(),
+            }
+        if self.fleet_cache is not None:
+            stats["dedup"] = self.fleet_cache.stats()
+        return stats
 
     def bind_metrics(self, registry: "object") -> None:
         """Export wire/fleet gauges into a metrics registry snapshot.
@@ -516,6 +642,17 @@ class SocketFabric:
                 reg.gauge("fabric.net.requeued").set(self.requeued)
                 reg.gauge("fabric.net.late_reports").set(self.late_reports)
                 reg.gauge("fabric.net.registrations").set(self.registrations)
+                reg.gauge("fabric.net.stolen").set(self.stolen)
+                reg.gauge("fabric.net.steal_duplicates").set(
+                    self.steal_duplicates
+                )
+                reg.gauge("fabric.net.graceful_leaves").set(
+                    self.graceful_leaves
+                )
+                reg.gauge("fabric.net.mid_campaign_joins").set(
+                    self.mid_campaign_joins
+                )
+                reg.gauge("fabric.net.dedup_hits").set(self.fleet_dedup_hits)
                 reg.gauge("fabric.dispatch.encode_seconds").set(
                     self.encode_seconds
                 )
@@ -531,6 +668,12 @@ class SocketFabric:
                 reg.gauge(
                     "fabric.worker_executed", worker=str(s["node"])
                 ).set(int(s["executed"]))
+                per_test = s["per_test_seconds"]
+                if per_test is not None:
+                    reg.gauge(
+                        "fabric.node.per_test_seconds",
+                        worker=str(s["node"]),
+                    ).set(float(per_test))  # type: ignore[arg-type]
 
         registry.register_collector(_collect)  # type: ignore[attr-defined]
 
@@ -664,6 +807,23 @@ class SocketFabric:
                 node.retired = True
                 _close_socket(sock)
                 return None
+            returning = node.name in self._seen_names
+            if self._dispatched and not returning and not self.allow_join:
+                # The fleet is sealed: a *new* name mid-campaign is a
+                # join, and joins were not allowed.  A returning node
+                # (same name) is a reconnect and always welcome.
+                refusal = (
+                    f"fleet is sealed: node {node.name!r} is a "
+                    "mid-campaign join and the manager was started "
+                    "without --allow-join"
+                )
+                node.retired = True
+                try:
+                    send_frame(sock, {"type": "error", "reason": refusal})
+                except OSError:
+                    pass
+                _close_socket(sock)
+                return None
             stale = self._nodes.get(node.name)
             if stale is not None:
                 # Idempotent re-registration: the node came back before
@@ -672,6 +832,16 @@ class SocketFabric:
                 self._retire_locked(stale)
                 stale.outbox.put(_CLOSE)
                 _close_socket(stale.sock)
+            if self._dispatched and not returning:
+                # A genuine mid-campaign join: re-slice the remaining
+                # queue so the joiner pulls a coherent region of the
+                # fault space instead of the old plan's leftovers.
+                self.mid_campaign_joins += 1
+                if self._unassigned:
+                    self._unassigned = deque(
+                        self.partitioner.arrange(list(self._unassigned))
+                    )
+            self._seen_names.add(node.name)
             self._nodes[node.name] = node
             self.registrations += 1
             # Manager-side stamp: node clocks are not comparable here.
@@ -690,9 +860,20 @@ class SocketFabric:
                 return False
             with self._cond:
                 node.slots = min(slots, node.capacity)
+                self._flush_digests_locked(node)
                 assigned = self._fill_nodes_locked()
                 if not assigned:
                     node.enqueue({"type": "idle"})
+            return True
+        if kind == "drain":
+            # Graceful leave (v3): stop feeding this node; deregister
+            # it once its backlog empties.  Deliberately distinct from
+            # crash detection — no requeue, no worker_death, and the
+            # HeartbeatMonitor plays no part.
+            with self._cond:
+                if not node.drained:
+                    node.draining = True
+                    self._maybe_finish_drain_locked(node)
             return True
         if kind == "report":
             try:
@@ -733,25 +914,57 @@ class SocketFabric:
         # compatibility within a protocol version.
         return True
 
-    def _absorb_report(self, node: _NodeConnection, report: TestReport) -> None:
-        with self._cond:
-            request = node.assigned.pop(report.request_id, None)
-            if request is None:
-                # Not addressed to in-flight work from this node: either
-                # a stale duplicate or a fabricated id.
+    def _absorb_one_locked(
+        self, node: _NodeConnection, report: TestReport
+    ) -> None:
+        """Classify and absorb one report (first-report-wins on steals)."""
+        rid = report.request_id
+        request = node.assigned.pop(rid, None)
+        if request is None:
+            if rid not in node.stolen_away:
+                # Not addressed to in-flight work from this node:
+                # either a stale duplicate or a fabricated id.
                 self.health.corrupt_reports += 1
                 return
-            if report.request_id not in self._pending:
-                # Legitimate but late: its round moved on and dropped
-                # the request.  Discard — late reports never
-                # double-account (same rule as FaultTolerantFabric).
+            # The victim raced the steal frame and executed anyway.
+            # Its report is as good as the thief's (determinism), so
+            # the first to arrive wins; the loser is counted as pure
+            # waste, never double-absorbed.
+            node.stolen_away.discard(rid)
+            request = self._pending.get(rid)
+            if request is None:
                 self.late_reports += 1
                 return
-            self.partitioner.observe(request, report)
-            self._reports[report.request_id] = report
-            node.executed += 1
-            node.busy_seconds += report.cost
-            self.health.completed += 1
+        elif rid not in self._pending:
+            # Legitimate but late: its round moved on and dropped
+            # the request.  Discard — late reports never
+            # double-account (same rule as FaultTolerantFabric).
+            self.late_reports += 1
+            return
+        elif self._pending[rid] != request:
+            # A zombie from an earlier round: the id was reused for a
+            # *different* request after this node's round completed
+            # behind its back (steal race, first report won).  The
+            # node executed the old request — absorbing its report
+            # for the new one would record the wrong result.
+            self.late_reports += 1
+            return
+        if rid in self._reports:
+            self.steal_duplicates += 1
+            return
+        self.partitioner.observe(request, report)
+        if self.fleet_cache is not None:
+            self.fleet_cache.record(request, report)
+        self._reports[rid] = report
+        node.executed += 1
+        node.busy_seconds += report.cost
+        self.latency.observe(node.name, 1, report.cost)
+        self.health.completed += 1
+
+    def _absorb_report(self, node: _NodeConnection, report: TestReport) -> None:
+        with self._cond:
+            self._absorb_one_locked(node, report)
+            self._maybe_finish_drain_locked(node)
             self._cond.notify_all()
 
     def _absorb_report_batch(
@@ -769,21 +982,12 @@ class SocketFabric:
         """
         with self._cond:
             for report in reports:
-                request = node.assigned.pop(report.request_id, None)
-                if request is None:
-                    self.health.corrupt_reports += 1
-                    continue
-                if report.request_id not in self._pending:
-                    self.late_reports += 1
-                    continue
-                self.partitioner.observe(request, report)
-                self._reports[report.request_id] = report
-                node.executed += 1
-                node.busy_seconds += report.cost
-                self.health.completed += 1
+                self._absorb_one_locked(node, report)
             if slots is not None and not node.retired:
                 node.slots = min(slots, node.capacity)
+                self._flush_digests_locked(node)
                 self._fill_nodes_locked()
+            self._maybe_finish_drain_locked(node)
             self._cond.notify_all()
 
     def _writer_loop(self, node: _NodeConnection) -> None:
@@ -803,13 +1007,38 @@ class SocketFabric:
 
     # -- internals: scheduling (all called with self._cond held) ---------------
 
+    def _send_chunk_locked(
+        self, node: _NodeConnection, chunk: list[TestRequest]
+    ) -> None:
+        """Assign ``chunk`` to ``node`` and enqueue the work frame."""
+        node.slots -= len(chunk)
+        node.assigned.update({r.request_id: r for r in chunk})
+        self._flush_digests_locked(node)
+        started = time.perf_counter()
+        if node.version >= 2:
+            # The whole chunk is packed once, into one binary frame.
+            data = encode_work_frame(chunk)
+        else:
+            data = encode_frame({
+                "type": "work",
+                "requests": [request_to_wire(r) for r in chunk],
+            })
+        self.encode_seconds += time.perf_counter() - started
+        node.enqueue_raw(data)
+
     def _fill_nodes_locked(self) -> int:
-        """Hand queued work to nodes with free slots; returns count sent."""
+        """Hand queued work to nodes with free slots; returns count sent.
+
+        When the queue drains while credit is still outstanding, the
+        leftover slots turn into work-stealing: backlog is reassigned
+        from the most-loaded node instead of idling the fleet's tail.
+        """
         sent = 0
-        if not self._unassigned:
-            return sent
         live = sorted(
-            (n for n in self._nodes.values() if not n.retired and n.slots > 0),
+            (
+                n for n in self._nodes.values()
+                if not n.retired and not n.draining and n.slots > 0
+            ),
             key=lambda n: n.name,
         )
         for node in live:
@@ -820,21 +1049,99 @@ class SocketFabric:
                 chunk.append(self._unassigned.popleft())
             if not chunk:
                 continue
-            node.slots -= len(chunk)
-            node.assigned.update({r.request_id: r for r in chunk})
-            started = time.perf_counter()
-            if node.version >= 2:
-                # The whole chunk is packed once, into one binary frame.
-                data = encode_work_frame(chunk)
-            else:
-                data = encode_frame({
-                    "type": "work",
-                    "requests": [request_to_wire(r) for r in chunk],
-                })
-            self.encode_seconds += time.perf_counter() - started
-            node.enqueue_raw(data)
+            self._send_chunk_locked(node, chunk)
             sent += len(chunk)
+        if not self._unassigned and self._round is not None:
+            sent += self._steal_locked()
         return sent
+
+    def _steal_locked(self) -> int:
+        """Reassign backlog from loaded nodes to idle slots.
+
+        The victim is the live node with the longest *estimated
+        remaining time* (backlog × per-node EWMA latency) among those
+        with at least two stealable requests — the head of its queue is
+        left alone because it is most likely already executing.  Only
+        v3 victims qualify: the steal is announced with a ``steal``
+        frame so the victim skips the revoked ids, and an older node
+        cannot be relied on to honor one.  Each id is stolen at most
+        once (no ping-pong between a fast pair of nodes).
+        """
+        moved = 0
+        thieves = sorted(
+            (
+                n for n in self._nodes.values()
+                if not n.retired and not n.draining and n.slots > 0
+            ),
+            key=lambda n: n.name,
+        )
+        for thief in thieves:
+            while thief.slots > 0:
+                victim = self._steal_victim_locked(thief)
+                if victim is None:
+                    break
+                stealable = [
+                    rid for rid in victim.assigned
+                    if rid in self._pending and rid not in self._stolen_once
+                ]
+                take = min(thief.slots, len(stealable) - 1)
+                if take <= 0:
+                    break
+                ids = stealable[-take:]
+                chunk = [victim.assigned.pop(rid) for rid in ids]
+                victim.stolen_away.update(ids)
+                self._stolen_once.update(ids)
+                # Revoke at the victim *before* the thief's work frame
+                # is even queued: the victim is grinding serially, so
+                # every skipped id is a whole execution saved.
+                victim.enqueue({"type": "steal", "ids": ids})
+                self._send_chunk_locked(thief, chunk)
+                self.stolen += len(chunk)
+                moved += len(chunk)
+        return moved
+
+    def _steal_victim_locked(
+        self, thief: _NodeConnection
+    ) -> _NodeConnection | None:
+        """The node worth stealing from, by estimated remaining time."""
+        best: _NodeConnection | None = None
+        best_estimate = 0.0
+        for node in self._nodes.values():
+            if node.retired or node is thief or node.version < 3:
+                continue
+            backlog = sum(
+                1 for rid in node.assigned
+                if rid in self._pending and rid not in self._stolen_once
+            )
+            if backlog < 2:
+                continue
+            estimate = self.latency.estimate(node.name, backlog)
+            if best is None or estimate > best_estimate:
+                best, best_estimate = node, estimate
+        return best
+
+    def _flush_digests_locked(self, node: _NodeConnection) -> None:
+        """Piggyback newly recorded dedup digests onto this credit."""
+        if self.fleet_cache is None or node.version < 3 or node.retired:
+            return
+        cursor, batch = self.fleet_cache.digests_since(node.digest_cursor)
+        node.digest_cursor = cursor
+        for start in range(0, len(batch), 512):
+            node.enqueue({
+                "type": "digests",
+                "digests": batch[start:start + 512],
+            })
+
+    def _maybe_finish_drain_locked(self, node: _NodeConnection) -> None:
+        """Deregister a draining node whose backlog has emptied."""
+        if not node.draining or node.drained or node.retired:
+            return
+        if node.assigned:
+            return
+        node.drained = True
+        node.enqueue({"type": "shutdown", "reason": "drained"})
+        self.graceful_leaves += 1
+        self.health.graceful_exits += 1
 
     def _retire_locked(self, node: _NodeConnection) -> None:
         """Drop a connection; requeue its in-flight work (idempotent)."""
@@ -843,10 +1150,15 @@ class SocketFabric:
         node.retired = True
         if self._nodes.get(node.name) is node:
             del self._nodes[node.name]
+            self.latency.forget(node.name)
         stranded = [
             r for rid, r in node.assigned.items() if rid in self._pending
         ]
         node.assigned.clear()
+        # Stolen-away ids belong to their thief now; losing the victim
+        # must not requeue them (that would be the double-dispatch the
+        # first-report-wins rule exists to prevent).
+        node.stolen_away.clear()
         if stranded:
             # Requeue at the front: stranded work is the round's
             # critical path.
@@ -908,6 +1220,16 @@ class ExplorerNode:
     A ``shutdown`` frame ends :meth:`run` gracefully.  The attempt
     counter resets after every successful registration, so a bounded
     policy limits *consecutive* failures, not lifetime reconnects.
+
+    Elastic-fleet behaviour on a v3 connection: the node honors
+    ``steal`` frames by *skipping* revoked requests (polled between
+    tests, so a steal lands mid-chunk), accumulates the fleet's dedup
+    digests from ``digests`` broadcasts, and leaves gracefully via
+    :meth:`request_drain` — or automatically after ``drain_after``
+    executed tests — by sending a ``drain`` frame and waiting for the
+    manager's ``shutdown``.  ``cache`` attaches a node-local
+    :class:`~repro.core.cache.ResultCache` so re-executions (manager
+    restart, requeue races) replay for free.
     """
 
     def __init__(
@@ -922,6 +1244,8 @@ class ExplorerNode:
         heartbeat_interval: float = 1.0,
         connect_timeout: float = 5.0,
         wire_version: int = PROTOCOL_VERSION,
+        cache: ResultCache | None = None,
+        drain_after: int | None = None,
         sleep: Callable[[float], None] = time.sleep,
     ) -> None:
         if capacity < 1 or capacity > _MAX_CAPACITY:
@@ -955,15 +1279,31 @@ class ExplorerNode:
         self.wire_version = wire_version
         #: the version actually agreed with the current manager.
         self._negotiated = MIN_PROTOCOL_VERSION
+        if drain_after is not None and drain_after < 1:
+            raise ClusterError(
+                f"drain_after must be >= 1 tests, got {drain_after}"
+            )
+        self.cache = cache
+        self.drain_after = drain_after
         self._sleep = sleep
         self._rng = random.Random(0)
         self._stop = threading.Event()
+        self._drain = threading.Event()
+        self._drain_sent = False
         self._sock: socket.socket | None = None
         self._sock_lock = threading.Lock()
         self._manager: NodeManager | None = None
+        #: ids revoked by ``steal`` frames — skipped, not executed.
+        self._revoked: set[int] = set()
+        #: fleet-wide dedup digests learned from ``digests`` broadcasts.
+        self.known_digests: set[str] = set()
         #: lifetime counters, surfaced by the CLI banner.
         self.executed = 0
         self.connections = 0
+        #: revoked requests this node skipped (work saved by a steal).
+        self.stolen_skipped = 0
+        #: executed requests whose digest the fleet had already seen.
+        self.dedup_known = 0
 
     # -- lifecycle -------------------------------------------------------------
 
@@ -1041,10 +1381,30 @@ class ExplorerNode:
             if self._sock is not None:
                 _close_socket(self._sock)
 
+    def request_drain(self) -> None:
+        """Leave the fleet gracefully: finish the backlog, then exit.
+
+        Sends a ``drain`` frame (on the next serve-loop or heartbeat
+        tick) telling the manager to stop feeding this node and to
+        deregister it once its in-flight work is absorbed; the manager
+        answers with a ``shutdown`` frame and :meth:`run` returns.
+        Unlike :meth:`stop`, nothing is abandoned and nothing gets
+        requeued — the distinction between *leaving* and *dying*.
+        Requires a v3 manager; on an older negotiated connection the
+        request stays pending until the node next talks to one.
+        """
+        self._drain.set()
+
     # -- one connected session -------------------------------------------------
 
     def _serve(self, sock: socket.socket) -> tuple[bool, bool]:
         """One session; returns (registered, finished-for-good)."""
+        # Revocations are scoped to the manager session that issued
+        # them: a connection that died mid-chunk skipped the usual
+        # end-of-chunk reset, and honoring its leftovers against a
+        # restarted manager (which reuses request ids) would silently
+        # swallow fresh work.
+        self._revoked.clear()
         write_lock = threading.Lock()
 
         def _send(message: dict) -> None:
@@ -1087,6 +1447,7 @@ class ExplorerNode:
             )
         self._negotiated = agreed
         self.connections += 1
+        self._drain_sent = False
         sock.settimeout(None)
         hb_stop = threading.Event()
         hb_thread = threading.Thread(
@@ -1094,15 +1455,20 @@ class ExplorerNode:
             name=f"{self.name}-heartbeat", daemon=True,
         )
         hb_thread.start()
+        #: frames drained off the socket mid-chunk (while polling for
+        #: steal revocations) that the main loop must still handle.
+        inbox: deque[dict] = deque()
         try:
             _send({"type": "ready", "slots": self.capacity})
+            self._maybe_send_drain(_send)
             while True:
-                message = recv_frame(sock)
+                message = inbox.popleft() if inbox else recv_frame(sock)
                 if message is None:
                     return True, False  # manager dropped: reconnect
                 kind = message.get("type")
                 if kind == "work":
-                    self._execute_chunk(message, _send, _send_raw)
+                    self._execute_chunk(message, _send, _send_raw,
+                                        sock, inbox)
                     if self._stop.is_set():
                         return True, True
                     if self._negotiated < 2:
@@ -1110,6 +1476,14 @@ class ExplorerNode:
                         # batch; only the v1 data plane needs the
                         # separate ready frame.
                         _send({"type": "ready", "slots": self.capacity})
+                    self._maybe_send_drain(_send)
+                elif kind == "steal":
+                    # Between chunks a revocation is usually stale (the
+                    # chunk already reported), but a queued work frame
+                    # may still be behind it in the socket buffer.
+                    self._absorb_steal(message)
+                elif kind == "digests":
+                    self._absorb_digests(message)
                 elif kind == "shutdown":
                     try:
                         _send({"type": "bye"})
@@ -1117,25 +1491,82 @@ class ExplorerNode:
                         pass
                     return True, True
                 elif kind == "idle":
-                    continue
+                    self._maybe_send_drain(_send)
                 else:
                     continue  # forward compatibility
         finally:
             hb_stop.set()
             hb_thread.join(timeout=1.0)
 
+    def _maybe_send_drain(self, send: Callable[[dict], None]) -> None:
+        """Emit the graceful-leave frame once per drained session."""
+        if not self._drain.is_set() or self._drain_sent:
+            return
+        if self._negotiated < 3:
+            return  # an older manager has no drain path; stay pending
+        self._drain_sent = True
+        send({"type": "drain", "node": self.name})
+
+    def _absorb_steal(self, message: dict) -> None:
+        ids = message.get("ids")
+        if isinstance(ids, list):
+            self._revoked.update(
+                i for i in ids
+                if isinstance(i, int) and not isinstance(i, bool)
+            )
+
+    def _absorb_digests(self, message: dict) -> None:
+        digests = message.get("digests")
+        if isinstance(digests, list):
+            self.known_digests.update(
+                d for d in digests if isinstance(d, str)
+            )
+
+    def _poll_control(self, sock: socket.socket, inbox: deque) -> None:
+        """Drain control frames already buffered on the socket.
+
+        Called between tests inside a chunk so a ``steal`` revocation
+        can still save the remaining stolen executions; any other frame
+        is stashed for the main serve loop.  Zero-timeout select: this
+        never blocks the executor.
+        """
+        if self._negotiated < 3:
+            return
+        while True:
+            try:
+                readable, _, _ = select.select([sock], [], [], 0)
+            except (OSError, ValueError):  # pragma: no cover - closing
+                return
+            if not readable:
+                return
+            message = recv_frame(sock)
+            if message is None:
+                raise OSError("manager closed mid-chunk")
+            kind = message.get("type")
+            if kind == "steal":
+                self._absorb_steal(message)
+            elif kind == "digests":
+                self._absorb_digests(message)
+            else:
+                inbox.append(message)
+
     def _execute_chunk(
         self,
         message: dict,
         send: Callable[[dict], None],
         send_raw: Callable[[bytes], None],
+        sock: socket.socket | None = None,
+        inbox: deque | None = None,
     ) -> None:
         """Run every request in a work frame and report the results.
 
         Over the v1 data plane each report streams back as its own JSON
         frame; over v2 the whole chunk's reports coalesce into a single
         binary ``report_batch`` frame that also carries the node's
-        refreshed slot count.
+        refreshed slot count.  On a v3 connection the socket is polled
+        between tests so a ``steal`` revocation arriving mid-chunk
+        skips the remaining stolen executions instead of duplicating
+        them on the thief.
         """
         payloads = message.get("requests")
         if not isinstance(payloads, list):
@@ -1148,10 +1579,24 @@ class ExplorerNode:
                     payload if isinstance(payload, TestRequest)
                     else request_from_wire(payload)
                 )
+                if sock is not None and inbox is not None:
+                    self._poll_control(sock, inbox)
+                if request.request_id in self._revoked:
+                    self._revoked.discard(request.request_id)
+                    self.stolen_skipped += 1
+                    continue
+                if self.known_digests and scenario_digest(
+                    request.subspace, request.scenario
+                ) in self.known_digests:
+                    self.dedup_known += 1
                 reports.append(manager.execute(request))
                 self.executed += 1
+                if self.drain_after is not None \
+                        and self.executed >= self.drain_after:
+                    self._drain.set()
                 if self._stop.is_set():
                     break
+            self._revoked.clear()  # nothing outstanding past this chunk
             send_raw(encode_report_frame(reports, slots=self.capacity))
             return
         for payload in payloads:
@@ -1161,6 +1606,9 @@ class ExplorerNode:
             )
             report = manager.execute(request)
             self.executed += 1
+            if self.drain_after is not None \
+                    and self.executed >= self.drain_after:
+                self._drain.set()
             send({"type": "report", "report": report_to_wire(report)})
             if self._stop.is_set():
                 return
@@ -1171,6 +1619,10 @@ class ExplorerNode:
         while not stop.wait(self.heartbeat_interval):
             manager = self._manager
             try:
+                # The serve loop usually sends the drain frame itself;
+                # this covers request_drain() from another thread while
+                # the node sits idle in recv_frame.
+                self._maybe_send_drain(send)
                 send({
                     "type": "heartbeat",
                     "node": self.name,
@@ -1192,6 +1644,7 @@ class ExplorerNode:
             self._manager = NodeManager(
                 self.name, self.target_factory(),
                 step_budget=self.step_budget,
+                cache=self.cache,
             )
         return self._manager
 

@@ -40,6 +40,10 @@ Message types (direction, purpose):
 ``report``        node → manager  v1: one completed :class:`TestReport`
 ``report_batch``  node → manager  v2: N packed reports + free-slot count
 ``heartbeat``     node → manager  liveness + load accounting
+``drain``         node → manager  v3: graceful leave — stop feeding me, retire
+                                  me once my in-flight backlog empties
+``steal``         manager → node  v3: revoke ``ids`` reassigned to another node
+``digests``       manager → node  v3: fleet result-cache digests (dedup sync)
 ``shutdown``      manager → node  campaign over: drain in-flight work and exit
 ``bye``           node → manager  graceful disconnect
 ================  ==============  ==============================================
@@ -112,9 +116,13 @@ __all__ = [
     "parse_endpoint",
 ]
 
-#: the highest protocol version this build speaks (the binary data
-#: plane); bump on any incompatible change to framing or schemas.
-PROTOCOL_VERSION = 2
+#: the highest protocol version this build speaks; bump on any
+#: incompatible change to framing or schemas.  v2 introduced the binary
+#: data plane; v3 keeps it and adds the elastic-fleet JSON control
+#: frames (``drain``, ``steal``, ``digests``) — still gated on the
+#: negotiated version because a v2 peer, although it would *ignore* an
+#: unknown well-framed type, must never be relied on to act on one.
+PROTOCOL_VERSION = 3
 
 #: the lowest version this build still interoperates with (the v1 JSON
 #: data plane is kept alive for mixed fleets during a rolling upgrade).

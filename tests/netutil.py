@@ -1,0 +1,35 @@
+"""Shared network helpers for the socket-fabric test suites.
+
+The pattern everywhere is "bind port 0, read back the real port": the
+kernel picks a free ephemeral port, so parallel test runs never race
+over a hard-coded number.  :func:`free_port` reserves one for tests
+that need to know the port *before* a listener exists (e.g. a manager
+restart that must come back on the same endpoint), and
+:func:`endpoint` formats it the way ``SocketFabric`` expects.
+"""
+
+from __future__ import annotations
+
+import socket
+
+__all__ = ["endpoint", "free_port"]
+
+
+def free_port(host: str = "127.0.0.1") -> int:
+    """Reserve an ephemeral port and return its number.
+
+    The probe socket is closed before returning, so there is a window
+    in which another process could grab the port — fine for tests on a
+    loopback interface, where the only competitors are our own
+    fixtures.  ``SO_REUSEADDR`` keeps a lingering TIME_WAIT entry from
+    a previous test from failing the re-bind.
+    """
+    with socket.socket() as probe:
+        probe.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        probe.bind((host, 0))
+        return probe.getsockname()[1]
+
+
+def endpoint(port: int = 0, host: str = "127.0.0.1") -> str:
+    """Format ``host:port`` the way ``SocketFabric`` parses it."""
+    return f"{host}:{port}"

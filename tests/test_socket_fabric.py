@@ -50,6 +50,8 @@ from repro.core.targets import IterationBudget
 from repro.errors import ClusterError
 from repro.sim.targets.minidb import MiniDbTarget
 
+from tests.netutil import free_port
+
 
 def make_request(i: int, **scenario) -> ClusterTestRequest:
     scenario = scenario or {"test": 1 + (i % 3), "function": "read", "call": 0}
@@ -392,10 +394,7 @@ class TestNodeFailure:
     def test_node_gives_up_after_consecutive_connect_failures(self):
         # Point a node at a port nothing listens on: bounded retries,
         # then ClusterError.
-        probe = socket.socket()
-        probe.bind(("127.0.0.1", 0))
-        port = probe.getsockname()[1]
-        probe.close()
+        port = free_port()
         node = ExplorerNode(
             ("127.0.0.1", port), MiniDbTarget, name="lost",
             reconnect_policy=RetryPolicy(
@@ -663,6 +662,15 @@ class TestObservability:
         stats = net.node_stats()
         assert sorted(s["node"] for s in stats) == ["n0", "n1"]
         assert sum(s["executed"] for s in stats) == 8
+        # A steal race can leave the losing side still finishing a
+        # test the round no longer needs; that in-flight remnant
+        # drains as soon as its (discarded) report lands.
+        deadline = time.monotonic() + 5.0
+        while time.monotonic() < deadline:
+            stats = net.node_stats()
+            if all(s["in_flight"] == 0 for s in stats):
+                break
+            time.sleep(0.01)
         assert all(s["in_flight"] == 0 for s in stats)
 
     def test_describe_mentions_endpoint_and_protocol(self, fleet):

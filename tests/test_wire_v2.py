@@ -214,15 +214,18 @@ class TestNegotiation:
     @pytest.mark.parametrize(
         ("hello", "agreed"),
         [
-            # A current node: meets in the middle at v2.
+            # A current node: agrees on v3 outright.
+            ({"version": 3, "min_version": 1}, 3),
+            ({"version": 3, "min_version": 3}, 3),
+            # A v2 node from before the fleet frames: meets at v2.
             ({"version": 2, "min_version": 1}, 2),
             ({"version": 2, "min_version": 2}, 2),
             # A v1 legacy node (its hello predates min_version).
             ({"version": 1}, 1),
             ({"version": 1, "min_version": 1}, 1),
             # A future node that still speaks down to something we know.
-            ({"version": 9, "min_version": 1}, 2),
-            ({"version": 9, "min_version": 2}, 2),
+            ({"version": 9, "min_version": 1}, 3),
+            ({"version": 9, "min_version": 2}, 3),
             # A future node that refuses to speak anything we know.
             ({"version": 9, "min_version": 9}, None),
             ({"version": 9}, None),
@@ -240,7 +243,7 @@ class TestNegotiation:
 
     def test_constants_are_sane(self):
         assert MIN_PROTOCOL_VERSION == 1
-        assert PROTOCOL_VERSION == 2
+        assert PROTOCOL_VERSION == 3
 
 
 # -- hostile frames -----------------------------------------------------------
