@@ -1,0 +1,135 @@
+"""Fault-model plugin overhead: the abstraction must be ~free.
+
+The errno model refactor put every libc campaign behind the
+:class:`~repro.injection.models.ModelInjector` indirection, and the
+world hooks put a ``None`` check on the filesystem/heap/network hot
+paths.  This bench measures what that costs on Φ_coreutils and writes
+``BENCH_models.json`` at the repo root:
+
+1. **Plan-compilation overhead** — campaign throughput under the
+   historical ``LibFaultInjector`` vs ``ModelInjector("errno")``; the
+   digests must be byte-identical (the differential gate, measured
+   rather than asserted-only here).
+2. **Unarmed hook overhead** — the full four-model composite at its
+   no-fault points exercises every ``None`` check with no hook ever
+   armed; throughput must stay within 2x of the direct injector
+   (in practice it is far closer).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+from conftest import cores_info, run_once
+from repro.core import (
+    ExplorationSession,
+    FitnessGuidedSearch,
+    IterationBudget,
+    TargetRunner,
+    standard_impact,
+)
+from repro.core.checkpoint import history_digest
+from repro.core.faultspace import FaultSpace
+from repro.injection import LibFaultInjector
+from repro.injection.models import compose_models, model_injector, model_space
+from repro.sim.targets.coreutils import COREUTILS_FUNCTIONS, CoreutilsTarget
+from repro.util.tables import TextTable
+
+BENCH_PATH = Path(__file__).parent.parent / "BENCH_models.json"
+
+ITERATIONS = 300
+SEED = 42
+
+
+def _campaign(target, injector, space) -> tuple[float, str, int]:
+    """(tests/second, history digest, executed) for one campaign."""
+    session = ExplorationSession(
+        runner=TargetRunner(target, injector),
+        space=space,
+        metric=standard_impact(),
+        strategy=FitnessGuidedSearch(),
+        target=IterationBudget(ITERATIONS),
+        rng=SEED,
+    )
+    started = time.perf_counter()
+    results = list(session.run())
+    elapsed = time.perf_counter() - started
+    rate = len(results) / elapsed if elapsed > 0 else float("inf")
+    return rate, history_digest(results), len(results)
+
+
+def test_faultmodel_overhead(benchmark, report):
+    def experiment():
+        errno_space = FaultSpace.product(
+            test=range(1, 30), function=COREUTILS_FUNCTIONS, call=[0, 1, 2]
+        )
+        libfi_rate, libfi_digest, executed = _campaign(
+            CoreutilsTarget(), LibFaultInjector(), errno_space
+        )
+        model_rate, model_digest, _ = _campaign(
+            CoreutilsTarget(), model_injector("errno"), errno_space
+        )
+        # the composite's world-model axes pinned to their no-fault
+        # points: every run still crosses all three hook None checks.
+        target = CoreutilsTarget()
+        composite_space = (
+            model_space(target, compose_models("errno+disk+net+bitflip"))
+            .restrict_axis("test", range(1, 30))
+            .restrict_axis("disk_write", [0])
+            .restrict_axis("net_op", [0])
+            .restrict_axis("flip_access", [0])
+        )
+        composite_rate, _digest, _ = _campaign(
+            target, model_injector("errno+disk+net+bitflip"), composite_space
+        )
+        return {
+            "libfi_rate": libfi_rate,
+            "model_rate": model_rate,
+            "composite_rate": composite_rate,
+            "digest_match": libfi_digest == model_digest,
+            "digest": libfi_digest,
+            "executed": executed,
+        }
+
+    data = run_once(benchmark, experiment)
+
+    table = TextTable(
+        ["configuration", "tests/s"],
+        title=(
+            f"Fault-model plugin overhead — Φ_coreutils, "
+            f"{ITERATIONS} iterations, seed {SEED}"
+        ),
+    )
+    table.add_row(["LibFaultInjector (direct)", f"{data['libfi_rate']:.0f}"])
+    table.add_row(["ModelInjector('errno')", f"{data['model_rate']:.0f}"])
+    table.add_row(["composite, unarmed hooks", f"{data['composite_rate']:.0f}"])
+    text = (table.render()
+            + f"\ndigests identical: {data['digest_match']}"
+            + f"\nwritten to {BENCH_PATH.name}")
+    report("faultmodel_overhead", text)
+
+    payload = {
+        "experiment": "faultmodel_overhead",
+        "iterations": ITERATIONS,
+        "seed": SEED,
+        "cores": cores_info(),
+        "libfi_tests_per_second": data["libfi_rate"],
+        "model_errno_tests_per_second": data["model_rate"],
+        "composite_unarmed_tests_per_second": data["composite_rate"],
+        "model_errno_relative": data["model_rate"] / data["libfi_rate"],
+        "composite_relative": data["composite_rate"] / data["libfi_rate"],
+        "digest_match": data["digest_match"],
+        "history_digest": data["digest"],
+    }
+    BENCH_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+
+    # the refactor's keystone, measured end to end:
+    assert data["digest_match"], (
+        "ModelInjector('errno') diverged from LibFaultInjector"
+    )
+    # the plugin indirection and unarmed hooks must be near-free; 2x is
+    # a loose tripwire against an accidentally hot abstraction.
+    assert data["model_rate"] >= 0.5 * data["libfi_rate"]
+    assert data["composite_rate"] >= 0.5 * data["libfi_rate"]

@@ -104,6 +104,13 @@ def main() -> int:
         "--baseline-ref", default="HEAD",
         help="git ref holding the committed BENCH files (default: HEAD)",
     )
+    parser.add_argument(
+        "--require-cores", type=int, default=None, metavar="N",
+        help="fail unless the fresh BENCH_parallel.json was measured on "
+        "a runner with at least N usable cores; catches CI quietly "
+        "scheduling the bench job onto a single-core box, where the "
+        "pool >= serial gate degrades to a permanent loud-skip",
+    )
     args = parser.parse_args()
 
     before = {name: committed(args.baseline_ref, name) for name in FILES}
@@ -188,6 +195,15 @@ def main() -> int:
     else:
         gate = dig(par, "speedup_gate") or {}
         usable = dig(par, "cores", "usable")
+        if args.require_cores is not None and (
+            not isinstance(usable, int) or usable < args.require_cores
+        ):
+            failures.append(
+                f"runner had {fmt(usable, '{:.0f}')} usable core(s) but "
+                f"--require-cores {args.require_cores} was requested; "
+                "the pool >= serial gate never actually ran — fix the CI "
+                "runner class instead of shipping a skipped gate"
+            )
         if isinstance(gate, dict) and gate.get("skipped"):
             # A skip is only legitimate on a single-core runner.  With
             # real parallel hardware underneath, "skipped" means the

@@ -68,6 +68,12 @@ def digest_of(output: str, label: str) -> str:
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--target", default="minidb")
+    parser.add_argument(
+        "--fault-model", default="errno", metavar="SPEC",
+        help="fault-model spec for both the manager and the node "
+             "processes (e.g. 'errno+disk'); composed world models must "
+             "digest identically across fabrics just like plain errno",
+    )
     parser.add_argument("--iterations", type=int, default=200)
     parser.add_argument("--seed", type=int, default=1)
     parser.add_argument("--nodes", type=int, default=2)
@@ -109,6 +115,7 @@ def main() -> int:
 
     common = [
         "run", "--target", args.target, "--strategy", "fitness",
+        "--fault-model", args.fault_model,
         "--iterations", str(args.iterations), "--seed", str(args.seed),
         "--batch-size", str(args.batch_size), "--top", "0",
     ]
@@ -180,6 +187,7 @@ def main() -> int:
             nodes.append(subprocess.Popen(
                 [sys.executable, "-m", "repro.cli", "node",
                  "--connect", endpoint, "--target", args.target,
+                 "--fault-model", args.fault_model,
                  "--name", f"smoke{i}", "--capacity", "4",
                  *node_args, *extra],
                 stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL,

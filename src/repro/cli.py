@@ -32,7 +32,10 @@ from repro.util.tables import TextTable
 
 __all__ = ["main", "build_parser"]
 
-_TARGETS = ("coreutils", "minidb", "httpd", "docstore", "docstore-0.8", "docstore-2.0")
+_TARGETS = (
+    "coreutils", "minidb", "httpd", "docstore", "docstore-0.8", "docstore-2.0",
+    "replkv",
+)
 _STRATEGIES = ("fitness", "random", "exhaustive", "genetic")
 _FABRICS = ("serial", "threads", "processes", "virtual", "socket")
 
@@ -85,6 +88,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     run.add_argument("--max-call", type=int, default=2,
                      help="call-axis upper bound for the default space")
+    run.add_argument(
+        "--fault-model", default="errno", metavar="SPEC",
+        help="fault-model plugin spec: a registered model name or a "
+        "'+'-composition such as 'errno+disk' (composition order is "
+        "canonicalized, so 'disk+errno' is the same campaign); the "
+        "default space gains each model's axes (default: errno)",
+    )
     run.add_argument("--top", type=int, default=10,
                      help="how many top-impact faults to print")
     run.add_argument("--feedback", action="store_true",
@@ -240,6 +250,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="parallel slots this node advertises (default 4)",
     )
     node.add_argument(
+        "--fault-model", default="errno", metavar="SPEC",
+        help="fault-model plugin spec this node executes plans under; "
+        "must match the manager's --fault-model (default: errno)",
+    )
+    node.add_argument(
         "--heartbeat-interval", type=float, default=1.0, metavar="SECONDS",
         help="seconds between wire heartbeats (default 1)",
     )
@@ -273,17 +288,16 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _default_space(target, max_call: int) -> FaultSpace:
-    return FaultSpace.product(
-        test=range(1, len(target.suite) + 1),
-        function=target.libc_functions(),
-        call=range(0, max_call + 1),
-    )
+def _default_space(target, max_call: int, fault_model: str = "errno") -> FaultSpace:
+    from repro.injection.models import compose_models, model_space
+
+    return model_space(target, compose_models(fault_model), max_call=max_call)
 
 
 def _cmd_targets() -> int:
     table = TextTable(["name", "version", "tests", "functions"])
-    for name in ("coreutils", "minidb", "httpd", "docstore-0.8", "docstore-2.0"):
+    for name in ("coreutils", "minidb", "httpd", "docstore-0.8", "docstore-2.0",
+                 "replkv"):
         target = target_by_name(name)
         table.add_row(
             [name, target.version, len(target.suite), len(target.libc_functions())]
@@ -322,10 +336,11 @@ def _explore_on_fabric(args: argparse.Namespace, target, space, strategy):
         resume = load_checkpoint(args.resume)
     checkpoint_path = getattr(args, "checkpoint", None)
     checkpoint_every = getattr(args, "checkpoint_every", 0)
+    fault_model = getattr(args, "fault_model", "errno")
     checkpoint_meta = {
         "target": args.target, "strategy": args.strategy,
         "seed": args.seed, "iterations": args.iterations,
-        "fabric": fabric,
+        "fabric": fabric, "fault_model": fault_model,
     }
     metrics = tracer = None
     if (getattr(args, "profile", False) or getattr(args, "metrics_out", None)
@@ -346,10 +361,12 @@ def _explore_on_fabric(args: argparse.Namespace, target, space, strategy):
     health = None
     quality = None
     started = time.perf_counter()
+    from repro.injection.models import model_injector
+
     if fabric == "serial":
         session = ExplorationSession(
-            runner=TargetRunner(target, cache=cache,
-                                metrics=metrics, tracer=tracer),
+            runner=TargetRunner(target, model_injector(fault_model),
+                                cache=cache, metrics=metrics, tracer=tracer),
             space=space,
             metric=standard_impact(),
             strategy=strategy,
@@ -400,10 +417,12 @@ def _explore_on_fabric(args: argparse.Namespace, target, space, strategy):
             )
             wanted = args.nodes if min_nodes is None \
                 else min(min_nodes, args.nodes)
+            model_hint = (f" --fault-model {fault_model}"
+                          if fault_model != "errno" else "")
             print(f"socket fabric listening on {net.host}:{net.port}; "
                   f"waiting for {wanted} node(s) -- start each with: "
                   f"afex node --connect {net.host}:{net.port} "
-                  f"--target {args.target}")
+                  f"--target {args.target}{model_hint}")
             try:
                 registered = net.wait_for_nodes(
                     count=wanted,
@@ -422,10 +441,13 @@ def _explore_on_fabric(args: argparse.Namespace, target, space, strategy):
                 functools.partial(target_by_name, args.target),
                 workers=args.workers,
                 dispatch_deadline=deadline,
+                injector_factory=functools.partial(model_injector, fault_model),
             )
         else:
             managers = [
-                NodeManager(f"node{i}", target, cache=cache, metrics=metrics)
+                NodeManager(f"node{i}", target,
+                            injector=model_injector(fault_model),
+                            cache=cache, metrics=metrics)
                 for i in range(args.workers)
             ]
             inner = (LocalCluster(managers) if fabric == "threads"
@@ -475,12 +497,30 @@ def _cmd_run(args: argparse.Namespace) -> int:
                   "--checkpoint/--resume: replay requires a fixed "
                   "batch size")
             return 2
+    from repro.errors import InjectionError
+    from repro.injection.models import canonical_spec
+
+    try:
+        args.fault_model = canonical_spec(getattr(args, "fault_model", "errno"))
+    except InjectionError as exc:
+        print(f"--fault-model: {exc}")
+        return 2
+    if getattr(args, "resume", None):
+        from repro.core.checkpoint import load_checkpoint
+
+        meta = load_checkpoint(args.resume).meta or {}
+        recorded = meta.get("fault_model", "errno")
+        if recorded != args.fault_model:
+            print(f"--resume checkpoint was written under --fault-model "
+                  f"{recorded!r}, not {args.fault_model!r}; the campaigns "
+                  "are not comparable")
+            return 2
     target = target_by_name(args.target)
     if args.space:
         with open(args.space) as handle:
             space = parse_fault_space(handle.read())
     else:
-        space = _default_space(target, args.max_call)
+        space = _default_space(target, args.max_call, args.fault_model)
     strategy = strategy_by_name(args.strategy)
     if getattr(args, "feedback", False):
         from repro.core.search import FitnessGuidedSearch
@@ -641,11 +681,18 @@ def _cmd_node(args: argparse.Namespace) -> int:
     import functools
 
     from repro.cluster import PROTOCOL_VERSION, ExplorerNode, RetryPolicy
-    from repro.errors import ClusterError
+    from repro.errors import ClusterError, InjectionError
+    from repro.injection.models import canonical_spec, model_injector
 
+    try:
+        spec = canonical_spec(args.fault_model)
+    except InjectionError as exc:
+        print(f"--fault-model: {exc}")
+        return 2
     node = ExplorerNode(
         args.connect,
         functools.partial(target_by_name, args.target),
+        injector_factory=functools.partial(model_injector, spec),
         name=args.name,
         capacity=args.capacity,
         heartbeat_interval=args.heartbeat_interval,

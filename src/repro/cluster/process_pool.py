@@ -104,15 +104,24 @@ def _encode_factory(factory: TargetFactory) -> bytes:
     return data
 
 
-def _worker_init(factory_bytes: bytes, step_budget: int) -> None:
+def _worker_init(
+    factory_bytes: bytes,
+    step_budget: int,
+    injector_bytes: bytes | None = None,
+) -> None:
     """Runs once in each worker process; defers the expensive build.
 
     Receives the factory pre-pickled (the construction-time probe's
     bytes, shipped verbatim) so the parent never re-serializes it —
-    neither per dispatch nor per pool rebuild.
+    neither per dispatch nor per pool rebuild.  ``injector_bytes``
+    optionally carries a pickled zero-argument injector factory (e.g. a
+    fault-model stack); ``None`` keeps the default libfi injector.
     """
     _WORKER_STATE["factory"] = pickle.loads(factory_bytes)
     _WORKER_STATE["step_budget"] = step_budget
+    _WORKER_STATE["injector_factory"] = (
+        pickle.loads(injector_bytes) if injector_bytes is not None else None
+    )
     _WORKER_STATE["manager"] = None
 
 
@@ -128,9 +137,11 @@ def _worker_run_chunk(packed: bytes) -> bytes:
     manager = _WORKER_STATE.get("manager")
     if manager is None:
         factory: TargetFactory = _WORKER_STATE["factory"]  # type: ignore[assignment]
+        injector_factory = _WORKER_STATE.get("injector_factory")
         manager = NodeManager(
             f"proc-{os.getpid()}",
             factory(),
+            injector=injector_factory() if callable(injector_factory) else None,
             step_budget=int(_WORKER_STATE["step_budget"]),  # type: ignore[arg-type]
         )
         _WORKER_STATE["manager"] = manager
@@ -153,6 +164,7 @@ class ProcessPoolCluster:
         retry_policy: RetryPolicy | None = None,
         dispatch_deadline: float | None = None,
         sleep: Callable[[float], None] = time.sleep,
+        injector_factory: Callable[[], object] | None = None,
     ) -> None:
         if workers is not None and workers < 1:
             raise ClusterError(f"a process pool needs >= 1 worker, got {workers}")
@@ -161,6 +173,7 @@ class ProcessPoolCluster:
                 f"dispatch deadline must be positive, got {dispatch_deadline}"
             )
         self.target_factory = target_factory
+        self.injector_factory = injector_factory
         self.workers = workers or (os.cpu_count() or 1)
         self.step_budget = step_budget
         self.name = name
@@ -182,8 +195,13 @@ class ProcessPoolCluster:
         #: the factory's pickled bytes, probed once (and cached across
         #: constructions) — shipped to workers as the init payload.
         self._factory_bytes: bytes | None = None
+        self._injector_bytes: bytes | None = None
         try:
             self._factory_bytes = _encode_factory(target_factory)
+            if injector_factory is not None:
+                self._injector_bytes = pickle.dumps(
+                    injector_factory, protocol=pickle.HIGHEST_PROTOCOL
+                )
         except Exception as exc:
             self.fallback_reason = (
                 f"target factory is not picklable ({exc!r}); "
@@ -212,7 +230,8 @@ class ProcessPoolCluster:
                 max_workers=self.workers,
                 mp_context=context,
                 initializer=_worker_init,
-                initargs=(self._factory_bytes, self.step_budget),
+                initargs=(self._factory_bytes, self.step_budget,
+                          self._injector_bytes),
             )
         return self._executor
 
@@ -243,6 +262,8 @@ class ProcessPoolCluster:
                 NodeManager(
                     f"{self.name}-fallback{i}",
                     self.target_factory(),
+                    injector=(self.injector_factory()
+                              if self.injector_factory is not None else None),
                     step_budget=self.step_budget,
                 )
                 for i in range(self.workers)

@@ -1247,6 +1247,7 @@ class ExplorerNode:
         cache: ResultCache | None = None,
         drain_after: int | None = None,
         sleep: Callable[[float], None] = time.sleep,
+        injector_factory: Callable[[], object] | None = None,
     ) -> None:
         if capacity < 1 or capacity > _MAX_CAPACITY:
             raise ClusterError(
@@ -1285,6 +1286,9 @@ class ExplorerNode:
             )
         self.cache = cache
         self.drain_after = drain_after
+        #: optional zero-argument injector factory (e.g. a fault-model
+        #: stack); None keeps the node manager's default libfi injector.
+        self.injector_factory = injector_factory
         self._sleep = sleep
         self._rng = random.Random(0)
         self._stop = threading.Event()
@@ -1643,6 +1647,8 @@ class ExplorerNode:
         if self._manager is None:
             self._manager = NodeManager(
                 self.name, self.target_factory(),
+                injector=(self.injector_factory()
+                          if self.injector_factory is not None else None),
                 step_budget=self.step_budget,
                 cache=self.cache,
             )

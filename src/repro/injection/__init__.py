@@ -17,16 +17,40 @@ from repro.injection.libfi import (
     atomic_for,
 )
 from repro.injection.profiles import FaultProfile, fault_profile, profiled_functions
+from repro.injection.models import (
+    FaultModel,
+    ModelInjector,
+    ScenarioPlan,
+    WorldHook,
+    canonical_spec,
+    compose_models,
+    model_by_name,
+    model_injector,
+    model_space,
+    register_model,
+    registered_models,
+)
 
 __all__ = [
     "AtomicFault",
     "FaultInjector",
+    "FaultModel",
     "FaultProfile",
     "InjectionPlan",
     "InjectorRegistry",
     "LibFaultInjector",
+    "ModelInjector",
     "MultiLibFaultInjector",
+    "ScenarioPlan",
+    "WorldHook",
     "atomic_for",
+    "canonical_spec",
+    "compose_models",
     "fault_profile",
+    "model_by_name",
+    "model_injector",
+    "model_space",
     "profiled_functions",
+    "register_model",
+    "registered_models",
 ]

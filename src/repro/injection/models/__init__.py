@@ -1,0 +1,58 @@
+"""Composable fault-model plugins (see :mod:`repro.injection.models.base`).
+
+Importing this package registers the four built-in models — errno
+(rank 0), disk (1), net (2), bitflip (3) — in canonical composition
+order.
+"""
+
+from repro.injection.models.base import (
+    FaultModel,
+    ModelInjector,
+    ScenarioPlan,
+    WorldHook,
+    canonical_spec,
+    compose_models,
+    model_by_name,
+    model_injector,
+    model_space,
+    register_model,
+    registered_models,
+)
+from repro.injection.models.bitflip import BitFlipModel, BitFlipState, flip_bit
+from repro.injection.models.disk import (
+    DiskFaultModel,
+    DiskFaultState,
+    corrupt_bytes,
+    torn_bytes,
+)
+from repro.injection.models.errno_model import ErrnoFaultModel
+from repro.injection.models.net import (
+    NetFaultModel,
+    NetFaultState,
+    chaos_rates,
+)
+
+__all__ = [
+    "BitFlipModel",
+    "BitFlipState",
+    "DiskFaultModel",
+    "DiskFaultState",
+    "ErrnoFaultModel",
+    "FaultModel",
+    "ModelInjector",
+    "NetFaultModel",
+    "NetFaultState",
+    "ScenarioPlan",
+    "WorldHook",
+    "canonical_spec",
+    "chaos_rates",
+    "compose_models",
+    "corrupt_bytes",
+    "flip_bit",
+    "model_by_name",
+    "model_injector",
+    "model_space",
+    "register_model",
+    "registered_models",
+    "torn_bytes",
+]

@@ -1,0 +1,102 @@
+"""Bit-flip fault model: ZOFI-style transient flips in the sim heap.
+
+ZOFI (PAPERS.md) injects single-bit transient faults into live machine
+state and observes whether they are masked, corrupt output, or crash
+the program.  The sim analogue: every *validated* heap access funnels
+through ``Heap._checked``, so a counter there sees each load, store,
+string read, and realloc of live allocations — the Nth access gets one
+bit of its allocation's first byte flipped, then execution proceeds.
+Flips can be masked (a store immediately overwrites the byte), surface
+as silent data corruption (a KV value read back wrong), or escalate to
+crashes — exactly ZOFI's outcome taxonomy.
+
+Axes:
+
+``flip_access``
+    1-based ordinal of the checked heap access to flip at; ``0`` is the
+    explicit no-fault point.
+``flip_bit``
+    which bit (0–7) of the allocation's first byte to flip.  XORing a
+    single-bit mask is an involution — flipping twice restores the
+    byte — which the hypothesis suite proves.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from repro.errors import InjectionError
+from repro.injection.models.base import FaultModel, WorldHook, register_model
+from repro.injection.plan import AtomicFault
+
+__all__ = ["BitFlipModel", "BitFlipState", "flip_bit"]
+
+FLIP_ACCESS_AXIS = tuple(range(0, 9))
+FLIP_BITS = tuple(range(8))
+
+
+def flip_bit(data: bytearray, bit: int) -> None:
+    """Flip one bit of the first byte in place (involution; no-op on
+    empty buffers)."""
+    if data:
+        data[0] ^= 1 << (bit & 7)
+
+
+class BitFlipState:
+    """Per-run mutable state: counts checked heap accesses, flips once."""
+
+    __slots__ = ("access_number", "bit", "accesses", "fired")
+
+    def __init__(self, access_number: int, bit: int) -> None:
+        self.access_number = access_number
+        self.bit = bit
+        self.accesses = 0
+        self.fired = False
+
+    def on_access(self, data: bytearray) -> None:
+        self.accesses += 1
+        if not self.fired and self.accesses == self.access_number:
+            self.fired = True
+            flip_bit(data, self.bit)
+
+
+@dataclass(frozen=True)
+class BitFlipHook(WorldHook):
+    access_number: int
+    bit: int
+
+    def arm(self, env) -> None:
+        env.libc.heap.bitflip = BitFlipState(self.access_number, self.bit)
+
+    def disarm(self, env) -> None:
+        env.libc.heap.bitflip = None
+
+
+class BitFlipModel(FaultModel):
+    """Transient single-bit flips in live heap allocations."""
+
+    name = "bitflip"
+    rank = 3
+
+    def axes(self, target=None, max_call: int = 2) -> dict[str, Sequence[object]]:
+        return {"flip_access": FLIP_ACCESS_AXIS, "flip_bit": FLIP_BITS}
+
+    def compile(
+        self, attributes: dict[str, object]
+    ) -> tuple[tuple[AtomicFault, ...], tuple[WorldHook, ...]]:
+        number = attributes.get("flip_access")
+        if number is None:
+            raise InjectionError("bitflip model needs a 'flip_access' attribute")
+        access_number = int(number)  # type: ignore[arg-type]
+        if access_number < 0:
+            raise InjectionError(f"negative flip_access: {access_number}")
+        if access_number == 0:
+            return ((), ())
+        bit = int(attributes.get("flip_bit", 0))  # type: ignore[arg-type]
+        if not 0 <= bit <= 7:
+            raise InjectionError(f"flip_bit must be in [0, 7], got {bit}")
+        return ((), (BitFlipHook(access_number, bit),))
+
+
+register_model("bitflip", BitFlipModel)

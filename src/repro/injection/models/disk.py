@@ -1,0 +1,127 @@
+"""Disk fault model: torn writes and silent corruption in the sim FS.
+
+Real disks lie.  A torn write persists only a prefix of the data while
+the ``write(2)`` syscall still reports full success; silent corruption
+flips bits on the platter with no error at all.  Both are classic
+triggers for write-ahead-log recovery bugs — a WAL whose replay trusts
+record framing or skips checksum validation loses acknowledged data
+(the ``replkv`` target plants exactly that bug).
+
+Axes:
+
+``disk_write``
+    1-based ordinal of the filesystem write the fault hits; ``0`` is
+    the explicit no-fault point.
+``disk_mode``
+    ``"torn"`` persists only the first half of the write (the claimed
+    byte count is unchanged — the lie is the point); ``"corrupt"``
+    XORs ``0x20`` over the first bytes, preserving length.  The mask is
+    an involution, which the hypothesis suite exploits.
+
+The armed state lives on ``SimFilesystem.disk_fault`` and is consulted
+by :meth:`SimFilesystem.write`; a ``None`` check is the entire unarmed
+overhead (the ZOFI near-zero-overhead property).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from repro.errors import InjectionError
+from repro.injection.models.base import FaultModel, WorldHook, register_model
+from repro.injection.plan import AtomicFault
+
+__all__ = [
+    "DISK_MODES",
+    "DiskFaultModel",
+    "DiskFaultState",
+    "corrupt_bytes",
+    "torn_bytes",
+]
+
+DISK_MODES = ("torn", "corrupt")
+#: enough ordinals to reach past a few WAL appends in any suite test.
+DISK_WRITE_AXIS = tuple(range(0, 7))
+
+_CORRUPT_MASK = 0x20
+_CORRUPT_SPAN = 4
+
+
+def torn_bytes(data: bytes) -> bytes:
+    """The prefix a torn write actually persists (never longer than
+    the original)."""
+    return data[: len(data) // 2]
+
+
+def corrupt_bytes(data: bytes) -> bytes:
+    """Length-preserving silent corruption; applying it twice restores
+    the original (XOR involution)."""
+    if not data:
+        return data
+    mutated = bytearray(data)
+    for i in range(min(_CORRUPT_SPAN, len(mutated))):
+        mutated[i] ^= _CORRUPT_MASK
+    return bytes(mutated)
+
+
+class DiskFaultState:
+    """Per-run mutable state: counts writes, mutates the Nth one."""
+
+    __slots__ = ("write_number", "mode", "writes")
+
+    def __init__(self, write_number: int, mode: str) -> None:
+        self.write_number = write_number
+        self.mode = mode
+        self.writes = 0
+
+    def transform(self, data: bytes) -> bytes:
+        self.writes += 1
+        if self.writes != self.write_number:
+            return data
+        if self.mode == "torn":
+            return torn_bytes(data)
+        return corrupt_bytes(data)
+
+
+@dataclass(frozen=True)
+class DiskFaultHook(WorldHook):
+    write_number: int
+    mode: str
+
+    def arm(self, env) -> None:
+        env.fs.disk_fault = DiskFaultState(self.write_number, self.mode)
+
+    def disarm(self, env) -> None:
+        env.fs.disk_fault = None
+
+
+class DiskFaultModel(FaultModel):
+    """Torn/corrupt writes against the simulated filesystem."""
+
+    name = "disk"
+    rank = 1
+
+    def axes(self, target=None, max_call: int = 2) -> dict[str, Sequence[object]]:
+        return {"disk_write": DISK_WRITE_AXIS, "disk_mode": DISK_MODES}
+
+    def compile(
+        self, attributes: dict[str, object]
+    ) -> tuple[tuple[AtomicFault, ...], tuple[WorldHook, ...]]:
+        number = attributes.get("disk_write")
+        if number is None:
+            raise InjectionError("disk model needs a 'disk_write' attribute")
+        write_number = int(number)  # type: ignore[arg-type]
+        if write_number < 0:
+            raise InjectionError(f"negative disk_write: {write_number}")
+        if write_number == 0:
+            return ((), ())
+        mode = str(attributes.get("disk_mode", "torn"))
+        if mode not in DISK_MODES:
+            raise InjectionError(
+                f"unknown disk_mode {mode!r}; expected one of {DISK_MODES}"
+            )
+        return ((), (DiskFaultHook(write_number, mode),))
+
+
+register_model("disk", DiskFaultModel)

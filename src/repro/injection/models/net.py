@@ -1,0 +1,140 @@
+"""Network fault model: partitions, delays, and reordering.
+
+The model keeps one op counter per run and opens a bounded fault
+*window* (``_WINDOW`` consecutive network operations starting at the
+``net_op``-th); after the window closes the network is healed and stays
+healed — the hypothesis suite proves partitions always heal back to a
+connected fabric.
+
+Modes:
+
+``"partition"``
+    operations inside the window fail hard (``ECONNRESET``-style);
+    messages are dropped, never delivered.
+``"delay"``
+    the send is accepted but the message is parked until the window
+    closes (the sender cannot tell — the classic ack-on-send trap the
+    ``replkv`` target's planted commit bug walks into).
+``"reorder"``
+    the message jumps the queue, arriving ahead of earlier traffic.
+
+Two consumers share the state object: ``SimLibc.recv``/``send`` (the
+raw socket surface every target sees) and the ``replkv`` target's
+replication bus.  For campaigns on the *real* socket fabric, the
+:func:`chaos_rates` adapter maps a mode onto the chaos-cluster knobs
+(``ChaosCluster(**chaos_rates("partition"))``) so the same axes drive
+sabotage of genuine TCP dispatch.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from repro.errors import InjectionError
+from repro.injection.models.base import FaultModel, WorldHook, register_model
+from repro.injection.plan import AtomicFault
+
+__all__ = [
+    "NET_MODES",
+    "NetFaultModel",
+    "NetFaultState",
+    "chaos_rates",
+]
+
+NET_MODES = ("partition", "delay", "reorder")
+#: 1-based ordinal of the first network op inside the fault window;
+#: ``0`` is the explicit no-fault point.
+NET_OP_AXIS = tuple(range(0, 7))
+
+#: consecutive network operations affected once the window opens — wide
+#: enough to hit a leader's full replication fan-out in one window.
+_WINDOW = 2
+
+
+class NetFaultState:
+    """Per-run mutable state: counts network ops, faults a window of them."""
+
+    __slots__ = ("op_number", "mode", "window", "ops")
+
+    def __init__(self, op_number: int, mode: str, window: int = _WINDOW) -> None:
+        self.op_number = op_number
+        self.mode = mode
+        self.window = window
+        self.ops = 0
+
+    def on_op(self) -> str | None:
+        """Advance the op counter; the active mode if this op is faulted."""
+        self.ops += 1
+        if self.op_number <= self.ops < self.op_number + self.window:
+            return self.mode
+        return None
+
+    def peek(self) -> str | None:
+        """The mode the *next* op would suffer, without consuming it."""
+        nxt = self.ops + 1
+        if self.op_number <= nxt < self.op_number + self.window:
+            return self.mode
+        return None
+
+    @property
+    def healed(self) -> bool:
+        """True once the fault window has fully passed."""
+        return self.ops >= self.op_number + self.window - 1
+
+
+@dataclass(frozen=True)
+class NetFaultHook(WorldHook):
+    op_number: int
+    mode: str
+
+    def arm(self, env) -> None:
+        env.libc.net_fault = NetFaultState(self.op_number, self.mode)
+
+    def disarm(self, env) -> None:
+        env.libc.net_fault = None
+
+
+def chaos_rates(mode: str) -> dict[str, float]:
+    """ChaosCluster kwargs approximating a net-fault mode on the real
+    socket fabric (partition → dropped dispatches, delay → hangs)."""
+    if mode == "partition":
+        return {"drop_rate": 0.3}
+    if mode == "delay":
+        return {"hang_rate": 0.3}
+    if mode == "reorder":
+        # TCP never reorders within a stream; on the real fabric the
+        # observable analogue is a corrupted (retried) dispatch.
+        return {"corrupt_rate": 0.3}
+    raise InjectionError(f"unknown net mode {mode!r}; expected {NET_MODES}")
+
+
+class NetFaultModel(FaultModel):
+    """Partition/delay/reorder faults on the simulated network surface."""
+
+    name = "net"
+    rank = 2
+
+    def axes(self, target=None, max_call: int = 2) -> dict[str, Sequence[object]]:
+        return {"net_op": NET_OP_AXIS, "net_mode": NET_MODES}
+
+    def compile(
+        self, attributes: dict[str, object]
+    ) -> tuple[tuple[AtomicFault, ...], tuple[WorldHook, ...]]:
+        number = attributes.get("net_op")
+        if number is None:
+            raise InjectionError("net model needs a 'net_op' attribute")
+        op_number = int(number)  # type: ignore[arg-type]
+        if op_number < 0:
+            raise InjectionError(f"negative net_op: {op_number}")
+        if op_number == 0:
+            return ((), ())
+        mode = str(attributes.get("net_mode", "partition"))
+        if mode not in NET_MODES:
+            raise InjectionError(
+                f"unknown net_mode {mode!r}; expected one of {NET_MODES}"
+            )
+        return ((), (NetFaultHook(op_number, mode),))
+
+
+register_model("net", NetFaultModel)

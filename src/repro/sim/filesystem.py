@@ -86,6 +86,9 @@ class SimFilesystem:
         self.cwd = "/"
         #: limit on simultaneously open descriptors (tests tighten this)
         self.max_open_files = _MAX_OPEN_FILES
+        #: armed disk fault state (``repro.injection.models.disk``), or
+        #: None; consulted on every write.
+        self.disk_fault = None
 
     # -- path handling ------------------------------------------------------
 
@@ -242,6 +245,11 @@ class SimFilesystem:
         handle = self._handle(fd)
         if not handle.flags & (O_WRONLY | O_RDWR):
             raise FsError(Errno.EBADF, f"fd {fd} is read-only")
+        claimed = len(data)
+        if self.disk_fault is not None:
+            # Torn/corrupt writes are *silent*: the stored bytes change
+            # but the syscall still claims full success below.
+            data = self.disk_fault.transform(data)
         if handle.flags & O_APPEND:
             handle.offset = len(handle.file.data)
         end = handle.offset + len(data)
@@ -249,7 +257,7 @@ class SimFilesystem:
             handle.file.data.extend(b"\x00" * (end - len(handle.file.data)))
         handle.file.data[handle.offset : end] = data
         handle.offset = end
-        return len(data)
+        return claimed
 
     def lseek(self, fd: int, offset: int) -> int:
         handle = self._handle(fd)

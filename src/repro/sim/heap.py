@@ -42,6 +42,9 @@ class Heap:
         # Optional callable returning the current simulated stack, used to
         # decorate crash signals with a trace.
         self._stack_snapshot = stack_snapshot or (lambda: ())
+        #: armed bit-flip fault state (``repro.injection.models.bitflip``),
+        #: or None; consulted on every checked access.
+        self.bitflip = None
 
     # -- allocation -------------------------------------------------------
 
@@ -104,6 +107,11 @@ class Heap:
                 f"{op} out of bounds at {ptr:#x}+{end} (size {len(alloc.data)})",
                 self._stack_snapshot(),
             )
+        if self.bitflip is not None:
+            # ZOFI-style transient fault: every validated access ticks
+            # the counter; the Nth flips one bit of live data before the
+            # operation proceeds.
+            self.bitflip.on_access(alloc.data)
         return alloc
 
     def store(self, ptr: int, offset: int, data: bytes) -> None:

@@ -138,6 +138,9 @@ class SimLibc:
         # them and send responses into the outbox.
         self.net_inbox: list[bytes] = []
         self.net_outbox: list[bytes] = []
+        #: armed network fault state (``repro.injection.models.net``), or
+        #: None; consulted by recv/send and by in-target message buses.
+        self.net_fault = None
         self._sockets: set[int] = set()
         self._next_socket = 0x300000
         self._clock = 0
@@ -705,6 +708,18 @@ class SimLibc:
         if sock not in self._sockets:
             self.errno = Errno.EBADF
             return -1
+        if self.net_fault is not None:
+            action = self.net_fault.on_op()
+            if action == "partition":
+                self.errno = Errno.ECONNRESET
+                return -1
+            if action == "delay":
+                self.errno = Errno.EAGAIN
+                return -1
+            if action == "reorder" and len(self.net_inbox) >= 2:
+                self.net_inbox[0], self.net_inbox[1] = (
+                    self.net_inbox[1], self.net_inbox[0],
+                )
         if not self.net_inbox:
             return b""
         return self.net_inbox.pop(0)
@@ -716,6 +731,13 @@ class SimLibc:
         if sock not in self._sockets:
             self.errno = Errno.EBADF
             return -1
+        if self.net_fault is not None:
+            action = self.net_fault.on_op()
+            if action == "partition":
+                self.errno = Errno.ECONNRESET
+                return -1
+            # delay/reorder act on the receive path; the send itself
+            # succeeds (the sender cannot tell).
         self.net_outbox.append(data)
         return len(data)
 

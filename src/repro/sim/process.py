@@ -164,7 +164,10 @@ def run_test(
     step_budget: int = DEFAULT_STEP_BUDGET,
 ) -> RunResult:
     """Run one test of ``target`` under ``plan`` in a fresh environment."""
-    plan = plan or InjectionPlan.none()
+    # `is None`, not truthiness: a hooks-only ScenarioPlan has zero atomic
+    # faults and is therefore falsy (``__len__``), but must not be dropped.
+    if plan is None:
+        plan = InjectionPlan.none()
     fs = SimFilesystem()
     stack = CallStack()
     libc = SimLibc(
@@ -177,6 +180,11 @@ def run_test(
     # Startup script: populate the environment without injection active.
     target.setup(env, test)
     libc.set_plan(plan)
+    # World hooks (fault-model plugins): armed alongside the libc plan,
+    # disarmed before post-mortem invariants run over pristine machinery.
+    hooks = tuple(getattr(plan, "hooks", ()))
+    for hook in hooks:
+        hook.arm(env)
 
     exit_code = 0
     crash_kind: str | None = None
@@ -200,6 +208,9 @@ def run_test(
         crash_message = str(exc)
         crash_stack = exc.stack or stack.snapshot()
         exit_code = 139 if exc.kind == "segfault" else 134
+    finally:
+        for hook in hooks:
+            hook.disarm(env)
 
     # Post-mortem invariant evaluation: always-true properties are checked
     # against the final world state no matter how the run ended — a crash

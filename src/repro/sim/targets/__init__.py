@@ -13,6 +13,9 @@ planted recovery bugs:
   the unchecked-``strdup`` NULL-dereference bug (Fig. 7).
 * :mod:`repro.sim.targets.docstore` — DocStore v0.8 / v2.0, the MongoDB
   maturity-comparison pair of §7.6.
+* :mod:`repro.sim.targets.replkv` — ReplKV, a 3-replica KV store with
+  WAL replay, leader handoff, and planted recovery bugs that only the
+  disk/net fault models can reach.
 
 Imports are lazy so that using one target does not pay for building the
 others' (sometimes large, generated) test suites.
@@ -25,6 +28,7 @@ __all__ = [
     "HttpdTarget",
     "MiniDbTarget",
     "DocStoreTarget",
+    "ReplKvTarget",
     "target_by_name",
 ]
 
@@ -33,6 +37,7 @@ _LAZY = {
     "HttpdTarget": ("repro.sim.targets.httpd", "HttpdTarget"),
     "MiniDbTarget": ("repro.sim.targets.minidb", "MiniDbTarget"),
     "DocStoreTarget": ("repro.sim.targets.docstore", "DocStoreTarget"),
+    "ReplKvTarget": ("repro.sim.targets.replkv", "ReplKvTarget"),
 }
 
 
@@ -54,7 +59,7 @@ def target_by_name(name: str):
         from repro.sim.targets.docstore import DocStoreTarget
 
         return DocStoreTarget(version=name.split("-", 1)[1])
-    known = ("coreutils", "minidb", "httpd", "docstore")
+    known = ("coreutils", "minidb", "httpd", "docstore", "replkv")
     if name == "coreutils":
         from repro.sim.targets.coreutils import CoreutilsTarget
 
@@ -71,4 +76,8 @@ def target_by_name(name: str):
         from repro.sim.targets.docstore import DocStoreTarget
 
         return DocStoreTarget()
+    if name == "replkv":
+        from repro.sim.targets.replkv import ReplKvTarget
+
+        return ReplKvTarget()
     raise ValueError(f"unknown target {name!r}; available: {known}")

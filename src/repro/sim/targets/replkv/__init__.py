@@ -1,0 +1,22 @@
+"""ReplKV: replicated KV store with WAL recovery — the fault-model showcase."""
+
+from repro.sim.targets.replkv.store import (
+    ReplKvCluster,
+    Replica,
+    SimNetwork,
+    check_invariants,
+    parse_record,
+    record_line,
+)
+from repro.sim.targets.replkv.target import REPLKV_FUNCTIONS, ReplKvTarget
+
+__all__ = [
+    "REPLKV_FUNCTIONS",
+    "ReplKvCluster",
+    "ReplKvTarget",
+    "Replica",
+    "SimNetwork",
+    "check_invariants",
+    "parse_record",
+    "record_line",
+]

@@ -1,0 +1,579 @@
+"""ReplKV: a 3-replica key-value store with WAL-based recovery.
+
+The recovery-heavy sim target the disk and network fault models exist
+to exercise: each replica persists a checksummed write-ahead log on the
+sim FS, replays it on start, and a leader replicates every write to the
+followers over an in-simulation message bus that honours the armed
+:class:`~repro.injection.models.net.NetFaultState` (partition / delay /
+reorder).  Values live as heap-allocated C strings (``strdup``), giving
+the bit-flip model live state to corrupt.
+
+Two recovery bugs are planted deliberately, mirroring the recovery-bug
+pattern the paper's evaluation hunts (§7) and the minidb/httpd planted
+bugs:
+
+* **Silent replay truncation** — :meth:`Replica._replay` stops at the
+  first malformed or checksum-invalid WAL record and keeps only the
+  prefix.  That is the *correct* handling of a torn tail, but mid-log
+  silent corruption makes it silently drop every committed record after
+  the bad one; combined with the missing leader reconciliation below, a
+  restarted leader then serves a truncated view.
+* **Commit-on-send** — :meth:`ReplKvCluster.put` counts a replication
+  *send* as an acknowledgement without waiting for the follower to
+  confirm its own WAL append.  A delayed (in-flight) message or a
+  follower whose append fails still advances the commit decision, so a
+  leader crash right after the ack loses an acknowledged write.
+
+A restarted *leader* additionally trusts its replayed WAL completely —
+there is no reconciliation against followers (:meth:`ReplKvCluster.
+restart`), which is what turns silent truncation into observable data
+loss.
+
+The durability invariant (:func:`check_invariants`) is the
+fault-injection-oriented oracle: every acknowledged write must be
+readable from the serving leader — or, after a clean shutdown,
+recoverable from *some* replica's on-disk WAL (parsed with the correct
+skip-bad-records recovery, the ground truth the planted replay code
+falls short of).
+"""
+
+from __future__ import annotations
+
+from repro.sim.crashes import SimCrash
+from repro.sim.heap import NULL
+from repro.sim.libc import O_APPEND, O_CREAT, O_TRUNC, O_WRONLY
+from repro.sim.process import Env
+
+__all__ = [
+    "DATA_DIR",
+    "ReplKvCluster",
+    "Replica",
+    "SimNetwork",
+    "check_invariants",
+    "parse_record",
+    "record_line",
+]
+
+DATA_DIR = "/var/replkv"
+REPLICAS = 3
+QUORUM = 2
+
+
+def _checksum(body: str) -> int:
+    total = 0
+    for byte in body.encode():
+        total = (total * 31 + byte) % 99991
+    return total
+
+
+def record_line(seq: int, key: str, value: str) -> str:
+    """One checksummed WAL record (keys/values must be space-free)."""
+    body = f"{seq} {key} {value}"
+    return f"{body} {_checksum(body)}\n"
+
+
+def parse_record(line: str) -> tuple[int, str, str] | None:
+    """Decode and verify one WAL record; None when torn or corrupted."""
+    parts = line.strip().split(" ")
+    if len(parts) != 4:
+        return None
+    seq_text, key, value, check_text = parts
+    try:
+        seq = int(seq_text)
+        check = int(check_text)
+    except ValueError:
+        return None
+    if seq < 1 or _checksum(f"{seq} {key} {value}") != check:
+        return None
+    return seq, key, value
+
+
+class SimNetwork:
+    """The replication bus: per-replica inboxes behind the armed
+    net-fault state (the same state ``SimLibc.recv/send`` consult)."""
+
+    def __init__(self, env: Env) -> None:
+        self.env = env
+        self.queues: dict[int, list[tuple]] = {}
+        #: in-flight messages parked by a ``delay`` fault: (src, dst, msg).
+        self.deferred: list[tuple[int, int, tuple]] = []
+        self.dropped = 0
+
+    def _state(self):
+        return self.env.libc.net_fault
+
+    def transmit(self, src: int, dst: int, message: tuple) -> bool:
+        """Send one message; True when the sender believes it went out.
+
+        A delayed message reports success — the sender cannot tell the
+        difference, which is exactly the trap the commit-on-send bug
+        walks into.
+        """
+        state = self._state()
+        if state is not None:
+            action = state.on_op()
+            if action == "partition":
+                self.dropped += 1
+                self.env.cov.hit("replkv.net.partition_drop")
+                return False
+            if action == "delay":
+                self.env.cov.hit("replkv.net.delayed")
+                self.deferred.append((src, dst, message))
+                return True
+            if action == "reorder":
+                self.env.cov.hit("replkv.net.reordered")
+                self.queues.setdefault(dst, []).insert(0, message)
+                return True
+        self.queues.setdefault(dst, []).append(message)
+        return True
+
+    def flush_deferred(self) -> None:
+        """Deliver parked messages once the fault window has healed."""
+        state = self._state()
+        if self.deferred and (state is None or state.healed):
+            for _src, dst, message in self.deferred:
+                self.queues.setdefault(dst, []).append(message)
+            self.deferred.clear()
+
+    def drop_from(self, src: int) -> None:
+        """A crashed sender's in-flight (deferred) messages die with it."""
+        self.deferred = [d for d in self.deferred if d[0] != src]
+
+    def drain(self, dst: int) -> list[tuple]:
+        messages = self.queues.get(dst, [])
+        self.queues[dst] = []
+        return messages
+
+    def is_connected(self) -> bool:
+        """Would a transmit right now be delivered (not dropped)?"""
+        state = self._state()
+        return state is None or state.peek() != "partition"
+
+
+class Replica:
+    """One KV replica: in-heap store, in-memory log, on-disk WAL."""
+
+    def __init__(self, env: Env, rid: int) -> None:
+        self.env = env
+        self.rid = rid
+        self.dir = f"{DATA_DIR}/r{rid}"
+        self.wal_path = f"{self.dir}/wal.log"
+        #: key -> heap pointer of the strdup'ed current value.
+        self.store: dict[str, int] = {}
+        #: replayed + applied records, in seq order.
+        self.log: list[tuple[int, str, str]] = []
+        self.last_seq = 0
+        self.alive = False
+        self.lagging = False
+        self.wal_fd = -1
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self) -> bool:
+        env, libc = self.env, self.env.libc
+        with env.frame(f"replkv_start_r{self.rid}"):
+            if not env.fs.is_dir(self.dir):
+                if libc.mkdir(self.dir) != 0:
+                    env.cov.hit("replkv.start.mkdir_failed")
+                    return False
+            if not self._replay():
+                env.cov.hit("replkv.start.replay_failed")
+                return False
+            fd = libc.open(self.wal_path, O_WRONLY | O_CREAT | O_APPEND)
+            if fd < 0:
+                env.cov.hit("replkv.start.wal_open_failed")
+                return False
+            self.wal_fd = fd
+            self.alive = True
+            env.cov.hit("replkv.start.ok")
+            return True
+
+    def _replay(self) -> bool:
+        """Rebuild state from the WAL (the recovery path under test)."""
+        env, libc = self.env, self.env.libc
+        with env.frame(f"replkv_replay_r{self.rid}"):
+            if not env.fs.is_file(self.wal_path):
+                env.cov.hit("replkv.replay.fresh")
+                return True
+            stream = libc.fopen(self.wal_path, "r")
+            if stream == 0:
+                env.cov.hit("replkv.replay.open_failed")
+                return False
+            ok = True
+            while True:
+                line = libc.fgets(stream)
+                if line is None:
+                    break
+                record = parse_record(line)
+                if record is None:
+                    # PLANTED BUG (silent replay truncation): a bad
+                    # record is assumed to be a torn tail, so replay
+                    # keeps the prefix and stops — silently discarding
+                    # every later record when the corruption is mid-log.
+                    env.cov.hit("replkv.replay.truncated")
+                    break
+                seq, key, value = record
+                # Compaction leaves seq holes, so replay only requires
+                # monotonically increasing sequence numbers.
+                if seq <= self.last_seq:
+                    env.cov.hit("replkv.replay.gap")
+                    break
+                if not self.apply(seq, key, value):
+                    ok = False
+                    break
+            libc.fclose(stream)
+            return ok
+
+    def halt(self) -> None:
+        """Graceful stop: close the WAL, release the value heap."""
+        env, libc = self.env, self.env.libc
+        with env.frame(f"replkv_halt_r{self.rid}"):
+            if self.wal_fd >= 0:
+                libc.close(self.wal_fd)
+                self.wal_fd = -1
+            for ptr in self.store.values():
+                libc.free(ptr)
+            self.store.clear()
+            self.log.clear()
+            self.last_seq = 0
+            self.alive = False
+            self.lagging = False
+
+    def crash(self) -> None:
+        """kill -9: the kernel reaps fds; memory and in-flight work die."""
+        self.env.cov.hit(f"replkv.crash.r{self.rid}")
+        if self.wal_fd >= 0:
+            try:
+                self.env.fs.close(self.wal_fd)
+            except Exception:
+                pass
+            self.wal_fd = -1
+        self.store.clear()
+        self.log.clear()
+        self.last_seq = 0
+        self.alive = False
+        self.lagging = False
+
+    # -- data path ---------------------------------------------------------
+
+    def wal_append(self, seq: int, key: str, value: str) -> bool:
+        env, libc = self.env, self.env.libc
+        line = record_line(seq, key, value)
+        data = line.encode()
+        if libc.write(self.wal_fd, data) != len(data):
+            env.cov.hit("replkv.wal.write_failed")
+            return False
+        if libc.fsync(self.wal_fd) != 0:
+            env.cov.hit("replkv.wal.fsync_failed")
+            return False
+        return True
+
+    def apply(self, seq: int, key: str, value: str) -> bool:
+        env, libc = self.env, self.env.libc
+        ptr = libc.strdup(value)
+        if ptr == NULL:
+            env.cov.hit("replkv.apply.oom")
+            return False
+        old = self.store.get(key)
+        if old is not None:
+            libc.free(old)
+        self.store[key] = ptr
+        self.log.append((seq, key, value))
+        self.last_seq = seq
+        return True
+
+    def value_of(self, key: str) -> str | None:
+        ptr = self.store.get(key)
+        if ptr is None:
+            return None
+        return self.env.libc.heap.load_string(ptr)
+
+    def compact(self) -> bool:
+        """Rewrite the WAL keeping only each key's latest record."""
+        env, libc = self.env, self.env.libc
+        with env.frame(f"replkv_compact_r{self.rid}"):
+            latest: dict[str, tuple[int, str, str]] = {}
+            for seq, key, value in self.log:
+                latest[key] = (seq, key, value)
+            compacted = sorted(latest.values())
+            temp_path = self.wal_path + ".new"
+            libc.unlink(temp_path)  # a stale temp from a failed compaction
+            fd = libc.open(temp_path, O_WRONLY | O_CREAT | O_TRUNC)
+            if fd < 0:
+                env.cov.hit("replkv.compact.open_failed")
+                return False
+            for seq, key, value in compacted:
+                data = record_line(seq, key, value).encode()
+                if libc.write(fd, data) != len(data):
+                    env.cov.hit("replkv.compact.write_failed")
+                    libc.close(fd)
+                    return False
+            if libc.fsync(fd) != 0 or libc.close(fd) != 0:
+                env.cov.hit("replkv.compact.sync_failed")
+                return False
+            libc.close(self.wal_fd)
+            self.wal_fd = -1
+            if libc.rename(temp_path, self.wal_path) != 0:
+                env.cov.hit("replkv.compact.rename_failed")
+            fd = libc.open(self.wal_path, O_WRONLY | O_CREAT | O_APPEND)
+            if fd < 0:
+                env.cov.hit("replkv.compact.reopen_failed")
+                self.alive = False
+                return False
+            self.wal_fd = fd
+            self.log = compacted
+            env.cov.hit("replkv.compact.ok")
+            return True
+
+
+class ReplKvCluster:
+    """The client-facing cluster: leader writes, replication, elections."""
+
+    def __init__(self, env: Env) -> None:
+        self.env = env
+        self.net = SimNetwork(env)
+        self.replicas = [Replica(env, rid) for rid in range(REPLICAS)]
+        self.leader = 0
+        self.next_seq = 1
+        #: client-visible contract: every acknowledged write, latest value.
+        self.acknowledged: dict[str, str] = {}
+        self.quorum = QUORUM
+
+    # -- membership --------------------------------------------------------
+
+    def boot(self) -> bool:
+        env, libc = self.env, self.env.libc
+        with env.frame("replkv_boot"):
+            if not env.fs.is_dir(DATA_DIR):
+                if libc.mkdir(DATA_DIR) != 0:
+                    env.cov.hit("replkv.boot.mkdir_failed")
+                    return False
+            for replica in self.replicas:
+                if not replica.start():
+                    env.cov.hit("replkv.boot.replica_down")
+            if len(self.alive_replicas()) < self.quorum:
+                env.cov.hit("replkv.boot.no_quorum")
+                return False
+            self.elect()
+            return True
+
+    def alive_replicas(self) -> list[Replica]:
+        return [r for r in self.replicas if r.alive]
+
+    def elect(self) -> int:
+        """Leader handoff: longest replayed log wins, ties to lowest id."""
+        with self.env.frame("replkv_elect"):
+            alive = self.alive_replicas()
+            if not alive:
+                self.leader = -1
+                self.env.cov.hit("replkv.elect.none")
+                return -1
+            chosen = max(alive, key=lambda r: (r.last_seq, -r.rid))
+            self.leader = chosen.rid
+            self.env.cov.hit(f"replkv.elect.r{chosen.rid}")
+            return self.leader
+
+    def crash_leader(self) -> int:
+        """Kill the current leader outright and elect a successor."""
+        with self.env.frame("replkv_crash_leader"):
+            dead = self.replicas[self.leader]
+            dead.crash()
+            self.net.drop_from(dead.rid)
+            return self.elect()
+
+    def restart(self, rid: int) -> bool:
+        """Stop one replica gracefully and boot it back up."""
+        env = self.env
+        with env.frame(f"replkv_restart_r{rid}"):
+            replica = self.replicas[rid]
+            if replica.alive:
+                replica.halt()
+            if not replica.start():
+                env.cov.hit("replkv.restart.boot_failed")
+                if rid == self.leader:
+                    self.elect()
+                return False
+            if rid != self.leader:
+                self.catch_up(replica)
+            # PLANTED BUG (no leader reconciliation): a restarted leader
+            # trusts its own replayed WAL completely and never compares
+            # notes with the followers — silent replay truncation above
+            # becomes acknowledged writes missing from the serving view.
+            return True
+
+    def isolate(self, rid: int) -> None:
+        """Scripted lag: the replica stops consuming its queue."""
+        self.replicas[rid].lagging = True
+        self.env.cov.hit(f"replkv.isolate.r{rid}")
+
+    def rejoin(self, rid: int) -> None:
+        """End the lag: consume the backlog, then fill any holes."""
+        replica = self.replicas[rid]
+        replica.lagging = False
+        self.pump()
+        if replica.alive and rid != self.leader:
+            self.catch_up(replica)
+        self.env.cov.hit(f"replkv.rejoin.r{rid}")
+
+    def catch_up(self, replica: Replica) -> None:
+        """Copy entries the follower is missing from the leader's log."""
+        env = self.env
+        with env.frame(f"replkv_catch_up_r{replica.rid}"):
+            if self.leader < 0 or not self.replicas[self.leader].alive:
+                return
+            leader = self.replicas[self.leader]
+            for seq, key, value in leader.log:
+                if seq <= replica.last_seq:
+                    continue
+                if not replica.wal_append(seq, key, value) \
+                        or not replica.apply(seq, key, value):
+                    env.cov.hit("replkv.catch_up.failed")
+                    replica.crash()
+                    return
+            env.cov.hit("replkv.catch_up.ok")
+
+    # -- client operations -------------------------------------------------
+
+    def put(self, key: str, value: str) -> bool:
+        env = self.env
+        with env.frame("replkv_put"):
+            if self.leader < 0:
+                return False
+            leader = self.replicas[self.leader]
+            if not leader.alive:
+                return False
+            seq = self.next_seq
+            if not leader.wal_append(seq, key, value):
+                # A leader that cannot log steps down rather than serve
+                # writes it cannot make durable.
+                env.cov.hit("replkv.put.leader_wal_failed")
+                leader.crash()
+                self.elect()
+                return False
+            if not leader.apply(seq, key, value):
+                env.cov.hit("replkv.put.apply_failed")
+                return False
+            acked = 1
+            for replica in self.replicas:
+                if replica.rid == leader.rid or not replica.alive:
+                    continue
+                if self.net.transmit(
+                    leader.rid, replica.rid, ("replicate", seq, key, value)
+                ):
+                    # PLANTED BUG (commit-on-send): a send the network
+                    # accepted is counted as an acknowledgement; nothing
+                    # waits for the follower to confirm the entry hit
+                    # its own WAL, so a delayed message or a failed
+                    # follower append still advances the commit.
+                    acked += 1
+            self.pump()
+            if acked >= self.quorum:
+                self.next_seq = seq + 1
+                self.acknowledged[key] = value
+                env.cov.hit("replkv.put.committed")
+                return True
+            env.cov.hit("replkv.put.no_quorum")
+            return False
+
+    def get(self, key: str) -> str | None:
+        """Reads are served by the leader — and only the leader."""
+        with self.env.frame("replkv_get"):
+            if self.leader < 0 or not self.replicas[self.leader].alive:
+                return None
+            return self.replicas[self.leader].value_of(key)
+
+    def pump(self) -> None:
+        """Deliver queued replication traffic to live, non-lagging
+        followers (in-order entries only; gaps are rejected so every
+        follower log stays a prefix)."""
+        env = self.env
+        self.net.flush_deferred()
+        for replica in self.replicas:
+            if not replica.alive or replica.lagging:
+                continue
+            for message in self.net.drain(replica.rid):
+                kind, seq, key, value = message
+                if kind != "replicate":
+                    continue
+                if seq != replica.last_seq + 1:
+                    env.cov.hit("replkv.follower.gap")
+                    continue
+                if not replica.wal_append(seq, key, value):
+                    env.cov.hit("replkv.follower.wal_failed")
+                    replica.crash()
+                    if replica.rid == self.leader:
+                        self.elect()
+                    break
+                if not replica.apply(seq, key, value):
+                    env.cov.hit("replkv.follower.apply_failed")
+                    break
+
+    def shutdown(self) -> None:
+        with self.env.frame("replkv_shutdown"):
+            self.pump()
+            for replica in self.replicas:
+                if replica.alive:
+                    replica.halt()
+
+
+# -- the durability oracle --------------------------------------------------
+
+def _durable_view(env: Env) -> dict[str, str]:
+    """What a *correct* recovery could reconstruct from the disks: every
+    valid record of every replica WAL (bad records skipped, not
+    truncated at), latest seq per key across the whole cluster."""
+    newest: dict[str, tuple[int, str]] = {}
+    for rid in range(REPLICAS):
+        path = f"{DATA_DIR}/r{rid}/wal.log"
+        if not env.fs.is_file(path):
+            continue
+        try:
+            text = env.fs.read_file(path).decode(errors="replace")
+        except Exception:
+            continue
+        for line in text.splitlines():
+            record = parse_record(line)
+            if record is None:
+                continue
+            seq, key, value = record
+            current = newest.get(key)
+            if current is None or seq > current[0]:
+                newest[key] = (seq, value)
+    return {key: value for key, (_seq, value) in newest.items()}
+
+
+def check_invariants(env: Env) -> list[str]:
+    """Acknowledged writes must survive whatever the run did.
+
+    While a leader is serving, every acknowledged write must be readable
+    from it; after a clean shutdown, every acknowledged write must be
+    recoverable from some replica's WAL.
+    """
+    cluster = env.state.get("replkv")
+    if not isinstance(cluster, ReplKvCluster) or not cluster.acknowledged:
+        return []
+    violations: list[str] = []
+    leader = (
+        cluster.replicas[cluster.leader]
+        if 0 <= cluster.leader < len(cluster.replicas) else None
+    )
+    if leader is not None and leader.alive:
+        for key, value in sorted(cluster.acknowledged.items()):
+            try:
+                got = leader.value_of(key)
+            except SimCrash:
+                got = "<unreadable>"
+            if got != value:
+                violations.append(
+                    f"acknowledged write {key}={value!r} not served by "
+                    f"leader r{leader.rid} (got {got!r})"
+                )
+    else:
+        durable = _durable_view(env)
+        for key, value in sorted(cluster.acknowledged.items()):
+            if durable.get(key) != value:
+                violations.append(
+                    f"acknowledged write {key}={value!r} not recoverable "
+                    f"from any replica WAL (durable: {durable.get(key)!r})"
+                )
+    return violations

@@ -1,0 +1,237 @@
+"""The ReplKV target: 150 recovery-centric tests over a 3-replica store.
+
+The suite is generated parametrically like MiniDB's, but every group
+past ``basic`` is a *recovery* scenario — leader crashes, replica
+restarts, follower divergence, membership churn — because this target
+exists to exercise the disk/net/bitflip fault models against code whose
+whole job is surviving faults.  Fault-free, every test passes and every
+invariant holds; the planted recovery bugs in the store only manifest
+when a fault model perturbs the world at the wrong moment.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.sim.process import Env
+from repro.sim.targets.replkv.store import ReplKvCluster, check_invariants
+from repro.sim.testsuite import Target, TestCase, TestSuite
+
+__all__ = ["ReplKvTarget", "REPLKV_FUNCTIONS"]
+
+#: X_func for the ReplKV space (11 functions, WAL-I/O-heavy order).
+REPLKV_FUNCTIONS: tuple[str, ...] = (
+    "write",
+    "fsync",
+    "open",
+    "close",
+    "strdup",
+    "fopen",
+    "fgets",
+    "fclose",
+    "mkdir",
+    "rename",
+    "unlink",
+)
+
+#: group name -> number of generated tests; totals 150.
+GROUP_SIZES = {
+    "basic": 30,
+    "wal": 25,
+    "restart": 30,
+    "failover": 25,
+    "divergence": 20,
+    "churn": 20,
+}
+
+
+def _cluster(env: Env) -> ReplKvCluster:
+    """Boot a cluster; expose it to the post-mortem invariant oracle
+    *before* boot so even a boot-time fault is audited."""
+    cluster = ReplKvCluster(env)
+    env.state["replkv"] = cluster
+    if not cluster.boot():
+        env.exit(1)
+    return cluster
+
+
+def _put_all(env: Env, cluster: ReplKvCluster, pairs: list[tuple[str, str]]) -> None:
+    for key, value in pairs:
+        env.check(cluster.put(key, value), f"put {key}={value} not committed")
+
+
+def _check_served(env: Env, cluster: ReplKvCluster) -> None:
+    """Every acknowledged write must be readable right now."""
+    for key, value in sorted(cluster.acknowledged.items()):
+        env.check(
+            cluster.get(key) == value,
+            f"acknowledged {key}={value} lost from serving leader",
+        )
+
+
+# --------------------------------------------------------------------------
+# per-group test bodies (each builder returns a closure over its params)
+# --------------------------------------------------------------------------
+
+def _basic_body(i: int) -> Callable[[Env], None]:
+    keys = 3 + i % 10
+    overwrite = i % 3 == 1
+
+    def body(env: Env) -> None:
+        cluster = _cluster(env)
+        _put_all(env, cluster, [(f"k{k}", f"v{k}") for k in range(keys)])
+        if overwrite:
+            _put_all(env, cluster, [(f"k{k}", f"w{k}") for k in range(0, keys, 2)])
+        _check_served(env, cluster)
+        env.check(cluster.get("absent") is None, "phantom key served")
+        cluster.shutdown()
+    return body
+
+
+def _wal_body(i: int) -> Callable[[Env], None]:
+    keys = 2 + i % 8
+    compact = i % 2 == 0
+
+    def body(env: Env) -> None:
+        cluster = _cluster(env)
+        _put_all(env, cluster, [(f"k{k}", f"v{k}") for k in range(keys)])
+        _put_all(env, cluster, [(f"k{k}", f"u{k}") for k in range(keys)])
+        leader = cluster.replicas[cluster.leader]
+        if compact:
+            env.check(leader.compact(), "leader compaction failed")
+            env.check(len(leader.log) == keys, "compacted log keeps stale records")
+        follower = (cluster.leader + 1) % len(cluster.replicas)
+        env.check(cluster.restart(follower), f"follower r{follower} restart failed")
+        env.check(
+            cluster.replicas[follower].last_seq == leader.last_seq,
+            "restarted follower behind leader",
+        )
+        _check_served(env, cluster)
+        cluster.shutdown()
+    return body
+
+
+def _restart_body(i: int) -> Callable[[Env], None]:
+    keys = 2 + i % 8
+    kind = i % 3  # 0: restart leader, 1: restart follower, 2: rolling restart
+
+    def body(env: Env) -> None:
+        cluster = _cluster(env)
+        _put_all(env, cluster, [(f"k{k}", f"v{k}") for k in range(keys)])
+        if kind == 0:
+            env.check(cluster.restart(cluster.leader), "leader restart failed")
+        elif kind == 1:
+            follower = (cluster.leader + 2) % len(cluster.replicas)
+            env.check(cluster.restart(follower), "follower restart failed")
+        else:
+            for rid in range(len(cluster.replicas)):
+                env.check(cluster.restart(rid), f"rolling restart r{rid} failed")
+        _check_served(env, cluster)
+        _put_all(env, cluster, [("late", f"l{i}")])
+        _check_served(env, cluster)
+        cluster.shutdown()
+    return body
+
+
+def _failover_body(i: int) -> Callable[[Env], None]:
+    keys = 2 + i % 6
+    double = i % 2 == 1
+
+    def body(env: Env) -> None:
+        cluster = _cluster(env)
+        _put_all(env, cluster, [(f"a{k}", f"v{k}") for k in range(keys)])
+        old = cluster.leader
+        new = cluster.crash_leader()
+        env.check(new >= 0 and new != old, "failover did not move the leader")
+        _put_all(env, cluster, [(f"b{k}", f"v{k}") for k in range(keys)])
+        if double:
+            env.check(cluster.crash_leader() >= 0, "second failover left no leader")
+        _check_served(env, cluster)
+        cluster.shutdown()
+    return body
+
+
+def _divergence_body(i: int) -> Callable[[Env], None]:
+    keys = 2 + i % 6
+
+    def body(env: Env) -> None:
+        cluster = _cluster(env)
+        _put_all(env, cluster, [(f"k{k}", f"v{k}") for k in range(keys)])
+        lagger = (cluster.leader + 1 + i % 2) % len(cluster.replicas)
+        cluster.isolate(lagger)
+        _put_all(env, cluster, [(f"d{k}", f"v{k}") for k in range(keys)])
+        env.check(
+            cluster.replicas[lagger].last_seq < cluster.replicas[cluster.leader].last_seq,
+            "isolated replica kept up — lag not applied",
+        )
+        cluster.rejoin(lagger)
+        env.check(
+            cluster.replicas[lagger].last_seq
+            == cluster.replicas[cluster.leader].last_seq,
+            "rejoined replica still diverged",
+        )
+        _check_served(env, cluster)
+        cluster.shutdown()
+    return body
+
+
+def _churn_body(i: int) -> Callable[[Env], None]:
+    keys = 2 + i % 5
+    compact = i % 3 == 0
+
+    def body(env: Env) -> None:
+        cluster = _cluster(env)
+        _put_all(env, cluster, [(f"k{k}", f"v{k}") for k in range(keys)])
+        dead = cluster.leader
+        env.check(cluster.crash_leader() >= 0, "failover left no leader")
+        env.check(cluster.restart(dead), f"crashed r{dead} did not rejoin")
+        _put_all(env, cluster, [(f"c{k}", f"v{k}") for k in range(keys)])
+        if compact:
+            env.check(cluster.replicas[cluster.leader].compact(), "compaction failed")
+        # Restart the *current* leader: its replayed WAL is the only
+        # source of truth it consults — the bug-A/bug-B hotspot.
+        env.check(cluster.restart(cluster.leader), "leader restart failed")
+        _check_served(env, cluster)
+        cluster.shutdown()
+    return body
+
+
+_BUILDERS: dict[str, Callable[[int], Callable[[Env], None]]] = {
+    "basic": _basic_body,
+    "wal": _wal_body,
+    "restart": _restart_body,
+    "failover": _failover_body,
+    "divergence": _divergence_body,
+    "churn": _churn_body,
+}
+
+
+class ReplKvTarget(Target):
+    """ReplKV 1.0 and its generated 150-test recovery suite."""
+
+    name = "replkv"
+    version = "1.0.0"
+
+    def build_suite(self) -> TestSuite:
+        tests: list[TestCase] = []
+        test_id = 1
+        for group, size in GROUP_SIZES.items():
+            builder = _BUILDERS[group]
+            for i in range(size):
+                tests.append(TestCase(
+                    id=test_id,
+                    name=f"{group}-{i:03d}",
+                    group=group,
+                    body=builder(i),
+                ))
+                test_id += 1
+        return TestSuite(tests)
+
+    def setup(self, env: Env, test: TestCase) -> None:
+        env.fs.mkdir("/var")
+
+    def libc_functions(self) -> tuple[str, ...]:
+        return REPLKV_FUNCTIONS
+
+    def invariants(self, env: Env, test: TestCase) -> list[str]:
+        return check_invariants(env)

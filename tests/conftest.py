@@ -35,6 +35,13 @@ def minidb() -> MiniDbTarget:
 
 
 @pytest.fixture(scope="session")
+def replkv():
+    from repro.sim.targets.replkv import ReplKvTarget
+
+    return ReplKvTarget()
+
+
+@pytest.fixture(scope="session")
 def docstore_old() -> DocStoreTarget:
     return DocStoreTarget(version="0.8")
 

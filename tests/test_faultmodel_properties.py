@@ -1,0 +1,154 @@
+"""Property-based contracts for the world-side fault models.
+
+Hypothesis drives the mutation primitives and the windowed network
+state through arbitrary inputs: torn writes never grow data (and a torn
+WAL file never exceeds the intact one), the corruption and bit-flip
+masks are involutions, every partition heals back to a connected
+fabric, and composed campaigns digest identically no matter how the
+spec spells the composition.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    ExplorationSession,
+    FitnessGuidedSearch,
+    IterationBudget,
+    TargetRunner,
+    standard_impact,
+)
+from repro.core.checkpoint import history_digest
+from repro.injection.models import compose_models, model_injector, model_space
+from repro.injection.models.bitflip import BitFlipState, flip_bit
+from repro.injection.models.disk import (
+    DiskFaultState,
+    corrupt_bytes,
+    torn_bytes,
+)
+from repro.injection.models.net import NetFaultState
+from repro.sim.filesystem import O_CREAT, O_WRONLY, SimFilesystem
+
+
+class TestTornWrites:
+    @given(data=st.binary(max_size=200))
+    def test_torn_prefix_never_longer_than_original(self, data):
+        torn = torn_bytes(data)
+        assert len(torn) <= len(data)
+        assert data.startswith(torn)
+
+    @given(
+        chunks=st.lists(st.binary(min_size=1, max_size=40), min_size=1,
+                        max_size=6),
+        write_number=st.integers(min_value=1, max_value=8),
+    )
+    def test_torn_file_never_exceeds_intact_length(self, chunks, write_number):
+        def total_written(state) -> int:
+            fs = SimFilesystem()
+            fs.disk_fault = state
+            fd = fs.open("/f", O_WRONLY | O_CREAT)
+            claimed = sum(fs.write(fd, chunk) for chunk in chunks)
+            fs.close(fd)
+            # the syscall return values always claim full success.
+            assert claimed == sum(len(chunk) for chunk in chunks)
+            return len(fs.read_file("/f"))
+
+        intact = total_written(None)
+        torn = total_written(DiskFaultState(write_number, "torn"))
+        assert torn <= intact
+
+    @given(
+        chunks=st.lists(st.binary(min_size=1, max_size=40), min_size=1,
+                        max_size=6),
+        write_number=st.integers(min_value=1, max_value=8),
+    )
+    def test_corruption_preserves_length(self, chunks, write_number):
+        fs = SimFilesystem()
+        fs.disk_fault = DiskFaultState(write_number, "corrupt")
+        fd = fs.open("/f", O_WRONLY | O_CREAT)
+        for chunk in chunks:
+            fs.write(fd, chunk)
+        fs.close(fd)
+        assert len(fs.read_file("/f")) == sum(len(chunk) for chunk in chunks)
+
+
+class TestInvolutions:
+    @given(data=st.binary(max_size=100))
+    def test_corrupt_mask_is_involution(self, data):
+        assert corrupt_bytes(corrupt_bytes(data)) == data
+        assert len(corrupt_bytes(data)) == len(data)
+
+    @given(data=st.binary(min_size=1, max_size=50),
+           bit=st.integers(min_value=0, max_value=7))
+    def test_flip_bit_is_involution(self, data, bit):
+        buffer = bytearray(data)
+        flip_bit(buffer, bit)
+        assert bytes(buffer) != data  # one bit really changed
+        flip_bit(buffer, bit)
+        assert bytes(buffer) == data
+
+    @given(access=st.integers(min_value=1, max_value=10),
+           bit=st.integers(min_value=0, max_value=7),
+           accesses=st.integers(min_value=1, max_value=20))
+    def test_bitflip_fires_at_most_once(self, access, bit, accesses):
+        state = BitFlipState(access, bit)
+        original = bytes(range(1, 9))
+        buffer = bytearray(original)
+        for _ in range(accesses):
+            state.on_access(buffer)
+        if accesses >= access:
+            assert state.fired
+            expected = bytearray(original)
+            flip_bit(expected, bit)
+            assert buffer == expected
+        else:
+            assert not state.fired
+            assert buffer == bytearray(original)
+
+
+class TestPartitionsHeal:
+    @given(op_number=st.integers(min_value=1, max_value=12),
+           window=st.integers(min_value=1, max_value=5),
+           mode=st.sampled_from(["partition", "delay", "reorder"]))
+    def test_every_window_closes(self, op_number, window, mode):
+        state = NetFaultState(op_number, mode, window=window)
+        faulted = sum(
+            1 for _ in range(op_number + window + 5)
+            if state.on_op() is not None
+        )
+        assert faulted == window
+        assert state.healed
+        # once healed, the network stays connected forever.
+        for _ in range(10):
+            assert state.peek() is None
+            assert state.on_op() is None
+
+    @given(op_number=st.integers(min_value=1, max_value=12))
+    def test_peek_is_side_effect_free(self, op_number):
+        state = NetFaultState(op_number, "partition")
+        before = state.ops
+        state.peek()
+        assert state.ops == before
+
+
+class TestCompositionOrderInvariance:
+    @settings(max_examples=3)
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    def test_spec_spelling_never_changes_the_campaign(self, seed, coreutils):
+        def digest(spec: str) -> str:
+            space = model_space(coreutils, compose_models(spec)).restrict_axis(
+                "test", range(1, 8)
+            )
+            session = ExplorationSession(
+                runner=TargetRunner(coreutils, model_injector(spec)),
+                space=space,
+                metric=standard_impact(),
+                strategy=FitnessGuidedSearch(),
+                target=IterationBudget(25),
+                rng=seed,
+            )
+            return history_digest(list(session.run()))
+
+        assert digest("errno+disk") == digest("disk+errno")
