@@ -1,0 +1,177 @@
+"""Campaign-service throughput: concurrency and time-to-first-result.
+
+Runs the same batch of campaigns through an in-process
+``CampaignService`` twice — once strictly sequentially (one worker) and
+once with ``CONCURRENCY`` workers draining the queue together — and
+writes ``BENCH_service.json`` at the repo root.
+
+Measured quantities:
+
+- submit -> first-result latency: how long after submission the first
+  executed test lands (queue pop, engine build, and the first dispatch
+  all included).  This is the interactive price of going through the
+  service instead of calling the engine directly.
+- N-concurrent vs N-sequential wall-clock: the scheduler and the
+  SQLite store must not serialize independent campaigns.  The gate is
+  throughput >= 0.9x of sequential — the service may not *cost*
+  concurrency (the GIL bounds how much it can win in-process).
+
+Both arms must also agree with each other and with the direct engine
+digest: scheduling moves when campaigns run, never their outcomes.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from concurrent.futures import FIRST_COMPLETED, wait
+from pathlib import Path
+
+from conftest import cores_info, run_once
+from repro.service.server import CampaignService, TenantConfig
+from repro.service.spec import CampaignSpec
+from repro.service.store import ResultStore
+from repro.util.tables import TextTable
+
+CONCURRENCY = 4
+JOBS = 4
+ITERATIONS = 60
+SEEDS = tuple(range(1, JOBS + 1))
+MAX_FIRST_RESULT_S = 5.0
+MIN_RELATIVE_THROUGHPUT = 0.9
+BENCH_PATH = Path(__file__).parent.parent / "BENCH_service.json"
+
+
+def _specs() -> list[CampaignSpec]:
+    return [
+        CampaignSpec(target="coreutils", iterations=ITERATIONS, seed=seed)
+        for seed in SEEDS
+    ]
+
+
+def _drain(service: CampaignService) -> None:
+    """Run every queued job on the service's own executor and wait,
+    honouring the tenant quota the way the serve loop does: finish a
+    job in the queue's books before popping past its quota."""
+    pending: dict = {}
+    while True:
+        while (entry := service.queue.pop()) is not None:
+            future = service._executor.submit(service._run_job, entry)
+            pending[future] = entry.job_id
+        if not pending:
+            return
+        done, _ = wait(pending, return_when=FIRST_COMPLETED)
+        for future in done:
+            service.queue.finish(pending.pop(future))
+            future.result()
+
+
+def _arm(tmp: Path, workers: int, label: str) -> dict:
+    store = ResultStore(tmp / f"{label}.db")
+    service = CampaignService(
+        store,
+        tenants=[TenantConfig("bench", priority=0,
+                              max_concurrent=workers)],
+        workers=workers,
+    )
+    try:
+        started = time.perf_counter()
+        jobs = [service.submit("bench", spec) for spec in _specs()]
+        _drain(service)
+        seconds = time.perf_counter() - started
+        done = [store.job(job.id) for job in jobs]
+        bad = [j for j in done if j.state != "done"]
+        assert not bad, bad
+        latencies = [
+            j.document["first_result_s"] for j in done
+        ]
+        tests = sum(j.summary["tests"] for j in done)
+        return {
+            "workers": workers,
+            "jobs": len(jobs),
+            "tests": tests,
+            "seconds": seconds,
+            "digests": [j.digest for j in done],
+            "first_result_s": latencies,
+        }
+    finally:
+        service.shutdown()
+
+
+def test_service_throughput(benchmark, report, tmp_path):
+    def experiment():
+        sequential = _arm(tmp_path, 1, "sequential")
+        concurrent = _arm(tmp_path, CONCURRENCY, "concurrent")
+        return sequential, concurrent
+
+    sequential, concurrent = run_once(benchmark, experiment)
+
+    relative = sequential["seconds"] / concurrent["seconds"]
+    worst_latency = max(
+        max(sequential["first_result_s"]),
+        max(concurrent["first_result_s"]),
+    )
+    payload = {
+        "benchmark": "service_throughput",
+        "target": "coreutils",
+        "jobs": JOBS,
+        "iterations": ITERATIONS,
+        "seeds": list(SEEDS),
+        "cores": cores_info(),
+        "sequential": {
+            "workers": 1,
+            "seconds": round(sequential["seconds"], 4),
+            "tests_per_second": round(
+                sequential["tests"] / sequential["seconds"], 1
+            ),
+            "first_result_s": [
+                round(s, 4) for s in sequential["first_result_s"]
+            ],
+        },
+        "concurrent": {
+            "workers": CONCURRENCY,
+            "seconds": round(concurrent["seconds"], 4),
+            "tests_per_second": round(
+                concurrent["tests"] / concurrent["seconds"], 1
+            ),
+            "first_result_s": [
+                round(s, 4) for s in concurrent["first_result_s"]
+            ],
+        },
+        "relative_throughput": round(relative, 3),
+        "digests_match": sorted(sequential["digests"])
+        == sorted(concurrent["digests"]),
+        "gates": {
+            "min_relative_throughput": MIN_RELATIVE_THROUGHPUT,
+            "max_first_result_s": MAX_FIRST_RESULT_S,
+            "worst_first_result_s": round(worst_latency, 4),
+        },
+    }
+    BENCH_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+
+    table = TextTable(
+        ["arm", "workers", "jobs", "seconds", "tests/s",
+         "worst first-result"],
+        title=f"campaign service throughput, coreutils x{ITERATIONS} "
+              f"x{JOBS} campaigns",
+    )
+    for label, arm in (("sequential", payload["sequential"]),
+                       ("concurrent", payload["concurrent"])):
+        table.add_row([
+            label, arm["workers"], JOBS, f"{arm['seconds']:.2f}",
+            f"{arm['tests_per_second']:.0f}",
+            f"{max(arm['first_result_s']):.3f}s",
+        ])
+    report(
+        "service_throughput",
+        table.render()
+        + f"\nconcurrent/sequential = {relative:.2f}x"
+        + f"\nwritten to {BENCH_PATH.name}",
+    )
+
+    # Scheduling moves when campaigns run, never their outcomes.
+    assert payload["digests_match"], payload
+    # The interactive price of the service stays bounded.
+    assert worst_latency <= MAX_FIRST_RESULT_S, payload["gates"]
+    # Concurrency must not cost throughput.
+    assert relative >= MIN_RELATIVE_THROUGHPUT, payload

@@ -29,13 +29,16 @@ import sys
 from pathlib import Path
 
 REPO = Path(__file__).resolve().parent.parent
-FILES = ("BENCH_parallel.json", "BENCH_net.json", "BENCH_fleet.json")
+FILES = ("BENCH_parallel.json", "BENCH_net.json", "BENCH_fleet.json",
+         "BENCH_service.json")
 
 MAX_BYTES_PER_TEST = 200.0
 MAX_FRAMES_PER_TEST = 0.5
 MIN_POOL_SPEEDUP = 1.0
 MIN_FLEET_SPEEDUP = 3.0
 FLEET_GATED_NODES = 8
+MIN_SERVICE_RELATIVE = 0.9
+MAX_SERVICE_FIRST_RESULT_S = 5.0
 
 
 def committed(ref: str, path: str) -> dict | None:
@@ -156,6 +159,13 @@ def main() -> int:
     a = dig(a_arm, "dedup_rerun", "hit_rate")
     rows.append((f"fleet dedup rerun hit-rate ({FLEET_GATED_NODES} nodes)",
                  fmt(b), fmt(a), delta(b, a)))
+    row("service concurrent/sequential", "relative_throughput",
+        source="BENCH_service.json")
+    row("service concurrent tests/s", "concurrent", "tests_per_second",
+        source="BENCH_service.json", pattern="{:.0f}")
+    row("service worst first-result (s)", "gates",
+        "worst_first_result_s", source="BENCH_service.json",
+        pattern="{:.3f}")
 
     print(f"### Benchmark delta vs `{args.baseline_ref}`\n")
     print("| metric | before | after | change |")
@@ -253,6 +263,33 @@ def main() -> int:
             failures.append(
                 "fleet churn run (join + drain) diverged from the "
                 "in-process reference"
+            )
+
+    service = after["BENCH_service.json"]
+    if service is None:
+        failures.append(
+            "BENCH_service.json was not produced by the benchmarks"
+        )
+    else:
+        relative = dig(service, "relative_throughput")
+        if not isinstance(relative, (int, float)) \
+                or relative < MIN_SERVICE_RELATIVE:
+            failures.append(
+                f"service concurrent throughput {fmt(relative)} fell "
+                f"below {MIN_SERVICE_RELATIVE}x sequential"
+            )
+        worst = dig(service, "gates", "worst_first_result_s")
+        if not isinstance(worst, (int, float)) \
+                or worst > MAX_SERVICE_FIRST_RESULT_S:
+            failures.append(
+                f"service submit->first-result latency "
+                f"{fmt(worst, '{:.3f}')}s exceeded "
+                f"{MAX_SERVICE_FIRST_RESULT_S}s"
+            )
+        if dig(service, "digests_match") is not True:
+            failures.append(
+                "service campaigns diverged between the sequential and "
+                "concurrent arms"
             )
 
     if failures:

@@ -22,24 +22,22 @@ from dataclasses import dataclass, field
 from pathlib import Path
 
 from repro.core.cache import ResultCache
-from repro.core.checkpoint import Checkpoint, load_checkpoint
+from repro.core.checkpoint import Checkpoint
 from repro.core.faultspace import FaultSpace
 from repro.core.impact import ImpactMetric, standard_impact
 from repro.core.results import ResultSet
 from repro.core.runner import TargetRunner
 from repro.core.search import FitnessGuidedSearch
 from repro.core.search.base import SearchStrategy
-from repro.core.session import ExplorationSession
-from repro.core.targets import IterationBudget, SearchTarget
+from repro.core.targets import SearchTarget
 from repro.errors import ClusterError, ReportError
 from repro.quality.report import ExplorationReport, build_report
+from repro.service.documents import verdict_of
+from repro.service.engine import FABRICS, CampaignEngine
 from repro.sim.testsuite import Target
 from repro.util.tables import TextTable
 
 __all__ = ["CampaignJob", "CampaignOutcome", "Campaign", "FABRICS"]
-
-#: the selectable execution fabrics ("auto" = serial unless nodes > 1).
-FABRICS = ("auto", "serial", "threads", "processes", "virtual", "socket")
 
 
 @dataclass
@@ -127,144 +125,93 @@ class CampaignJob:
     #: online-clustering counters of the last execution (an
     #: ``OnlineClusters.stats()`` dict; set by :meth:`execute`).
     quality_stats: "dict | None" = field(default=None, compare=False)
+    #: the lazily-built :class:`~repro.service.engine.CampaignEngine`
+    #: executing this job; kept warm across repeated :meth:`execute`
+    #: calls (same processes/nodes, no re-bring-up) until :meth:`close`.
+    _engine: "CampaignEngine | None" = field(
+        default=None, repr=False, compare=False
+    )
+    _engine_signature: "tuple | None" = field(
+        default=None, repr=False, compare=False
+    )
+
+    def engine(self) -> CampaignEngine:
+        """This job's (warm) engine, rebuilt if fabric knobs changed."""
+        signature = (
+            self.fabric, max(self.nodes, 1), id(self.target),
+            id(self.cache), id(self.metrics), id(self.tracer),
+            id(self.target_factory), id(self.retry_policy),
+            self.dispatch_deadline, self.listen, self.node_wait,
+            id(self.on_fabric), id(self.metric_factory),
+        )
+        if self._engine is None or self._engine_signature != signature:
+            if self._engine is not None:
+                self._engine.close()
+            self._engine = CampaignEngine(
+                self.target,
+                fabric=self.fabric,
+                workers=max(self.nodes, 1),
+                name=self.name,
+                cache=self.cache,
+                metrics=self.metrics,
+                tracer=self.tracer,
+                metric_factory=self.metric_factory,
+                target_factory=self.target_factory,
+                retry_policy=self.retry_policy,
+                dispatch_deadline=self.dispatch_deadline,
+                listen=self.listen,
+                node_wait=self.node_wait,
+                on_fabric=self.on_fabric,
+            )
+            self._engine_signature = signature
+        return self._engine
+
+    def close(self) -> None:
+        """Tear down the job's warm fabric (idempotent)."""
+        if self._engine is not None:
+            self._engine.close()
+            self._engine = None
+            self._engine_signature = None
 
     def execute(self) -> tuple[TargetRunner, ResultSet, SearchStrategy]:
         """Run the job, returning (runner for re-execution, results,
-        the strategy instance that drove the search)."""
+        the strategy instance that drove the search).
+
+        Repeated calls reuse the warm fabric (the digest is a pure
+        function of space/strategy/seed/batch size, so reuse never
+        changes outcomes); call :meth:`close` when done with the job.
+        """
         if self.fabric not in FABRICS:
             raise ClusterError(
                 f"unknown fabric {self.fabric!r}; available: {FABRICS}"
             )
-        fabric = self.fabric
-        if fabric == "auto":
-            fabric = "serial" if self.nodes <= 1 else "threads"
-        runner = TargetRunner(
-            self.target, cache=self.cache,
-            metrics=self.metrics, tracer=self.tracer,
-        )
-        stop = self.stop or IterationBudget(self.iterations)
+        engine = self.engine()
         strategy = self.strategy_factory()
         online = self.online_quality or self.live_feedback
         if self.live_feedback and hasattr(strategy, "use_novelty"):
             strategy.use_novelty = True
-        resume = self.resume_from
-        if isinstance(resume, (str, Path)):
-            resume = load_checkpoint(resume)
-        meta = {"job": self.name, "seed": self.seed, "fabric": fabric}
-        if fabric == "serial":
-            session = ExplorationSession(
-                runner=runner,
-                space=self.space,
-                metric=self.metric_factory(),
-                strategy=strategy,
-                target=stop,
-                rng=self.seed,
-                batch_size=self.batch_size or 1,
-                checkpoint_path=self.checkpoint_path,
-                checkpoint_every=self.checkpoint_every,
-                checkpoint_meta=meta,
-                resume_from=resume,
-                metrics=self.metrics,
-                tracer=self.tracer,
-                online_quality=online,
-                cluster_distance=self.cluster_distance,
-                similarity_threshold=self.similarity_threshold,
-            )
-            self.fabric_health = None
-            results = session.run()
-            self.quality_stats = (
-                session.quality.stats() if session.quality is not None
-                else None
-            )
-            return runner, results, strategy
-
-        from repro.cluster import (
-            ClusterExplorer,
-            FaultTolerantFabric,
-            LocalCluster,
-            NodeManager,
-            ProcessPoolCluster,
-            RetryPolicy,
-            SocketFabric,
-            VirtualCluster,
-        )
-
-        nodes = max(self.nodes, 1)
-        pool: ProcessPoolCluster | None = None
-        net: SocketFabric | None = None
-        if fabric == "socket":
-            # The networked fabric: explorer nodes are separate
-            # processes (launched via ``on_fabric`` or out of band with
-            # ``afex node``) that connect to this manager over TCP.
-            net = SocketFabric(self.listen, expected_nodes=nodes)
-            try:
-                if self.on_fabric is not None:
-                    self.on_fabric(net)
-                net.wait_for_nodes(timeout=self.node_wait)
-            except BaseException:
-                net.close()
-                raise
-            cluster = FaultTolerantFabric(
-                net,
-                policy=self.retry_policy or RetryPolicy(),
-                dispatch_deadline=self.dispatch_deadline,
-            )
-        elif fabric == "processes":
-            # Without a picklable factory the pool degrades to in-process
-            # execution on its own — same results, no parallelism.  The
-            # pool carries its own retry/deadline machinery, so it is not
-            # wrapped again below.
-            factory = self.target_factory or (lambda: self.target)
-            cluster = pool = ProcessPoolCluster(
-                factory, workers=nodes, name=self.name,
-                retry_policy=self.retry_policy or RetryPolicy(),
-                dispatch_deadline=self.dispatch_deadline,
-            )
-        else:
-            self.target.suite  # pre-build once; managers then share it safely
-            managers = [
-                NodeManager(f"{self.name}-node{i}", self.target,
-                            cache=self.cache, metrics=self.metrics)
-                for i in range(nodes)
-            ]
-            inner = (LocalCluster(managers) if fabric == "threads"
-                     else VirtualCluster(managers))
-            cluster = FaultTolerantFabric(
-                inner,
-                policy=self.retry_policy or RetryPolicy(),
-                dispatch_deadline=self.dispatch_deadline,
-            )
-        explorer = ClusterExplorer(
-            cluster,
+        meta = {
+            "job": self.name, "seed": self.seed,
+            "fabric": engine.resolved_fabric,
+        }
+        run = engine.explore(
             self.space,
-            self.metric_factory(),
             strategy,
-            stop,
-            rng=self.seed,
+            iterations=self.iterations,
+            stop=self.stop,
+            seed=self.seed,
             batch_size=self.batch_size,
             checkpoint_path=self.checkpoint_path,
             checkpoint_every=self.checkpoint_every,
             checkpoint_meta=meta,
-            resume_from=resume,
-            metrics=self.metrics,
-            tracer=self.tracer,
+            resume_from=self.resume_from,
             online_quality=online,
             cluster_distance=self.cluster_distance,
             similarity_threshold=self.similarity_threshold,
         )
-        try:
-            results = explorer.run()
-        finally:
-            if pool is not None:
-                pool.close()
-            if net is not None:
-                net.close()
-        self.fabric_health = explorer.health
-        self.quality_stats = (
-            explorer.quality.stats() if explorer.quality is not None
-            else None
-        )
-        return runner, results, strategy
+        self.fabric_health = run.health
+        self.quality_stats = run.quality_stats
+        return run.runner, run.results, strategy
 
 
 @dataclass
@@ -289,13 +236,7 @@ class CampaignOutcome:
     @property
     def verdict(self) -> str:
         """A coarse certification verdict from the outcome counts."""
-        if self.results.crash_count() > 0:
-            return "CRASHES"
-        if len(self.results.hangs()) > 0:
-            return "HANGS"
-        if self.results.failed_count() > 0:
-            return "FAILURES"
-        return "CLEAN"
+        return verdict_of(self.results)
 
 
 @dataclass
@@ -314,32 +255,38 @@ class Campaign:
         if not self.jobs:
             raise ReportError("campaign has no jobs")
         outcomes: list[CampaignOutcome] = []
-        for job in self.jobs:
-            started = time.perf_counter()
-            runner, results, strategy = job.execute()
-            report = build_report(
-                results,
-                runner,
-                job.name,
-                strategy_name=strategy.name,
-                top_n=report_top_n,
-                of=lambda t: t.failed,
-                fabric_health=job.fabric_health,
-                quality_stats=job.quality_stats,
-            )
-            outcomes.append(CampaignOutcome(
-                job=job,
-                results=results,
-                report=report,
-                seconds=time.perf_counter() - started,
-                strategy_name=strategy.name,
-                fabric_health=job.fabric_health,
-                quality_stats=job.quality_stats,
-                metrics_snapshot=(
-                    job.metrics.snapshot()  # type: ignore[attr-defined]
-                    if job.metrics is not None else None
-                ),
-            ))
+        try:
+            for job in self.jobs:
+                started = time.perf_counter()
+                runner, results, strategy = job.execute()
+                report = build_report(
+                    results,
+                    runner,
+                    job.name,
+                    strategy_name=strategy.name,
+                    top_n=report_top_n,
+                    of=lambda t: t.failed,
+                    fabric_health=job.fabric_health,
+                    quality_stats=job.quality_stats,
+                )
+                outcomes.append(CampaignOutcome(
+                    job=job,
+                    results=results,
+                    report=report,
+                    seconds=time.perf_counter() - started,
+                    strategy_name=strategy.name,
+                    fabric_health=job.fabric_health,
+                    quality_stats=job.quality_stats,
+                    metrics_snapshot=(
+                        job.metrics.snapshot()  # type: ignore[attr-defined]
+                        if job.metrics is not None else None
+                    ),
+                ))
+        finally:
+            # Fabrics stay warm only *within* a run (repeated execute()
+            # of one job); the batch tears everything down on the way out.
+            for job in self.jobs:
+                job.close()
         return outcomes
 
     @staticmethod

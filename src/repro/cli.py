@@ -203,6 +203,134 @@ def build_parser() -> argparse.ArgumentParser:
         help="record structured span events (JSON lines) so the run's "
         "rounds are reconstructable (implies metrics collection)",
     )
+    run.add_argument(
+        "--report-json", default=None, metavar="PATH",
+        help="write the machine-readable campaign outcome document "
+        "(the same JSON `afex submit` returns) to PATH",
+    )
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the multi-tenant campaign service (REST/JSON API)",
+    )
+    serve.add_argument(
+        "--listen", default="127.0.0.1:0", metavar="HOST:PORT",
+        help="endpoint the API listens on (port 0 binds an ephemeral "
+        "port, printed at startup; default 127.0.0.1:0)",
+    )
+    serve.add_argument(
+        "--store", default="afex-service.db", metavar="PATH",
+        help="SQLite result store; campaigns and deduplicated results "
+        "survive restarts (default afex-service.db)",
+    )
+    serve.add_argument(
+        "--data-dir", default=None, metavar="DIR",
+        help="directory for server-side campaign checkpoints "
+        "(default: the store's directory)",
+    )
+    serve.add_argument(
+        "--workers", type=_positive_int, default=2,
+        help="campaigns executed concurrently (default 2)",
+    )
+    serve.add_argument(
+        "--tenant", action="append", default=None,
+        metavar="NAME[:PRIORITY[:QUOTA]]",
+        help="declare a tenant with a scheduling priority (higher runs "
+        "first; default 0) and a concurrent-campaign quota (default "
+        "--default-quota); repeatable.  Unknown tenants are admitted "
+        "with priority 0",
+    )
+    serve.add_argument(
+        "--default-quota", type=_positive_int, default=1,
+        help="concurrent-campaign quota for undeclared tenants "
+        "(default 1)",
+    )
+    serve.add_argument(
+        "--checkpoint-every", type=int, default=10,
+        help="server-side checkpoint interval in executed tests; 0 "
+        "disables mid-campaign snapshots (default 10)",
+    )
+    serve.add_argument(
+        "--node-wait", type=float, default=60.0, metavar="SECONDS",
+        help="how long socket-fabric campaigns wait for their spawned "
+        "explorer nodes (default 60)",
+    )
+    serve.add_argument(
+        "--no-spawn-nodes", action="store_true",
+        help="do not spawn `afex node` workers for socket-fabric "
+        "campaigns (operate them out of band)",
+    )
+
+    submit = sub.add_parser(
+        "submit", help="submit a campaign to a running `afex serve`"
+    )
+    submit.add_argument(
+        "--endpoint", required=True, metavar="HOST:PORT",
+        help="service endpoint printed by `afex serve`",
+    )
+    submit.add_argument("--tenant", required=True)
+    submit.add_argument("--target", required=True, choices=_TARGETS)
+    submit.add_argument("--strategy", default="fitness", choices=_STRATEGIES)
+    submit.add_argument("--iterations", type=int, default=250)
+    submit.add_argument("--seed", type=int, default=0)
+    submit.add_argument("--fault-model", default="errno", metavar="SPEC")
+    submit.add_argument("--max-call", type=int, default=2)
+    submit.add_argument("--fabric", default="serial", choices=_FABRICS)
+    submit.add_argument("--workers", type=_positive_int, default=4)
+    submit.add_argument(
+        "--nodes", type=_positive_int, default=1,
+        help="with --fabric socket: explorer nodes the service spawns",
+    )
+    submit.add_argument("--batch-size", type=_positive_int, default=None)
+    submit.add_argument("--online-quality", action="store_true")
+    submit.add_argument("--top", type=int, default=10)
+    submit.add_argument("--label", default="")
+    submit.add_argument(
+        "--priority", type=int, default=None,
+        help="override the tenant's scheduling priority for this job",
+    )
+    submit.add_argument(
+        "--wait", action="store_true",
+        help="block until the campaign finishes and print its outcome",
+    )
+    submit.add_argument(
+        "--timeout", type=float, default=600.0,
+        help="with --wait: give up after SECONDS (default 600)",
+    )
+    submit.add_argument(
+        "--json", action="store_true",
+        help="print the raw job envelope instead of the summary lines",
+    )
+
+    jobs = sub.add_parser(
+        "jobs", help="list campaigns known to a running `afex serve`"
+    )
+    jobs.add_argument("--endpoint", required=True, metavar="HOST:PORT")
+    jobs.add_argument("--tenant", default=None)
+    jobs.add_argument(
+        "--state", default=None,
+        choices=("queued", "running", "done", "failed"),
+    )
+    jobs.add_argument("--limit", type=_positive_int, default=200)
+    jobs.add_argument("--json", action="store_true")
+
+    results_cmd = sub.add_parser(
+        "results", help="query the service's deduplicated result archive"
+    )
+    results_cmd.add_argument("--endpoint", required=True,
+                             metavar="HOST:PORT")
+    results_cmd.add_argument(
+        "--campaign", default=None, metavar="JOB_ID",
+        help="one campaign's results in execution order (with impact)",
+    )
+    results_cmd.add_argument("--target", default=None)
+    results_cmd.add_argument("--crashed", action="store_true",
+                             help="only crashing results")
+    results_cmd.add_argument("--failed", action="store_true",
+                             help="only failing results")
+    results_cmd.add_argument("--min-impact", type=float, default=None)
+    results_cmd.add_argument("--limit", type=_positive_int, default=100)
+    results_cmd.add_argument("--json", action="store_true")
 
     structure = sub.add_parser(
         "map", help="print a Fig. 1-style fault-space structure map"
@@ -314,10 +442,20 @@ def _cmd_profile(args: argparse.Namespace) -> int:
 
 
 def _explore_on_fabric(args: argparse.Namespace, target, space, strategy):
-    """Run the exploration on the requested fabric; returns the results."""
-    import time
+    """Run the exploration on the requested fabric; returns the results.
+
+    A thin client of :class:`~repro.service.engine.CampaignEngine`:
+    the CLI's job is flag parsing and printing — fabric lifecycle,
+    checkpointing, and quality/metrics threading live in the engine
+    (shared with :class:`~repro.campaign.CampaignJob` and the campaign
+    service, which keeps the fabric *warm* across runs; a one-shot
+    ``afex run`` closes it on the way out).
+    """
+    import functools
 
     from repro.core.cache import ResultCache
+    from repro.injection.models import model_injector
+    from repro.service.engine import CampaignEngine
 
     fabric = args.fabric
     if args.cache and fabric in ("processes", "socket"):
@@ -329,11 +467,6 @@ def _explore_on_fabric(args: argparse.Namespace, target, space, strategy):
     cache = (ResultCache(path=args.cache)
              if args.cache and fabric not in ("processes", "socket")
              else None)
-    resume = None
-    if getattr(args, "resume", None):
-        from repro.core.checkpoint import load_checkpoint
-
-        resume = load_checkpoint(args.resume)
     checkpoint_path = getattr(args, "checkpoint", None)
     checkpoint_every = getattr(args, "checkpoint_every", 0)
     fault_model = getattr(args, "fault_model", "errno")
@@ -352,138 +485,79 @@ def _explore_on_fabric(args: argparse.Namespace, target, space, strategy):
         if getattr(args, "trace_out", None):
             sinks.append(JsonLinesSink(args.trace_out))
         tracer = Tracer(sinks=sinks)
-    online = bool(getattr(args, "online_quality", False))
-    quality_kwargs = dict(
-        online_quality=online,
-        cluster_distance=getattr(args, "cluster_distance", 1),
-        similarity_threshold=getattr(args, "similarity_threshold", 0.0),
-    )
-    health = None
-    quality = None
-    started = time.perf_counter()
-    from repro.injection.models import model_injector
 
-    if fabric == "serial":
-        session = ExplorationSession(
-            runner=TargetRunner(target, model_injector(fault_model),
-                                cache=cache, metrics=metrics, tracer=tracer),
-            space=space,
-            metric=standard_impact(),
-            strategy=strategy,
-            target=IterationBudget(args.iterations),
-            rng=args.seed,
-            batch_size=args.batch_size or 1,
-            checkpoint_path=checkpoint_path,
-            checkpoint_every=checkpoint_every,
-            checkpoint_meta=checkpoint_meta,
-            resume_from=resume,
-            metrics=metrics,
-            tracer=tracer,
-            **quality_kwargs,
-        )
-        results = session.run()
-        quality = session.quality
-    else:
-        import functools
+    wait_count = allow_join = fleet_cache = None
+    on_fabric = on_nodes = None
+    workers = getattr(args, "workers", 1)
+    if fabric == "socket":
+        from repro.cluster import FleetResultCache
 
-        from repro.cluster import (
-            ClusterExplorer,
-            FaultTolerantFabric,
-            LocalCluster,
-            NodeManager,
-            ProcessPoolCluster,
-            RetryPolicy,
-            VirtualCluster,
-        )
+        min_nodes = getattr(args, "min_nodes", None)
+        allow_join = bool(getattr(args, "allow_join", False)) \
+            or min_nodes is not None
+        # --cache on the socket fabric means *fleet-shared* dedup at
+        # the manager (per-node caches cannot see each other's
+        # duplicates); the path-backed cache still persists
+        # serial-fabric results only.
+        fleet_cache = FleetResultCache() if args.cache else None
+        workers = args.nodes
+        wait_count = args.nodes if min_nodes is None \
+            else min(min_nodes, args.nodes)
+        model_hint = (f" --fault-model {fault_model}"
+                      if fault_model != "errno" else "")
 
-        deadline = getattr(args, "dispatch_deadline", None)
-        pool = None
-        net = None
-        if fabric == "socket":
-            from repro.cluster import FleetResultCache, SocketFabric
-
-            min_nodes = getattr(args, "min_nodes", None)
-            allow_join = bool(getattr(args, "allow_join", False)) \
-                or min_nodes is not None
-            net = SocketFabric(
-                getattr(args, "listen", "127.0.0.1:0"),
-                expected_nodes=args.nodes,
-                allow_join=allow_join,
-                # --cache on the socket fabric means *fleet-shared*
-                # dedup at the manager (per-node caches cannot see each
-                # other's duplicates); the path-backed cache still
-                # persists serial-fabric results only.
-                fleet_cache=FleetResultCache() if args.cache else None,
-            )
-            wanted = args.nodes if min_nodes is None \
-                else min(min_nodes, args.nodes)
-            model_hint = (f" --fault-model {fault_model}"
-                          if fault_model != "errno" else "")
+        def on_fabric(net, wanted=wait_count):
             print(f"socket fabric listening on {net.host}:{net.port}; "
                   f"waiting for {wanted} node(s) -- start each with: "
                   f"afex node --connect {net.host}:{net.port} "
                   f"--target {args.target}{model_hint}")
-            try:
-                registered = net.wait_for_nodes(
-                    count=wanted,
-                    timeout=getattr(args, "node_wait", 60.0))
-                print(f"socket fabric: {registered} node(s) registered; "
-                      "exploring", flush=True)
-            except BaseException:
-                net.close()
-                raise
-            cluster = FaultTolerantFabric(
-                net, policy=RetryPolicy(), dispatch_deadline=deadline,
-            )
-        elif fabric == "processes":
-            # The pool carries its own retry/deadline machinery.
-            cluster = pool = ProcessPoolCluster(
-                functools.partial(target_by_name, args.target),
-                workers=args.workers,
-                dispatch_deadline=deadline,
-                injector_factory=functools.partial(model_injector, fault_model),
-            )
-        else:
-            managers = [
-                NodeManager(f"node{i}", target,
-                            injector=model_injector(fault_model),
-                            cache=cache, metrics=metrics)
-                for i in range(args.workers)
-            ]
-            inner = (LocalCluster(managers) if fabric == "threads"
-                     else VirtualCluster(managers))
-            cluster = FaultTolerantFabric(
-                inner, policy=RetryPolicy(), dispatch_deadline=deadline,
-            )
-        explorer = ClusterExplorer(
-            cluster,
+
+        def on_nodes(registered):
+            print(f"socket fabric: {registered} node(s) registered; "
+                  "exploring", flush=True)
+
+    engine = CampaignEngine(
+        target,
+        fabric=fabric,
+        workers=workers,
+        name="procpool",
+        injector=model_injector(fault_model),
+        injector_factory=functools.partial(model_injector, fault_model),
+        target_factory=functools.partial(target_by_name, args.target),
+        cache=cache,
+        metrics=metrics,
+        tracer=tracer,
+        dispatch_deadline=getattr(args, "dispatch_deadline", None),
+        listen=getattr(args, "listen", "127.0.0.1:0"),
+        node_wait=getattr(args, "node_wait", 60.0),
+        wait_count=wait_count,
+        allow_join=allow_join,
+        fleet_cache=fleet_cache,
+        on_fabric=on_fabric,
+        on_nodes=on_nodes,
+        node_prefix="",
+    )
+    try:
+        run = engine.explore(
             space,
-            standard_impact(),
             strategy,
-            IterationBudget(args.iterations),
-            rng=args.seed,
+            iterations=args.iterations,
+            seed=args.seed,
             batch_size=args.batch_size,
             checkpoint_path=checkpoint_path,
             checkpoint_every=checkpoint_every,
             checkpoint_meta=checkpoint_meta,
-            resume_from=resume,
-            metrics=metrics,
-            tracer=tracer,
-            **quality_kwargs,
+            resume_from=getattr(args, "resume", None),
+            online_quality=bool(getattr(args, "online_quality", False)),
+            cluster_distance=getattr(args, "cluster_distance", 1),
+            similarity_threshold=getattr(args, "similarity_threshold", 0.0),
         )
-        try:
-            results = explorer.run()
-        finally:
-            if pool is not None:
-                pool.close()
-            if net is not None:
-                net.close()
-        health = explorer.health
-        quality = explorer.quality
-    elapsed = time.perf_counter() - started
+    finally:
+        engine.close()
     if cache is not None and args.cache:
         cache.save()
-    return results, elapsed, cache, health, quality, metrics, tracer
+    return (run.results, run.seconds, cache, run.health, run.quality,
+            metrics, tracer)
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
@@ -569,6 +643,29 @@ def _cmd_run(args: argparse.Namespace) -> int:
     # same line iff their histories are byte-identical (what the CI
     # kill-and-resume round-trip greps for).
     print(f"history digest: {history_digest(list(results))}")
+    if getattr(args, "report_json", None):
+        from pathlib import Path
+
+        from repro.core.cache import write_json_atomically
+        from repro.service.documents import campaign_document
+
+        document = campaign_document(
+            results,
+            campaign={
+                "target": args.target, "strategy": args.strategy,
+                "iterations": args.iterations, "seed": args.seed,
+                "fault_model": args.fault_model, "fabric": args.fabric,
+                "batch_size": args.batch_size,
+            },
+            elapsed_seconds=elapsed,
+            space_size=space.size(),
+            fabric_health=health,
+            quality_stats=quality.stats() if quality is not None else None,
+            cache_stats=cache.stats() if cache is not None else None,
+            top=args.top,
+        )
+        write_json_atomically(Path(args.report_json), document)
+        print(f"report: {args.report_json}")
     if args.checkpoint:
         print(f"checkpoint: {args.checkpoint} "
               f"(resume with --resume {args.checkpoint})")
@@ -677,6 +774,208 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_tenant_flag(text: str):
+    from repro.service.server import TenantConfig
+
+    name, _, rest = text.partition(":")
+    priority_text, _, quota_text = rest.partition(":")
+    return TenantConfig(
+        name,
+        priority=int(priority_text) if priority_text else 0,
+        max_concurrent=int(quota_text) if quota_text else 1,
+    )
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.service.server import CampaignService, serve
+    from repro.service.store import ResultStore
+
+    host, _, port_text = args.listen.partition(":")
+    try:
+        tenants = [_parse_tenant_flag(t) for t in (args.tenant or [])]
+    except ValueError as exc:
+        print(f"--tenant: {exc}")
+        return 2
+    store = ResultStore(args.store)
+    service = CampaignService(
+        store,
+        data_dir=args.data_dir,
+        tenants=tenants,
+        workers=args.workers,
+        default_quota=args.default_quota,
+        checkpoint_every=args.checkpoint_every,
+        node_wait=args.node_wait,
+        spawn_nodes=not args.no_spawn_nodes,
+    )
+    requeued = store.counters()["queued"]
+    if requeued:
+        print(f"campaign service: resuming {requeued} incomplete job(s) "
+              "from the store", flush=True)
+
+    def on_listen(bound_host, bound_port):
+        print(f"campaign service listening on {bound_host}:{bound_port} "
+              f"(store: {args.store}) -- submit with: afex submit "
+              f"--endpoint {bound_host}:{bound_port} --tenant NAME "
+              "--target TARGET", flush=True)
+
+    try:
+        asyncio.run(serve(
+            service, host or "127.0.0.1",
+            int(port_text) if port_text else 0,
+            on_listen=on_listen,
+        ))
+    except KeyboardInterrupt:
+        print("campaign service: interrupted; store is durable, "
+              "restart resumes incomplete jobs")
+    return 0
+
+
+def _job_lines(job: dict) -> list[str]:
+    lines = [
+        f"job {job['id']}: {job['state']} (tenant {job['tenant']}, "
+        f"priority {job['priority']})"
+    ]
+    if job.get("digest"):
+        lines.append(f"history digest: {job['digest']}")
+    summary = job.get("summary") or {}
+    if summary:
+        lines.append(
+            f"verdict: {summary.get('verdict', '?')} -- "
+            f"{summary.get('tests', 0)} tests, "
+            f"{summary.get('failed', 0)} failed, "
+            f"{summary.get('crashes', 0)} crashes, "
+            f"{summary.get('hangs', 0)} hangs"
+        )
+    if job.get("error"):
+        lines.append(f"error: {job['error']}")
+    return lines
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.errors import ReportError
+    from repro.service.server import ServiceClient
+    from repro.service.spec import CampaignSpec
+
+    try:
+        spec = CampaignSpec(
+            target=args.target,
+            strategy=args.strategy,
+            iterations=args.iterations,
+            seed=args.seed,
+            fault_model=args.fault_model,
+            max_call=args.max_call,
+            fabric=args.fabric,
+            workers=args.workers,
+            nodes=args.nodes,
+            batch_size=args.batch_size,
+            online_quality=args.online_quality,
+            top=args.top,
+            label=args.label,
+        )
+    except ReportError as exc:
+        print(f"bad campaign spec: {exc}")
+        return 2
+    client = ServiceClient(args.endpoint)
+    try:
+        job = client.submit(
+            args.tenant, spec, priority=args.priority, label=args.label
+        )
+        if args.wait:
+            job = client.wait(job["id"], timeout=args.timeout)
+    except ReportError as exc:
+        print(str(exc))
+        return 1
+    if args.json:
+        print(json.dumps(job, indent=2, sort_keys=True))
+    else:
+        for line in _job_lines(job):
+            print(line)
+        if not args.wait:
+            print(f"poll with: afex jobs --endpoint {args.endpoint} "
+                  f"--tenant {args.tenant}")
+    return 0 if job["state"] != "failed" else 1
+
+
+def _cmd_jobs(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.errors import ReportError
+    from repro.service.server import ServiceClient
+
+    client = ServiceClient(args.endpoint)
+    try:
+        jobs = client.jobs(
+            tenant=args.tenant, state=args.state, limit=args.limit
+        )
+    except ReportError as exc:
+        print(str(exc))
+        return 1
+    if args.json:
+        print(json.dumps(jobs, indent=2, sort_keys=True))
+        return 0
+    table = TextTable(
+        ["job", "tenant", "state", "priority", "verdict", "tests",
+         "digest"],
+        title="campaign service jobs",
+    )
+    for job in jobs:
+        summary = job.get("summary") or {}
+        digest = job.get("digest") or ""
+        table.add_row([
+            job["id"], job["tenant"], job["state"], job["priority"],
+            summary.get("verdict", "-"), summary.get("tests", "-"),
+            digest[:12] or "-",
+        ])
+    print(table.render())
+    return 0
+
+
+def _cmd_results(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.errors import ReportError
+    from repro.service.server import ServiceClient
+
+    client = ServiceClient(args.endpoint)
+    try:
+        rows = client.results(
+            campaign=args.campaign,
+            target=args.target,
+            crashed="1" if args.crashed else None,
+            failed="1" if args.failed else None,
+            min_impact=args.min_impact,
+            limit=args.limit,
+        )
+    except ReportError as exc:
+        print(str(exc))
+        return 1
+    if args.json:
+        print(json.dumps(rows, indent=2, sort_keys=True))
+        return 0
+    table = TextTable(
+        ["digest", "target", "fault model", "outcome", "impact",
+         "first campaign"],
+        title="deduplicated result archive",
+    )
+    for row in rows:
+        outcome = ("crash" if row["crashed"]
+                   else "hang" if row["hung"]
+                   else "fail" if row["failed"] else "pass")
+        impact = row.get("impact")
+        table.add_row([
+            row["digest"][:12], row["target"], row["fault_model"],
+            outcome,
+            "-" if impact is None else f"{impact:.1f}",
+            row["first_campaign"],
+        ])
+    print(table.render())
+    return 0
+
+
 def _cmd_node(args: argparse.Namespace) -> int:
     import functools
 
@@ -752,6 +1051,14 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_node(args)
     if args.command == "trace":
         return _cmd_trace(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
+    if args.command == "submit":
+        return _cmd_submit(args)
+    if args.command == "jobs":
+        return _cmd_jobs(args)
+    if args.command == "results":
+        return _cmd_results(args)
     return 2  # pragma: no cover - argparse enforces the choices
 
 

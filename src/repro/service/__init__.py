@@ -1,0 +1,38 @@
+"""The campaign service layer: a long-running, multi-tenant AFEX.
+
+The paper's prototype ran exploration campaigns as a *service* across a
+14-node EC2 cluster; this package is the reproduction's equivalent on
+top of the existing substrate:
+
+* :mod:`repro.service.engine` — :class:`CampaignEngine`, the reusable
+  campaign executor extracted from the one-shot ``afex run`` /
+  :class:`~repro.campaign.CampaignJob` flow.  It owns fabric lifecycle
+  (and keeps fabrics *warm* across campaigns), checkpointing, online
+  quality, and metrics;
+* :mod:`repro.service.spec` — :class:`CampaignSpec`, the serializable
+  description of one campaign that clients submit over the wire;
+* :mod:`repro.service.store` — :class:`ResultStore`, the SQLite-backed
+  persistent archive of campaigns, results (deduplicated across
+  campaigns by scenario digest), and redundancy clusters;
+* :mod:`repro.service.server` — :class:`CampaignService`, the asyncio
+  multi-tenant scheduler (per-tenant priorities and quotas) plus the
+  REST/JSON API behind ``afex serve`` / ``afex submit`` / ``afex jobs``
+  / ``afex results``;
+* :mod:`repro.service.documents` — the machine-readable campaign
+  outcome document shared by ``afex run --report-json`` and the API.
+"""
+
+from repro.service.documents import campaign_document, verdict_of
+from repro.service.engine import CampaignEngine, EngineRun
+from repro.service.spec import CampaignSpec
+from repro.service.store import ResultStore, StoredJob
+
+__all__ = [
+    "CampaignEngine",
+    "CampaignSpec",
+    "EngineRun",
+    "ResultStore",
+    "StoredJob",
+    "campaign_document",
+    "verdict_of",
+]

@@ -1,0 +1,97 @@
+"""The machine-readable campaign outcome document.
+
+One JSON shape, produced in three places so scripts never scrape the
+text report again:
+
+* ``afex run --report-json PATH`` writes it after a direct run;
+* ``afex submit`` returns it (wrapped in the job envelope) once the
+  served campaign completes;
+* the store persists it verbatim per campaign, so ``afex results`` can
+  re-emit it later.
+
+The document is versioned; consumers should ignore unknown keys.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.results import ResultSet
+
+__all__ = ["DOCUMENT_VERSION", "campaign_document", "verdict_of"]
+
+DOCUMENT_VERSION = 1
+
+
+def verdict_of(results: "ResultSet") -> str:
+    """The coarse certification verdict over one campaign's outcomes.
+
+    Severity order: crashes dominate hangs dominate plain failures; a
+    campaign with none of the three certifies CLEAN.
+    """
+    if results.crash_count() > 0:
+        return "CRASHES"
+    if len(results.hangs()) > 0:
+        return "HANGS"
+    if results.failed_count() > 0:
+        return "FAILURES"
+    return "CLEAN"
+
+
+def campaign_document(
+    results: "ResultSet",
+    *,
+    campaign: dict[str, object],
+    elapsed_seconds: float,
+    space_size: int | None = None,
+    fabric_health: object | None = None,
+    quality_stats: dict[str, object] | None = None,
+    cache_stats: dict[str, object] | None = None,
+    top: int = 10,
+) -> dict[str, object]:
+    """Assemble the outcome document for one finished campaign.
+
+    ``campaign`` is the caller's spec echo (target, strategy, seed,
+    iterations, fault model, fabric, ...) — stored verbatim so a result
+    is always traceable to the campaign that produced it.
+    """
+    from repro.core.checkpoint import history_digest
+
+    summary = results.summary()
+    throughput = (
+        len(results) / elapsed_seconds if elapsed_seconds > 0 else None
+    )
+    health_dict = (
+        fabric_health.as_dict()  # type: ignore[attr-defined]
+        if hasattr(fabric_health, "as_dict")
+        else fabric_health
+    )
+    document: dict[str, object] = {
+        "version": DOCUMENT_VERSION,
+        "campaign": dict(campaign),
+        "summary": summary,
+        "verdict": verdict_of(results),
+        "digest": history_digest(list(results)),
+        "elapsed_seconds": elapsed_seconds,
+        "throughput_tests_per_s": throughput,
+        "top": [
+            {
+                "impact": test.impact,
+                "fault": str(test.fault),
+                "outcome": test.result.summary(),
+                "test_id": test.result.test_id,
+                "test_name": test.result.test_name,
+                "crashed": test.crashed,
+                "hung": test.hung,
+                "failed": test.failed,
+            }
+            for test in results.top(max(int(top), 0))
+        ],
+        "fabric_health": health_dict,
+        "quality": dict(quality_stats) if quality_stats else None,
+        "cache": dict(cache_stats) if cache_stats else None,
+    }
+    if space_size is not None:
+        document["space_size"] = space_size
+    return document

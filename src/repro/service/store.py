@@ -1,0 +1,580 @@
+"""The persistent campaign/result archive behind the service.
+
+A :class:`ResultStore` is a SQLite database holding everything a
+long-running campaign service must not lose when a process dies:
+
+* **campaigns** (jobs): tenant, spec, scheduling state, and — once
+  finished — the history digest and the full outcome document;
+* **results**: every executed test, stored **once** no matter how many
+  campaigns executed it.  The primary key is the *scenario digest* — a
+  SHA-256 over the exact content address
+  :meth:`repro.core.cache.ResultCache.key_for` computes (target id
+  including the injector/fault-model name, subspace, canonical
+  attribute vector, trial, step budget) — so dedup across campaigns
+  falls out of the same identity the in-memory cache already uses;
+* **campaign_results**: the per-campaign ordered mapping onto those
+  shared rows (sequence, impact, fitness), which is what makes a
+  stored campaign re-renderable in execution order;
+* **clusters**: the §5 redundancy clusters of each campaign's failures,
+  with the representative member, persisting the quality analysis the
+  later bug-report-driven modes (IBIR, PAPERS.md) will query.
+
+Durability: SQLite with WAL journaling; every public method opens a
+short-lived connection, so the store is safe to touch from scheduler
+threads and CLI processes concurrently, and a SIGKILLed server leaves a
+consistent database behind.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import sqlite3
+import threading
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import TYPE_CHECKING
+
+from repro.core.cache import ResultCache, result_from_payload, result_to_payload
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.results import ExecutedTest, ResultSet
+
+__all__ = ["ResultStore", "StoredJob", "scenario_key_digest"]
+
+SCHEMA_VERSION = 1
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS meta (
+    key TEXT PRIMARY KEY,
+    value TEXT NOT NULL
+);
+CREATE TABLE IF NOT EXISTS campaigns (
+    id TEXT PRIMARY KEY,
+    tenant TEXT NOT NULL,
+    label TEXT NOT NULL DEFAULT '',
+    spec TEXT NOT NULL,
+    state TEXT NOT NULL,
+    priority INTEGER NOT NULL DEFAULT 0,
+    seq INTEGER NOT NULL,
+    created_s REAL NOT NULL,
+    started_s REAL,
+    finished_s REAL,
+    digest TEXT,
+    summary TEXT,
+    document TEXT,
+    error TEXT,
+    checkpoint TEXT
+);
+CREATE INDEX IF NOT EXISTS campaigns_tenant ON campaigns (tenant, state);
+CREATE TABLE IF NOT EXISTS results (
+    digest TEXT PRIMARY KEY,
+    target TEXT NOT NULL,
+    fault_model TEXT NOT NULL,
+    subspace TEXT NOT NULL DEFAULT '',
+    attributes TEXT NOT NULL,
+    payload TEXT NOT NULL,
+    failed INTEGER NOT NULL,
+    crashed INTEGER NOT NULL,
+    hung INTEGER NOT NULL,
+    crash_kind TEXT,
+    first_campaign TEXT NOT NULL,
+    created_s REAL NOT NULL
+);
+CREATE INDEX IF NOT EXISTS results_target ON results (target, crashed, failed);
+CREATE TABLE IF NOT EXISTS campaign_results (
+    campaign_id TEXT NOT NULL,
+    seq INTEGER NOT NULL,
+    result_digest TEXT NOT NULL,
+    impact REAL NOT NULL,
+    fitness REAL NOT NULL,
+    PRIMARY KEY (campaign_id, seq)
+);
+CREATE INDEX IF NOT EXISTS campaign_results_digest
+    ON campaign_results (result_digest);
+CREATE TABLE IF NOT EXISTS clusters (
+    campaign_id TEXT NOT NULL,
+    cluster_id INTEGER NOT NULL,
+    size INTEGER NOT NULL,
+    representative_seq INTEGER NOT NULL,
+    representative_digest TEXT NOT NULL,
+    PRIMARY KEY (campaign_id, cluster_id)
+);
+"""
+
+
+def scenario_key_digest(
+    target_id: str,
+    subspace: str,
+    attributes: tuple,
+    trial: int = 0,
+    step_budget: int | None = None,
+) -> str:
+    """SHA-256 of the exact :meth:`ResultCache.key_for` content address.
+
+    This is the store's result identity: two campaigns that executed
+    the same fault against the same target under the same fault model
+    share one stored row.
+    """
+    if step_budget is None:
+        from repro.sim.libc import DEFAULT_STEP_BUDGET
+
+        step_budget = DEFAULT_STEP_BUDGET
+    key = ResultCache.key_for(
+        target_id, subspace, attributes, trial, step_budget
+    )
+    return hashlib.sha256(key.encode("utf-8")).hexdigest()
+
+
+@dataclass
+class StoredJob:
+    """One campaign job row, as the scheduler and the API see it."""
+
+    id: str
+    tenant: str
+    label: str
+    spec: dict
+    state: str  # queued | running | done | failed
+    priority: int
+    seq: int
+    created_s: float
+    started_s: float | None = None
+    finished_s: float | None = None
+    digest: str | None = None
+    summary: dict | None = None
+    document: dict | None = None
+    error: str | None = None
+    checkpoint: str | None = None
+
+    def as_dict(self, include_document: bool = True) -> dict[str, object]:
+        doc: dict[str, object] = {
+            "id": self.id,
+            "tenant": self.tenant,
+            "label": self.label,
+            "spec": self.spec,
+            "state": self.state,
+            "priority": self.priority,
+            "seq": self.seq,
+            "created_s": self.created_s,
+            "started_s": self.started_s,
+            "finished_s": self.finished_s,
+            "digest": self.digest,
+            "summary": self.summary,
+            "error": self.error,
+        }
+        if include_document:
+            doc["document"] = self.document
+        return doc
+
+
+def _row_to_job(row: sqlite3.Row) -> StoredJob:
+    return StoredJob(
+        id=row["id"],
+        tenant=row["tenant"],
+        label=row["label"],
+        spec=json.loads(row["spec"]),
+        state=row["state"],
+        priority=row["priority"],
+        seq=row["seq"],
+        created_s=row["created_s"],
+        started_s=row["started_s"],
+        finished_s=row["finished_s"],
+        digest=row["digest"],
+        summary=json.loads(row["summary"]) if row["summary"] else None,
+        document=json.loads(row["document"]) if row["document"] else None,
+        error=row["error"],
+        checkpoint=row["checkpoint"],
+    )
+
+
+class ResultStore:
+    """SQLite archive of campaigns, deduplicated results, and clusters."""
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        # Serializes writers inside this process; cross-process safety
+        # comes from SQLite's own locking.
+        self._lock = threading.Lock()
+        with self._connect() as conn:
+            conn.executescript(_SCHEMA)
+            conn.execute(
+                "INSERT OR IGNORE INTO meta (key, value) VALUES (?, ?)",
+                ("schema_version", str(SCHEMA_VERSION)),
+            )
+
+    def _connect(self) -> sqlite3.Connection:
+        conn = sqlite3.connect(self.path, timeout=30.0)
+        conn.row_factory = sqlite3.Row
+        conn.execute("PRAGMA journal_mode=WAL")
+        conn.execute("PRAGMA synchronous=NORMAL")
+        return conn
+
+    # -- job lifecycle ---------------------------------------------------------
+
+    def create_job(
+        self,
+        job_id: str,
+        tenant: str,
+        spec: dict,
+        *,
+        priority: int = 0,
+        label: str = "",
+        checkpoint: str | None = None,
+    ) -> StoredJob:
+        now = time.time()
+        with self._lock, self._connect() as conn:
+            seq = conn.execute(
+                "SELECT COALESCE(MAX(seq), 0) + 1 FROM campaigns"
+            ).fetchone()[0]
+            conn.execute(
+                "INSERT INTO campaigns (id, tenant, label, spec, state, "
+                "priority, seq, created_s, checkpoint) "
+                "VALUES (?, ?, ?, ?, 'queued', ?, ?, ?, ?)",
+                (
+                    job_id, tenant, label,
+                    json.dumps(spec, sort_keys=True),
+                    priority, seq, now, checkpoint,
+                ),
+            )
+        return self.job(job_id)  # type: ignore[return-value]
+
+    def job(self, job_id: str) -> StoredJob | None:
+        with self._connect() as conn:
+            row = conn.execute(
+                "SELECT * FROM campaigns WHERE id = ?", (job_id,)
+            ).fetchone()
+        return _row_to_job(row) if row is not None else None
+
+    def jobs(
+        self,
+        tenant: str | None = None,
+        state: str | None = None,
+        limit: int = 200,
+    ) -> list[StoredJob]:
+        query = "SELECT * FROM campaigns"
+        clauses, params = [], []
+        if tenant is not None:
+            clauses.append("tenant = ?")
+            params.append(tenant)
+        if state is not None:
+            clauses.append("state = ?")
+            params.append(state)
+        if clauses:
+            query += " WHERE " + " AND ".join(clauses)
+        query += " ORDER BY seq LIMIT ?"
+        params.append(int(limit))
+        with self._connect() as conn:
+            rows = conn.execute(query, params).fetchall()
+        return [_row_to_job(row) for row in rows]
+
+    def mark_running(self, job_id: str) -> None:
+        with self._lock, self._connect() as conn:
+            conn.execute(
+                "UPDATE campaigns SET state = 'running', started_s = ? "
+                "WHERE id = ?",
+                (time.time(), job_id),
+            )
+
+    def mark_done(
+        self,
+        job_id: str,
+        *,
+        digest: str,
+        summary: dict,
+        document: dict,
+    ) -> None:
+        with self._lock, self._connect() as conn:
+            conn.execute(
+                "UPDATE campaigns SET state = 'done', finished_s = ?, "
+                "digest = ?, summary = ?, document = ?, error = NULL "
+                "WHERE id = ?",
+                (
+                    time.time(), digest,
+                    json.dumps(summary, sort_keys=True),
+                    json.dumps(document, sort_keys=True),
+                    job_id,
+                ),
+            )
+
+    def mark_failed(self, job_id: str, error: str) -> None:
+        with self._lock, self._connect() as conn:
+            conn.execute(
+                "UPDATE campaigns SET state = 'failed', finished_s = ?, "
+                "error = ? WHERE id = ?",
+                (time.time(), str(error)[:2000], job_id),
+            )
+
+    def requeue_incomplete(self) -> list[StoredJob]:
+        """Flip every non-terminal job back to ``queued`` (restart path).
+
+        Completed results recorded before the crash stay put — the
+        resumed campaign dedups against them — and a job with a
+        checkpoint resumes byte-identically from it.
+        """
+        with self._lock, self._connect() as conn:
+            conn.execute(
+                "UPDATE campaigns SET state = 'queued', started_s = NULL "
+                "WHERE state IN ('queued', 'running')"
+            )
+        return self.jobs(state="queued", limit=10_000)
+
+    # -- results ---------------------------------------------------------------
+
+    def record_campaign(
+        self,
+        job_id: str,
+        results: "ResultSet",
+        *,
+        target_id: str,
+        fault_model: str,
+        cluster_distance: int = 1,
+    ) -> dict[str, int]:
+        """Archive one finished campaign's executions and clusters.
+
+        Returns ``{"total": ..., "new": ..., "duplicates": ...}`` where
+        duplicates are results some earlier campaign (or an earlier
+        round of this one) already stored.
+        """
+        now = time.time()
+        new = 0
+        rows = []
+        mapping = []
+        digests: list[str] = []
+        for test in results:
+            digest = scenario_key_digest(
+                target_id, test.fault.subspace, test.fault.attributes
+            )
+            digests.append(digest)
+            rows.append((
+                digest,
+                target_id,
+                fault_model,
+                test.fault.subspace,
+                json.dumps(
+                    [[n, _jsonable(v)] for n, v in test.fault.attributes],
+                    sort_keys=True,
+                ),
+                json.dumps(result_to_payload(test.result), sort_keys=True),
+                int(test.failed),
+                int(test.crashed),
+                int(test.hung),
+                test.result.crash_kind,
+                job_id,
+                now,
+            ))
+            mapping.append(
+                (job_id, test.index, digest, test.impact, test.fitness)
+            )
+        clusters = _failure_clusters(results, cluster_distance, digests)
+        with self._lock, self._connect() as conn:
+            before = conn.execute(
+                "SELECT COUNT(*) FROM results"
+            ).fetchone()[0]
+            conn.executemany(
+                "INSERT OR IGNORE INTO results (digest, target, "
+                "fault_model, subspace, attributes, payload, failed, "
+                "crashed, hung, crash_kind, first_campaign, created_s) "
+                "VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+                rows,
+            )
+            after = conn.execute(
+                "SELECT COUNT(*) FROM results"
+            ).fetchone()[0]
+            new = after - before
+            conn.executemany(
+                "INSERT OR REPLACE INTO campaign_results (campaign_id, "
+                "seq, result_digest, impact, fitness) VALUES (?, ?, ?, ?, ?)",
+                mapping,
+            )
+            conn.execute(
+                "DELETE FROM clusters WHERE campaign_id = ?", (job_id,)
+            )
+            conn.executemany(
+                "INSERT INTO clusters (campaign_id, cluster_id, size, "
+                "representative_seq, representative_digest) "
+                "VALUES (?, ?, ?, ?, ?)",
+                [(job_id, *cluster) for cluster in clusters],
+            )
+        return {
+            "total": len(rows),
+            "new": new,
+            "duplicates": len(rows) - new,
+        }
+
+    def results(
+        self,
+        campaign: str | None = None,
+        target: str | None = None,
+        crashed: bool | None = None,
+        failed: bool | None = None,
+        min_impact: float | None = None,
+        limit: int = 100,
+    ) -> list[dict]:
+        """Query stored results; rows are JSON-ready dicts.
+
+        With ``campaign`` the per-campaign mapping is joined in
+        (execution order, impact); otherwise the deduplicated archive
+        is scanned directly.
+        """
+        params: list[object] = []
+        if campaign is not None:
+            query = (
+                "SELECT r.*, cr.seq AS seq, cr.impact AS impact, "
+                "cr.fitness AS fitness FROM campaign_results cr "
+                "JOIN results r ON r.digest = cr.result_digest "
+                "WHERE cr.campaign_id = ?"
+            )
+            params.append(campaign)
+        else:
+            query = "SELECT r.* FROM results r WHERE 1=1"
+        if target is not None:
+            query += " AND r.target LIKE ?"
+            params.append(f"{target}%")
+        if crashed is not None:
+            query += " AND r.crashed = ?"
+            params.append(int(crashed))
+        if failed is not None:
+            query += " AND r.failed = ?"
+            params.append(int(failed))
+        if campaign is not None and min_impact is not None:
+            query += " AND cr.impact >= ?"
+            params.append(float(min_impact))
+        query += (
+            " ORDER BY cr.seq" if campaign is not None
+            else " ORDER BY r.created_s, r.digest"
+        )
+        query += " LIMIT ?"
+        params.append(int(limit))
+        with self._connect() as conn:
+            rows = conn.execute(query, params).fetchall()
+        out = []
+        for row in rows:
+            entry = {
+                "digest": row["digest"],
+                "target": row["target"],
+                "fault_model": row["fault_model"],
+                "subspace": row["subspace"],
+                "attributes": json.loads(row["attributes"]),
+                "failed": bool(row["failed"]),
+                "crashed": bool(row["crashed"]),
+                "hung": bool(row["hung"]),
+                "crash_kind": row["crash_kind"],
+                "first_campaign": row["first_campaign"],
+            }
+            keys = row.keys()
+            if "impact" in keys:
+                entry["impact"] = row["impact"]
+            if "seq" in keys:
+                entry["seq"] = row["seq"]
+            out.append(entry)
+        return out
+
+    def load_result(self, digest: str):
+        """Rehydrate one stored execution as a live ``RunResult``."""
+        with self._connect() as conn:
+            row = conn.execute(
+                "SELECT payload FROM results WHERE digest = ?", (digest,)
+            ).fetchone()
+        if row is None:
+            return None
+        return result_from_payload(json.loads(row["payload"]))
+
+    def clusters(self, campaign: str) -> list[dict]:
+        with self._connect() as conn:
+            rows = conn.execute(
+                "SELECT * FROM clusters WHERE campaign_id = ? "
+                "ORDER BY cluster_id",
+                (campaign,),
+            ).fetchall()
+        return [
+            {
+                "cluster_id": row["cluster_id"],
+                "size": row["size"],
+                "representative_seq": row["representative_seq"],
+                "representative_digest": row["representative_digest"],
+            }
+            for row in rows
+        ]
+
+    # -- statistics ------------------------------------------------------------
+
+    def counters(self) -> dict[str, int]:
+        """Store-wide totals, including the cross-campaign dedup ratio."""
+        with self._connect() as conn:
+            campaigns = conn.execute(
+                "SELECT COUNT(*) FROM campaigns"
+            ).fetchone()[0]
+            by_state = dict(conn.execute(
+                "SELECT state, COUNT(*) FROM campaigns GROUP BY state"
+            ).fetchall())
+            unique = conn.execute(
+                "SELECT COUNT(*) FROM results"
+            ).fetchone()[0]
+            executions = conn.execute(
+                "SELECT COUNT(*) FROM campaign_results"
+            ).fetchone()[0]
+            crashes = conn.execute(
+                "SELECT COUNT(*) FROM results WHERE crashed = 1"
+            ).fetchone()[0]
+            failures = conn.execute(
+                "SELECT COUNT(*) FROM results WHERE failed = 1"
+            ).fetchone()[0]
+        return {
+            "campaigns": campaigns,
+            "queued": by_state.get("queued", 0),
+            "running": by_state.get("running", 0),
+            "done": by_state.get("done", 0),
+            "failed_jobs": by_state.get("failed", 0),
+            "unique_results": unique,
+            "recorded_executions": executions,
+            "deduplicated": executions - unique if executions else 0,
+            "crashes": crashes,
+            "failures": failures,
+        }
+
+    def bind_metrics(self, registry: object) -> None:
+        """Export the store totals as ``service.store.*`` gauges."""
+
+        def _collect(reg) -> None:
+            for key, value in self.counters().items():
+                reg.gauge(f"service.store.{key}").set(value)
+
+        registry.register_collector(_collect)  # type: ignore[attr-defined]
+
+
+def _jsonable(value: object) -> object:
+    if isinstance(value, tuple):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, frozenset):
+        return sorted(value)  # type: ignore[type-var]
+    return value
+
+
+def _failure_clusters(
+    results: "ResultSet", cluster_distance: int, digests: list[str]
+) -> list[tuple[int, int, int, str]]:
+    """(cluster_id, size, representative_seq, representative_digest)
+    rows for the campaign's failed tests (§5 redundancy clusters)."""
+    failed: list[ExecutedTest] = [t for t in results if t.failed]
+    if not failed:
+        return []
+    clusters = results.cluster(
+        of=lambda t: t.failed, max_distance=cluster_distance
+    )
+    sizes: dict[int, int] = {}
+    for position in range(len(failed)):
+        cluster_id = clusters.cluster_of(position)
+        sizes[cluster_id] = sizes.get(cluster_id, 0) + 1
+    rows = []
+    for position in clusters.representatives():
+        cluster_id = clusters.cluster_of(position)
+        representative = failed[position]
+        rows.append((
+            cluster_id,
+            sizes[cluster_id],
+            representative.index,
+            digests[representative.index],
+        ))
+    return sorted(rows)

@@ -1,0 +1,259 @@
+"""CampaignService + HTTP API: end-to-end multi-tenant behaviour."""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+import urllib.request
+
+import pytest
+
+from repro.errors import ReportError
+from repro.service.server import (
+    CampaignService,
+    ServiceClient,
+    TenantConfig,
+    serve,
+)
+from repro.service.store import ResultStore
+
+COREUTILS_40_SEED1 = (
+    "89d67e178ca102eb7184c79893c5d62a2c7a77dee3016a46e72c4f5c1ab5c78b"
+)
+
+
+@pytest.fixture
+def service(tmp_path):
+    store = ResultStore(tmp_path / "afex.db")
+    svc = CampaignService(
+        store,
+        tenants=[
+            TenantConfig("alice", priority=10, max_concurrent=2),
+            TenantConfig("bob", priority=1, max_concurrent=1),
+        ],
+        workers=2,
+        checkpoint_every=10,
+    )
+    yield svc
+    svc.shutdown()
+
+
+@pytest.fixture
+def live(service):
+    """The service behind a real HTTP endpoint, in a thread."""
+    listen: dict = {}
+    ready = threading.Event()
+
+    def on_listen(host, port):
+        listen.update(host=host, port=port)
+        ready.set()
+
+    thread = threading.Thread(
+        target=lambda: asyncio.run(
+            serve(service, "127.0.0.1", 0, on_listen=on_listen)
+        ),
+        daemon=True,
+    )
+    thread.start()
+    assert ready.wait(10)
+    client = ServiceClient(f"{listen['host']}:{listen['port']}")
+    yield client, service
+    try:
+        client.shutdown()
+    except ReportError:
+        pass
+    thread.join(timeout=15)
+
+
+class TestHttpApi:
+    def test_ping(self, live):
+        client, _ = live
+        assert client.ping()["ok"] is True
+
+    def test_submit_runs_to_digest_parity(self, live):
+        client, _ = live
+        job = client.submit(
+            "alice", {"target": "coreutils", "iterations": 40, "seed": 1}
+        )
+        assert job["state"] == "queued"
+        done = client.wait(job["id"], timeout=120)
+        assert done["state"] == "done"
+        # The service gate: a served campaign is the same campaign as a
+        # direct `afex run` with the same spec.
+        assert done["digest"] == COREUTILS_40_SEED1
+        document = done["document"]
+        assert document["version"] == 1
+        assert document["digest"] == COREUTILS_40_SEED1
+        assert document["campaign"]["tenant"] == "alice"
+        assert document["dedup"]["total"] == 40
+        assert document["first_result_s"] > 0
+
+    def test_two_tenants_concurrently(self, live):
+        client, _ = live
+        a = client.submit(
+            "alice", {"target": "coreutils", "iterations": 40, "seed": 1}
+        )
+        b = client.submit(
+            "bob",
+            {"target": "minidb", "iterations": 60, "seed": 1,
+             "fabric": "threads", "workers": 2, "batch_size": 4},
+        )
+        done_a = client.wait(a["id"], timeout=120)
+        done_b = client.wait(b["id"], timeout=120)
+        assert done_a["state"] == done_b["state"] == "done"
+        assert done_a["digest"] != done_b["digest"]
+        jobs = client.jobs()
+        assert {j["tenant"] for j in jobs} == {"alice", "bob"}
+
+    def test_results_and_stats_endpoints(self, live):
+        client, _ = live
+        job = client.submit(
+            "alice", {"target": "coreutils", "iterations": 30, "seed": 2}
+        )
+        client.wait(job["id"], timeout=120)
+        rows = client.results(campaign=job["id"], limit=1000)
+        assert len(rows) == 30
+        assert [row["seq"] for row in rows] == list(range(30))
+        failed = client.results(campaign=job["id"], failed="1", limit=1000)
+        assert all(row["failed"] for row in failed)
+        stats = client.stats()
+        assert stats["store"]["done"] == 1
+        assert stats["queue"]["tenants"]["alice"]["priority"] == 10
+
+    def test_warm_engine_reuse_across_submissions(self, live):
+        client, service = live
+        spec = {"target": "coreutils", "iterations": 30, "seed": 3}
+        first = client.wait(
+            client.submit("alice", spec)["id"], timeout=120
+        )
+        second = client.wait(
+            client.submit("alice", spec)["id"], timeout=120
+        )
+        assert first["digest"] == second["digest"]
+        assert service.engines_reused >= 1
+        # Identical campaigns dedup to zero new stored rows.
+        assert second["document"]["dedup"]["new"] == 0
+
+    def test_bad_submissions_are_400(self, live):
+        client, _ = live
+        with pytest.raises(ReportError, match="400"):
+            client.submit("alice", {"target": "nope"})
+        with pytest.raises(ReportError, match="400"):
+            client.submit("alice", {"iterations": 10})
+        with pytest.raises(ReportError, match="400"):
+            client.submit("", {"target": "coreutils"})
+        with pytest.raises(ReportError, match="400"):
+            client.submit(
+                "alice", {"target": "coreutils", "bogus_knob": 1}
+            )
+
+    def test_unknown_routes_are_404(self, live):
+        client, _ = live
+        with pytest.raises(ReportError, match="404"):
+            client.job("no-such-job")
+        with pytest.raises(ReportError, match="404"):
+            client._request("GET", "/v2/other")
+
+    def test_metrics_exposition(self, live):
+        client, _ = live
+        job = client.submit(
+            "alice", {"target": "coreutils", "iterations": 10, "seed": 0}
+        )
+        client.wait(job["id"], timeout=120)
+        text = urllib.request.urlopen(
+            f"{client.endpoint}/v1/metrics", timeout=10
+        ).read().decode()
+        assert "service_jobs_submitted" in text.replace(".", "_")
+        assert "service_store_campaigns" in text.replace(".", "_")
+
+    def test_failed_job_reports_error(self, live):
+        client, service = live
+        # Corrupt a queued job's stored spec to force a worker failure.
+        job = service.store.create_job(
+            "job-bad", "alice", {"target": "coreutils", "bogus": True}
+        )
+        service.queue.push(job.id, "alice")
+        service._wake.set()
+        done = client.wait("job-bad", timeout=60)
+        assert done["state"] == "failed"
+        assert "bad spec" in done["error"]
+
+
+class TestDurability:
+    def test_restart_requeues_and_resumes(self, tmp_path):
+        """A killed service forgets nothing: jobs queued or mid-flight
+        requeue on restart and finish with the uninterrupted digest."""
+        store = ResultStore(tmp_path / "afex.db")
+        job = store.create_job(
+            "job-1", "alice",
+            {"target": "coreutils", "iterations": 40, "seed": 1},
+            checkpoint=str(tmp_path / "job-1.ckpt"),
+        )
+        store.mark_running("job-1")  # "the process died right here"
+        service = CampaignService(store, workers=1)
+        assert service.queue.queued_count() == 1
+        entry = service.queue.pop()
+        service._run_job(entry)
+        done = store.job("job-1")
+        assert done.state == "done"
+        assert done.digest == COREUTILS_40_SEED1
+        service.shutdown()
+
+    def test_resume_from_server_checkpoint(self, tmp_path):
+        """A job killed mid-campaign resumes from its checkpoint and
+        still lands on the uninterrupted digest."""
+        from repro.service.spec import CampaignSpec
+
+        spec = CampaignSpec(target="coreutils", iterations=40, seed=1)
+        checkpoint = tmp_path / "job-1.ckpt"
+        # Simulate the killed first attempt: a partial campaign that
+        # wrote server-style checkpoints.
+        engine = spec.build_engine()
+        engine.explore(
+            spec.build_space(engine.target), spec.build_strategy(),
+            iterations=20, seed=1,
+            checkpoint_path=checkpoint, checkpoint_every=10,
+        )
+        engine.close()
+        assert checkpoint.exists()
+        store = ResultStore(tmp_path / "afex.db")
+        store.create_job(
+            "job-1", "alice", spec.as_dict(), checkpoint=str(checkpoint)
+        )
+        store.mark_running("job-1")
+        service = CampaignService(store, workers=1)
+        entry = service.queue.pop()
+        service._run_job(entry)
+        done = store.job("job-1")
+        assert done.state == "done"
+        assert done.digest == COREUTILS_40_SEED1
+        assert not checkpoint.exists()  # consumed on completion
+        service.shutdown()
+
+
+class TestScheduling:
+    def test_priority_order_in_execution(self, tmp_path):
+        """With one worker, a later gold job runs before earlier
+        bronze jobs."""
+        store = ResultStore(tmp_path / "afex.db")
+        service = CampaignService(
+            store,
+            tenants=[
+                TenantConfig("gold", priority=10, max_concurrent=1),
+                TenantConfig("bronze", priority=0, max_concurrent=1),
+            ],
+            workers=1,
+        )
+        spec = {"target": "coreutils", "iterations": 5, "seed": 0}
+        b1 = service.submit("bronze", spec)
+        b2 = service.submit("bronze", spec)
+        g1 = service.submit("gold", spec)
+        order = []
+        while (entry := service.queue.pop()) is not None:
+            order.append(entry.job_id)
+            service._run_job(entry)
+            service.queue.finish(entry.job_id)
+        assert order[0] == g1.id
+        assert order.index(b1.id) < order.index(b2.id)
+        service.shutdown()

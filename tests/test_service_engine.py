@@ -1,0 +1,270 @@
+"""CampaignEngine: the extraction's digest-parity gate and warm reuse."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.campaign import CampaignJob
+from repro.core import (
+    ExplorationSession,
+    FaultSpace,
+    FitnessGuidedSearch,
+    IterationBudget,
+    TargetRunner,
+    standard_impact,
+)
+from repro.core.checkpoint import history_digest
+from repro.errors import ClusterError
+from repro.service.engine import CampaignEngine, EngineRun
+from repro.service.spec import CampaignSpec
+
+
+def space_for(target):
+    return FaultSpace.product(
+        test=range(1, 30), function=target.libc_functions(), call=[0, 1, 2]
+    )
+
+
+@pytest.fixture(scope="module")
+def reference_digest(coreutils):
+    """What the pre-engine serial flow produces for this campaign."""
+    results = ExplorationSession(
+        TargetRunner(coreutils),
+        space_for(coreutils),
+        standard_impact(),
+        FitnessGuidedSearch(),
+        IterationBudget(60),
+        rng=1,
+    ).run()
+    return history_digest(list(results))
+
+
+class TestDigestParity:
+    """The refactor gate: engine campaigns reproduce the legacy flows
+    byte-for-byte."""
+
+    def test_serial_matches_session(self, coreutils, reference_digest):
+        with CampaignEngine(coreutils) as engine:
+            run = engine.explore(
+                space_for(coreutils), FitnessGuidedSearch(),
+                iterations=60, seed=1,
+            )
+        assert run.digest == reference_digest
+
+    def test_campaign_job_matches(self, coreutils, reference_digest):
+        job = CampaignJob(
+            name="cert", target=coreutils, space=space_for(coreutils),
+            iterations=60, seed=1,
+        )
+        try:
+            _, results, _ = job.execute()
+        finally:
+            job.close()
+        assert history_digest(list(results)) == reference_digest
+
+    def test_threads_fabric_same_trajectory_any_workers(self, coreutils):
+        """Fabric placement moves *where* tests run, never the search
+        trajectory: worker count doesn't change the digest."""
+        digests = set()
+        for workers in (2, 3):
+            with CampaignEngine(
+                coreutils, fabric="threads", workers=workers
+            ) as engine:
+                run = engine.explore(
+                    space_for(coreutils), FitnessGuidedSearch(),
+                    iterations=60, seed=1, batch_size=4,
+                )
+            digests.add(run.digest)
+        assert len(digests) == 1
+
+    def test_spec_built_engine_matches_cli_flow(self, coreutils):
+        """CampaignSpec.build_engine reproduces the `afex run` path."""
+        spec = CampaignSpec(target="coreutils", iterations=40, seed=1)
+        engine = spec.build_engine()
+        try:
+            run = engine.explore(
+                spec.build_space(engine.target), spec.build_strategy(),
+                iterations=spec.iterations, seed=spec.seed,
+            )
+        finally:
+            engine.close()
+        # The frozen baseline the CLI printed before the refactor.
+        assert run.digest == (
+            "89d67e178ca102eb7184c79893c5d62a2c7a77dee3016a46e72c4f5c1ab5c78b"
+        )
+
+
+class TestWarmReuse:
+    def test_serial_runner_is_reused(self, coreutils):
+        with CampaignEngine(coreutils) as engine:
+            assert not engine.warm
+            first = engine.explore(
+                space_for(coreutils), FitnessGuidedSearch(),
+                iterations=20, seed=1,
+            )
+            assert engine.warm
+            assert engine.warm_reuses == 0
+            second = engine.explore(
+                space_for(coreutils), FitnessGuidedSearch(),
+                iterations=20, seed=1,
+            )
+            assert engine.warm_reuses == 1
+            assert engine.runs == 2
+        assert first.digest == second.digest
+
+    def test_threads_fabric_is_reused(self, coreutils):
+        with CampaignEngine(
+            coreutils, fabric="threads", workers=2
+        ) as engine:
+            a = engine.explore(
+                space_for(coreutils), FitnessGuidedSearch(),
+                iterations=20, seed=1,
+            )
+            b = engine.explore(
+                space_for(coreutils), FitnessGuidedSearch(),
+                iterations=20, seed=1,
+            )
+            assert engine.warm_reuses == 1
+            assert a.digest == b.digest
+
+    def test_close_then_reuse_rebuilds(self, coreutils):
+        engine = CampaignEngine(coreutils, fabric="threads", workers=2)
+        engine.explore(space_for(coreutils), FitnessGuidedSearch(),
+                       iterations=10, seed=1)
+        engine.close()
+        assert not engine.warm
+        engine.explore(space_for(coreutils), FitnessGuidedSearch(),
+                       iterations=10, seed=1)
+        assert engine.warm
+        assert engine.warm_reuses == 0  # cold again after close
+        engine.close()
+
+    def test_close_is_idempotent(self, coreutils):
+        engine = CampaignEngine(coreutils)
+        engine.close()
+        engine.close()
+
+    def test_campaign_job_reuses_engine_across_executes(self, coreutils):
+        job = CampaignJob(
+            name="cert", target=coreutils, space=space_for(coreutils),
+            iterations=20, seed=1, fabric="threads", nodes=2,
+        )
+        try:
+            _, first, _ = job.execute()
+            engine = job.engine()
+            _, second, _ = job.execute()
+            assert job.engine() is engine
+            assert engine.warm_reuses >= 1
+            assert history_digest(list(first)) == history_digest(
+                list(second)
+            )
+        finally:
+            job.close()
+        assert not engine.warm
+
+    def test_campaign_job_rebuilds_on_fabric_change(self, coreutils):
+        job = CampaignJob(
+            name="cert", target=coreutils, space=space_for(coreutils),
+            iterations=10, seed=1,
+        )
+        try:
+            job.execute()
+            serial_engine = job.engine()
+            job.fabric = "threads"
+            job.nodes = 2
+            job.execute()
+            assert job.engine() is not serial_engine
+        finally:
+            job.close()
+
+
+class TestValidation:
+    def test_unknown_fabric_rejected(self, coreutils):
+        with pytest.raises(ClusterError):
+            CampaignEngine(coreutils, fabric="quantum")
+
+    def test_auto_resolution(self, coreutils):
+        assert CampaignEngine(
+            coreutils, fabric="auto", workers=1
+        ).resolved_fabric == "serial"
+        assert CampaignEngine(
+            coreutils, fabric="auto", workers=3
+        ).resolved_fabric == "threads"
+
+    def test_serial_rejects_auto_batch(self, coreutils):
+        with CampaignEngine(coreutils) as engine:
+            with pytest.raises(ClusterError):
+                engine.explore(
+                    space_for(coreutils), FitnessGuidedSearch(),
+                    iterations=10, batch_size="auto",
+                )
+
+
+class TestEngineRun:
+    def test_run_carries_quality_and_health(self, coreutils):
+        with CampaignEngine(
+            coreutils, fabric="threads", workers=2
+        ) as engine:
+            run = engine.explore(
+                space_for(coreutils), FitnessGuidedSearch(),
+                iterations=30, seed=1, online_quality=True,
+            )
+        assert isinstance(run, EngineRun)
+        assert run.fabric == "threads"
+        assert run.health is not None
+        assert run.quality_stats is not None
+        assert run.seconds > 0
+        assert run.runner is not None
+
+    def test_checkpoint_resume_round_trip(self, coreutils, tmp_path):
+        """Kill-and-resume through the engine is byte-identical."""
+        from repro.errors import CheckpointError
+
+        path = tmp_path / "c.ckpt"
+        with CampaignEngine(coreutils) as engine:
+            full = engine.explore(
+                space_for(coreutils), FitnessGuidedSearch(),
+                iterations=40, seed=5,
+            )
+            # A partial run that checkpoints, stopped short by budget.
+            engine.explore(
+                space_for(coreutils), FitnessGuidedSearch(),
+                iterations=20, seed=5,
+                checkpoint_path=path, checkpoint_every=5,
+            )
+            resumed = engine.explore(
+                space_for(coreutils), FitnessGuidedSearch(),
+                iterations=40, seed=5, resume_from=path,
+            )
+        assert resumed.digest == full.digest
+
+
+class TestSpec:
+    def test_canonicalizes_fault_model(self):
+        a = CampaignSpec(target="coreutils", fault_model="disk+errno")
+        b = CampaignSpec(target="coreutils", fault_model="errno+disk")
+        assert a.fault_model == b.fault_model
+        assert a.engine_signature() == b.engine_signature()
+
+    def test_round_trips_json(self):
+        spec = CampaignSpec(
+            target="minidb", fabric="threads", workers=2, batch_size=8,
+            iterations=100, seed=1,
+        )
+        assert CampaignSpec.from_json(spec.to_json()) == spec
+
+    def test_rejects_unknown_keys_and_values(self):
+        from repro.errors import ReportError
+
+        with pytest.raises(ReportError):
+            CampaignSpec.from_dict({"target": "coreutils", "bogus": 1})
+        with pytest.raises(ReportError):
+            CampaignSpec.from_dict({})
+        with pytest.raises(ReportError):
+            CampaignSpec(target="nope")
+        with pytest.raises(ReportError):
+            CampaignSpec(target="coreutils", strategy="nope")
+        with pytest.raises(ReportError):
+            CampaignSpec(target="coreutils", iterations=0)
+        with pytest.raises(ReportError):
+            CampaignSpec(target="coreutils", fault_model="nope")

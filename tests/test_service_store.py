@@ -1,0 +1,344 @@
+"""The SQLite result store: durability, round-trips, cross-campaign dedup."""
+
+from __future__ import annotations
+
+import json
+import sqlite3
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import (
+    ExplorationSession,
+    FaultSpace,
+    FitnessGuidedSearch,
+    IterationBudget,
+    TargetRunner,
+    standard_impact,
+)
+from repro.service.store import ResultStore, scenario_key_digest
+
+
+@pytest.fixture(scope="module")
+def explored(coreutils):
+    """One real exploration shared by the round-trip tests."""
+    return ExplorationSession(
+        TargetRunner(coreutils),
+        FaultSpace.product(
+            test=range(1, 30), function=coreutils.libc_functions(),
+            call=[0, 1, 2],
+        ),
+        standard_impact(),
+        FitnessGuidedSearch(),
+        IterationBudget(60),
+        rng=1,
+    ).run()
+
+
+@pytest.fixture
+def store(tmp_path):
+    return ResultStore(tmp_path / "afex.db")
+
+
+class TestJobLifecycle:
+    def test_create_and_fetch(self, store):
+        job = store.create_job(
+            "j1", "alice", {"target": "coreutils"}, priority=7, label="x"
+        )
+        assert job.state == "queued"
+        assert job.priority == 7
+        fetched = store.job("j1")
+        assert fetched.spec == {"target": "coreutils"}
+        assert fetched.label == "x"
+        assert store.job("missing") is None
+
+    def test_state_transitions(self, store):
+        store.create_job("j1", "alice", {"target": "coreutils"})
+        store.mark_running("j1")
+        assert store.job("j1").state == "running"
+        store.mark_done(
+            "j1", digest="d" * 64, summary={"tests": 1},
+            document={"version": 1},
+        )
+        done = store.job("j1")
+        assert done.state == "done"
+        assert done.digest == "d" * 64
+        assert done.summary == {"tests": 1}
+        assert done.document == {"version": 1}
+        assert done.finished_s is not None
+
+    def test_mark_failed(self, store):
+        store.create_job("j1", "alice", {"target": "coreutils"})
+        store.mark_failed("j1", "boom")
+        job = store.job("j1")
+        assert job.state == "failed"
+        assert job.error == "boom"
+
+    def test_requeue_incomplete_flips_non_terminal(self, store):
+        store.create_job("j1", "a", {"target": "coreutils"})
+        store.create_job("j2", "a", {"target": "coreutils"})
+        store.create_job("j3", "a", {"target": "coreutils"})
+        store.mark_running("j1")
+        store.mark_done(
+            "j3", digest="d" * 64, summary={}, document={}
+        )
+        requeued = store.requeue_incomplete()
+        assert sorted(j.id for j in requeued) == ["j1", "j2"]
+        assert store.job("j1").state == "queued"
+        assert store.job("j3").state == "done"
+
+    def test_jobs_filters(self, store):
+        store.create_job("j1", "alice", {"target": "coreutils"})
+        store.create_job("j2", "bob", {"target": "minidb"})
+        store.mark_running("j2")
+        assert [j.id for j in store.jobs(tenant="alice")] == ["j1"]
+        assert [j.id for j in store.jobs(state="running")] == ["j2"]
+        assert len(store.jobs()) == 2
+
+    def test_submission_order_is_seq_order(self, store):
+        for i in range(5):
+            store.create_job(f"j{i}", "a", {"target": "coreutils"})
+        seqs = [j.seq for j in store.jobs()]
+        assert seqs == sorted(seqs)
+
+
+class TestResultArchive:
+    def test_round_trip_preserves_outcomes(self, store, explored):
+        store.create_job("j1", "a", {"target": "coreutils"})
+        stats = store.record_campaign(
+            "j1", explored, target_id="coreutils/8.1/errno",
+            fault_model="errno",
+        )
+        assert stats["total"] == len(explored)
+        assert stats["new"] + stats["duplicates"] == stats["total"]
+        rows = store.results(campaign="j1", limit=10_000)
+        assert len(rows) == len(explored)
+        for row, test in zip(rows, explored):
+            assert row["seq"] == test.index
+            assert row["failed"] == test.failed
+            assert row["crashed"] == test.crashed
+            assert row["impact"] == pytest.approx(test.impact)
+            restored = store.load_result(row["digest"])
+            assert restored.test_id == test.result.test_id
+            assert restored.exit_code == test.result.exit_code
+            assert restored.crash_kind == test.result.crash_kind
+            assert restored.coverage == test.result.coverage
+
+    def test_dedup_across_campaigns(self, store, explored):
+        store.create_job("j1", "a", {"target": "coreutils"})
+        store.create_job("j2", "b", {"target": "coreutils"})
+        first = store.record_campaign(
+            "j1", explored, target_id="coreutils/8.1/errno",
+            fault_model="errno",
+        )
+        second = store.record_campaign(
+            "j2", explored, target_id="coreutils/8.1/errno",
+            fault_model="errno",
+        )
+        # The second campaign's identical executions add zero rows...
+        assert second["new"] == 0
+        assert second["duplicates"] == second["total"]
+        counters = store.counters()
+        assert counters["unique_results"] == first["new"]
+        assert counters["recorded_executions"] == 2 * len(explored)
+        assert counters["deduplicated"] == (
+            counters["recorded_executions"] - counters["unique_results"]
+        )
+        # ...but both campaigns can still be rendered independently.
+        assert len(store.results(campaign="j2", limit=10_000)) == len(explored)
+        # First-writer attribution is stable.
+        for row in store.results(campaign="j2", limit=10_000):
+            assert row["first_campaign"] == "j1"
+
+    def test_different_fault_model_is_a_different_identity(
+        self, store, explored
+    ):
+        store.create_job("j1", "a", {"target": "coreutils"})
+        store.create_job("j2", "a", {"target": "coreutils"})
+        store.record_campaign(
+            "j1", explored, target_id="coreutils/8.1/errno",
+            fault_model="errno",
+        )
+        other = store.record_campaign(
+            "j2", explored, target_id="coreutils/8.1/errno+disk",
+            fault_model="errno+disk",
+        )
+        assert other["duplicates"] == 0
+
+    def test_result_filters(self, store, explored):
+        store.create_job("j1", "a", {"target": "coreutils"})
+        store.record_campaign(
+            "j1", explored, target_id="coreutils/8.1/errno",
+            fault_model="errno",
+        )
+        failed = store.results(failed=True, limit=10_000)
+        assert len(failed) == explored.failed_count()
+        assert all(row["failed"] for row in failed)
+        assert store.results(target="coreutils", limit=10_000)
+        assert not store.results(target="httpd", limit=10_000)
+
+    def test_clusters_cover_all_failures(self, store, explored):
+        store.create_job("j1", "a", {"target": "coreutils"})
+        store.record_campaign(
+            "j1", explored, target_id="coreutils/8.1/errno",
+            fault_model="errno", cluster_distance=1,
+        )
+        clusters = store.clusters("j1")
+        assert sum(c["size"] for c in clusters) == explored.failed_count()
+        assert len(clusters) == explored.cluster(
+            of=lambda t: t.failed, max_distance=1
+        ).cluster_count
+        digests = {
+            row["digest"]
+            for row in store.results(campaign="j1", limit=10_000)
+        }
+        for cluster in clusters:
+            assert cluster["representative_digest"] in digests
+
+    def test_survives_reopen(self, tmp_path, explored):
+        path = tmp_path / "afex.db"
+        store = ResultStore(path)
+        store.create_job("j1", "a", {"target": "coreutils"})
+        store.record_campaign(
+            "j1", explored, target_id="coreutils/8.1/errno",
+            fault_model="errno",
+        )
+        store.mark_done(
+            "j1", digest="d" * 64, summary={"tests": len(explored)},
+            document={"version": 1},
+        )
+        reopened = ResultStore(path)
+        assert reopened.job("j1").state == "done"
+        assert reopened.counters()["unique_results"] > 0
+        assert len(reopened.results(campaign="j1", limit=10_000)) == len(
+            explored
+        )
+
+    def test_bind_metrics_exports_gauges(self, store):
+        from repro.obs import MetricsRegistry
+
+        registry = MetricsRegistry()
+        store.bind_metrics(registry)
+        store.create_job("j1", "a", {"target": "coreutils"})
+        snapshot = registry.snapshot()
+        assert snapshot["gauges"]["service.store.campaigns"] == 1
+        assert snapshot["gauges"]["service.store.queued"] == 1
+
+
+class TestScenarioDigest:
+    def test_matches_cache_key_identity(self):
+        a = scenario_key_digest(
+            "coreutils/8.1/errno", "", (("test", 3), ("function", "read"))
+        )
+        b = scenario_key_digest(
+            "coreutils/8.1/errno", "", (("test", 3), ("function", "read"))
+        )
+        c = scenario_key_digest(
+            "coreutils/8.1/errno", "", (("test", 4), ("function", "read"))
+        )
+        assert a == b != c
+        assert len(a) == 64
+
+    @given(
+        target=st.sampled_from(["a/1/errno", "b/2/errno"]),
+        test=st.integers(min_value=1, max_value=50),
+        call=st.integers(min_value=0, max_value=3),
+        function=st.sampled_from(["read", "write", "malloc"]),
+    )
+    def test_digest_is_injective_on_attributes(
+        self, target, test, call, function
+    ):
+        base = scenario_key_digest(
+            target, "", (("test", test), ("function", function),
+                         ("call", call))
+        )
+        bumped = scenario_key_digest(
+            target, "", (("test", test + 1), ("function", function),
+                         ("call", call))
+        )
+        assert base != bumped
+
+
+@given(
+    states=st.lists(
+        st.sampled_from(["running", "done", "failed"]),
+        min_size=1, max_size=8,
+    )
+)
+def test_requeue_property(tmp_path_factory, states):
+    """After requeue, exactly the non-terminal jobs are queued."""
+    store = ResultStore(
+        tmp_path_factory.mktemp("prop") / "afex.db"
+    )
+    for i, state in enumerate(states):
+        job_id = f"j{i}"
+        store.create_job(job_id, "t", {"target": "coreutils"})
+        if state in ("running",):
+            store.mark_running(job_id)
+        elif state == "done":
+            store.mark_done(job_id, digest="d" * 64, summary={},
+                            document={})
+        elif state == "failed":
+            store.mark_failed(job_id, "x")
+    requeued = {j.id for j in store.requeue_incomplete()}
+    expected = {
+        f"j{i}" for i, state in enumerate(states) if state == "running"
+    }
+    assert requeued == expected
+    counters = store.counters()
+    assert counters["queued"] == len(expected)
+    assert counters["running"] == 0
+
+
+def test_concurrent_writers_do_not_corrupt(tmp_path):
+    """Two threads hammering the same store stay consistent (WAL)."""
+    import threading
+
+    store = ResultStore(tmp_path / "afex.db")
+
+    def writer(prefix: str) -> None:
+        for i in range(25):
+            job_id = f"{prefix}{i}"
+            store.create_job(job_id, prefix, {"target": "coreutils"})
+            store.mark_running(job_id)
+            store.mark_done(job_id, digest="d" * 64, summary={},
+                            document={})
+
+    threads = [
+        threading.Thread(target=writer, args=(p,)) for p in ("a", "b")
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    counters = store.counters()
+    assert counters["campaigns"] == 50
+    assert counters["done"] == 50
+    # The database itself is intact.
+    conn = sqlite3.connect(store.path)
+    assert conn.execute("PRAGMA integrity_check").fetchone()[0] == "ok"
+    conn.close()
+
+
+def test_attributes_stored_as_canonical_json(store, coreutils):
+    """Attribute vectors land as JSON, not Python reprs."""
+    results = ExplorationSession(
+        TargetRunner(coreutils),
+        FaultSpace.product(test=range(1, 5),
+                           function=coreutils.libc_functions()[:3],
+                           call=[0]),
+        standard_impact(),
+        FitnessGuidedSearch(),
+        IterationBudget(5),
+        rng=0,
+    ).run()
+    store.create_job("j1", "a", {"target": "coreutils"})
+    store.record_campaign(
+        "j1", results, target_id="coreutils/8.1/errno",
+        fault_model="errno",
+    )
+    for row in store.results(campaign="j1"):
+        names = [name for name, _ in row["attributes"]]
+        assert "test" in names and "function" in names
+        json.dumps(row["attributes"])  # round-trips as pure JSON
