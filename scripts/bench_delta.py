@@ -119,6 +119,31 @@ def main() -> int:
     before = {name: committed(args.baseline_ref, name) for name in FILES}
     after = {name: workspace(name) for name in FILES}
 
+    # A committed BENCH_parallel.json whose pool >= serial gate was
+    # skipped (single-core runner at commit time) is not a baseline at
+    # all: its pool numbers measured contention, not parallelism, and
+    # comparing fresh multi-core numbers against them reads as a bogus
+    # "improvement".  Refuse it — degrade the before column to n/a,
+    # loudly — rather than print a flattering delta.
+    committed_gate = dig(
+        before["BENCH_parallel.json"], "speedup_gate"
+    )
+    if isinstance(committed_gate, dict) and committed_gate.get("skipped"):
+        print(
+            "> **Warning:** the committed `BENCH_parallel.json` at "
+            f"`{args.baseline_ref}` was measured with its pool >= serial "
+            "gate skipped "
+            f"(reason recorded: {committed_gate.get('reason')!r}); its "
+            "numbers are not a usable baseline and are shown as n/a. "
+            "Re-commit a baseline measured on a multi-core runner.\n"
+        )
+        print(
+            "bench_delta: committed BENCH_parallel.json baseline had a "
+            "skipped speedup gate; ignoring it",
+            file=sys.stderr,
+        )
+        before["BENCH_parallel.json"] = None
+
     rows: list[tuple[str, object | None, object | None, str]] = []
 
     def row(label: str, *keys: str, source: str, pattern: str = "{:.2f}"

@@ -404,6 +404,34 @@ def build_parser() -> argparse.ArgumentParser:
         "exits when the manager deregisters it (needs a v3 manager)",
     )
 
+    replay_cmd = sub.add_parser(
+        "replay",
+        help="deterministically re-execute a stored result by crash id, "
+        "with a call-level provenance explanation",
+    )
+    replay_cmd.add_argument(
+        "crash_id", metavar="CRASH_ID",
+        help="scenario digest (any unambiguous hex prefix) printed in "
+        "reports, replay scripts, and `afex results`",
+    )
+    replay_cmd.add_argument(
+        "--store", default=None, metavar="PATH",
+        help="resolve against a service SQLite store (afex-service.db)",
+    )
+    replay_cmd.add_argument(
+        "--checkpoint", default=None, metavar="PATH",
+        help="resolve against a campaign checkpoint file",
+    )
+    replay_cmd.add_argument(
+        "--report-json", default=None, metavar="PATH",
+        help="resolve against a --report-json outcome document "
+        "(coarse: the document stores outcomes, not full payloads)",
+    )
+    replay_cmd.add_argument(
+        "--json", action="store_true",
+        help="print the machine-readable replay outcome",
+    )
+
     trace = sub.add_parser(
         "trace",
         help="ltrace-style dump of one test's library calls (no injection)",
@@ -1019,6 +1047,58 @@ def _cmd_node(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_replay(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.core.cache import result_to_payload
+    from repro.errors import ReplayError
+    from repro.replay import format_outcome, replay, result_digest
+
+    if not (args.store or args.checkpoint or args.report_json):
+        print("afex replay: pass at least one of --store, --checkpoint, "
+              "--report-json to resolve the crash id against")
+        return 2
+    store = None
+    if args.store:
+        from pathlib import Path
+
+        from repro.service.store import ResultStore
+
+        if not Path(args.store).exists():
+            print(f"afex replay: no store at {args.store}")
+            return 2
+        store = ResultStore(args.store)
+    try:
+        outcome = replay(
+            args.crash_id,
+            store=store,
+            checkpoint=args.checkpoint,
+            report=args.report_json,
+        )
+    except ReplayError as exc:
+        print(f"afex replay: {exc}")
+        return 2
+    if args.json:
+        print(json.dumps({
+            "crash_id": outcome.source.crash_id,
+            "source": outcome.source.source,
+            "target": f"{outcome.source.target_name}/"
+                      f"{outcome.source.target_version}",
+            "fault_model": outcome.source.fault_model,
+            "matches": outcome.matches,
+            "divergences": [
+                {"key": key, "recorded": recorded, "replayed": replayed}
+                for key, recorded, replayed in outcome.divergences
+            ],
+            "explanation": outcome.explanation,
+            "result_digest": result_digest(outcome.result),
+            "result": result_to_payload(outcome.result),
+        }, indent=2, sort_keys=True))
+    else:
+        print(format_outcome(outcome))
+    return 0 if outcome.matches else 1
+
+
 def _cmd_trace(args: argparse.Namespace) -> int:
     from repro.sim.process import run_test
 
@@ -1049,6 +1129,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_report(args)
     if args.command == "node":
         return _cmd_node(args)
+    if args.command == "replay":
+        return _cmd_replay(args)
     if args.command == "trace":
         return _cmd_trace(args)
     if args.command == "serve":

@@ -426,6 +426,8 @@ def _report_to_result(fault: Fault, report: TestReport) -> RunResult:
     empty; impact metrics and result-set analyses only consume the
     fields present.
     """
+    from repro.sim.libc import ProvenanceRecord
+
     return RunResult(
         test_id=int(fault.get("test", 0) or 0),
         test_name="",
@@ -440,4 +442,8 @@ def _report_to_result(fault: Fault, report: TestReport) -> RunResult:
         steps=report.steps,
         measurements=dict(report.measurements),
         invariant_violations=report.invariant_violations,
+        provenance=tuple(
+            ProvenanceRecord.from_raw(row)
+            for row in getattr(report, "provenance", ())
+        ),
     )

@@ -113,6 +113,7 @@ class NodeManager:
             invariant_violations=result.invariant_violations,
             spans=spans,
             stack_digest=stack_digest(result.injection_stack),
+            provenance=tuple(tuple(r) for r in result.provenance),
         )
 
     def cache_stats(self) -> dict[str, int | float] | None:

@@ -66,6 +66,10 @@ class TestReport:
     #: one dict probe instead of re-hashing the whole stack on its hot
     #: path.  None when nothing fired.
     stack_digest: str | None = None
+    #: call-level provenance log as plain row tuples (see
+    #: :class:`repro.sim.libc.ProvenanceRecord`); empty unless the run
+    #: was executed with provenance enabled (the replay path).
+    provenance: tuple = ()
 
     @property
     def crashed(self) -> bool:

@@ -71,6 +71,10 @@ zigzag-encoded; floats are big-endian IEEE-754 doubles)::
     report    := id manager:str flags [crash_kind:str] exit_code
                  ncov str* [nstack value*] steps nmeas (str number)*
                  cost:f64 nviol value* nspans value* [digest:str]
+                 [nprov prov*]
+    prov      := seq function:str call_number kind:str rflags
+                 [resource:str]   (rflags bit0 = injected,
+                                   bit1 = resource present)
     value     := tag payload   (None/bool/int/float/str/tuple/
                                 frozenset/str-keyed dict)
     number    := 0x01 svarint  (integral values — most sensor
@@ -562,6 +566,9 @@ def encode_work_frame(requests: "list[TestRequest]") -> bytes:
 # report flag bits.
 _F_FAILED, _F_INJECTED = 0x01, 0x02
 _F_CRASH_KIND, _F_STACK, _F_DIGEST = 0x04, 0x08, 0x10
+#: report carries a call-level provenance log (absent on non-replay
+#: runs, so ordinary campaign frames stay byte-identical).
+_F_PROVENANCE = 0x20
 
 
 def encode_report_frame(
@@ -590,6 +597,7 @@ def encode_report_frame(
             | (_F_CRASH_KIND if report.crash_kind is not None else 0)
             | (_F_STACK if report.injection_stack is not None else 0)
             | (_F_DIGEST if report.stack_digest is not None else 0)
+            | (_F_PROVENANCE if report.provenance else 0)
         )
         w.buf.append(flags)
         if report.crash_kind is not None:
@@ -617,6 +625,23 @@ def encode_report_frame(
             w.value(dict(span))
         if report.stack_digest is not None:
             w.string(report.stack_digest)
+        if report.provenance:
+            # (seq, function, call_number, kind, resource, injected)
+            # rows; function/kind/resource names repeat heavily, so the
+            # per-frame string interning does the compression.
+            w.uvarint(len(report.provenance))
+            for row in report.provenance:
+                seq, function, call_number, kind, resource, injected = row
+                w.uvarint(int(seq))
+                w.string(str(function))
+                w.uvarint(int(call_number))
+                w.string(str(kind))
+                rflags = (1 if injected else 0) | (
+                    2 if resource is not None else 0
+                )
+                w.buf.append(rflags)
+                if resource is not None:
+                    w.string(str(resource))
     return _framed_binary(bytes(w.buf))
 
 
@@ -667,6 +692,21 @@ def _read_report(r: _Reader) -> TestReport:
     if not all(isinstance(span, dict) for span in spans):
         raise WireError("report spans must decode to dicts")
     stack_digest = r.string() if flags & _F_DIGEST else None
+    provenance: tuple = ()
+    if flags & _F_PROVENANCE:
+        rows = []
+        for _ in range(r.count("provenance record")):
+            seq = r.uvarint()
+            function = r.string()
+            call_number = r.uvarint()
+            kind = r.string()
+            rflags = r.byte()
+            resource = r.string() if rflags & 2 else None
+            rows.append(
+                (seq, function, call_number, kind, resource,
+                 bool(rflags & 1))
+            )
+        provenance = tuple(rows)
     return TestReport(
         request_id=request_id,
         manager=manager,
@@ -682,6 +722,7 @@ def _read_report(r: _Reader) -> TestReport:
         invariant_violations=invariant_violations,
         spans=spans,
         stack_digest=stack_digest,
+        provenance=provenance,
     )
 
 
@@ -793,7 +834,7 @@ def report_to_wire(report: TestReport) -> dict:
     :func:`repro.obs.trace.worker_spans`), so worker-side trace spans
     cross the wire unchanged.
     """
-    return {
+    payload = {
         "request_id": report.request_id,
         "manager": report.manager,
         "failed": report.failed,
@@ -812,6 +853,11 @@ def report_to_wire(report: TestReport) -> dict:
         "spans": [dict(span) for span in report.spans],
         "stack_digest": report.stack_digest,
     }
+    if report.provenance:
+        # Only present on replay-path reports, so ordinary campaign
+        # frames are byte-identical with or without the field.
+        payload["provenance"] = [list(row) for row in report.provenance]
+    return payload
 
 
 def report_from_wire(payload: dict) -> TestReport:
@@ -836,6 +882,9 @@ def report_from_wire(payload: dict) -> TestReport:
             invariant_violations=tuple(payload["invariant_violations"]),
             spans=tuple(payload.get("spans", ())),
             stack_digest=payload.get("stack_digest"),
+            provenance=tuple(
+                tuple(row) for row in payload.get("provenance", ())
+            ),
         )
     except (KeyError, TypeError, ValueError) as exc:
         raise WireError(f"malformed test report: {exc!r}") from None

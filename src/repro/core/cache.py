@@ -275,8 +275,13 @@ def _result_to_payload(result: "RunResult") -> dict:
 
     Call traces are only populated by explicitly traced runs, which the
     runner never caches, so dropping ``trace`` loses nothing.
+
+    ``provenance`` is only present when non-empty: runs without the
+    opt-in provenance log serialize to byte-identical payloads (and
+    therefore byte-identical history digests) before and after the
+    field existed.
     """
-    return {
+    payload = {
         "test_id": result.test_id,
         "test_name": result.test_name,
         "plan": result.plan.format(),
@@ -298,10 +303,14 @@ def _result_to_payload(result: "RunResult") -> dict:
         "leaked_heap_bytes": result.leaked_heap_bytes,
         "invariant_violations": list(result.invariant_violations),
     }
+    if result.provenance:
+        payload["provenance"] = [list(record) for record in result.provenance]
+    return payload
 
 
 def _result_from_payload(payload: dict) -> "RunResult":
     from repro.injection.plan import InjectionPlan
+    from repro.sim.libc import ProvenanceRecord
     from repro.sim.process import RunResult
 
     return RunResult(
@@ -326,6 +335,10 @@ def _result_from_payload(payload: dict) -> "RunResult":
         open_fds=payload["open_fds"],
         leaked_heap_bytes=payload["leaked_heap_bytes"],
         invariant_violations=tuple(payload["invariant_violations"]),
+        provenance=tuple(
+            ProvenanceRecord.from_raw(row)
+            for row in payload.get("provenance", ())
+        ),
     )
 
 

@@ -124,16 +124,33 @@ class ResultSet:
 
     # -- replay scripts (§6.3 "Test Suites") ------------------------------------------
 
-    def replay_script(self, test: ExecutedTest, target_name: str) -> str:
-        """Source of a standalone script reproducing one injection."""
+    def replay_script(
+        self, test: ExecutedTest, target_name: str, crash_id: str | None = None
+    ) -> str:
+        """Source of a standalone script reproducing one injection.
+
+        When ``crash_id`` is given (the store's scenario-key digest for
+        this result) it is embedded in the header so the script and the
+        one-command path stay cross-referenced: ``afex replay <id>``
+        against the producing store or checkpoint reproduces the same
+        scenario with call-level provenance.
+        """
         plan_text = test.result.plan.format() or "# (no injection)"
         plan_lines = "\n".join(plan_text.splitlines())
+        crash_line = f"\nCrash id:  {crash_id}" if crash_id else ""
+        replay_hint = (
+            f"\n# One-command equivalent (against the producing store or"
+            f"\n# checkpoint): afex replay {crash_id}\n"
+            if crash_id
+            else ""
+        )
         return f'''"""Auto-generated AFEX replay script.
 
 Fault:     {test.fault}
 Outcome:   {test.result.summary()}
-Impact:    {test.impact:.2f}
+Impact:    {test.impact:.2f}{crash_line}
 """
+{replay_hint}
 
 from repro.injection.plan import InjectionPlan
 from repro.sim.process import run_test
@@ -158,15 +175,19 @@ if __name__ == "__main__":
         target_name: str,
         of: Callable[[ExecutedTest], bool] | None = None,
         max_distance: int = 1,
+        crash_id_for: Callable[[ExecutedTest], str | None] | None = None,
     ) -> dict[str, str]:
         """Replay scripts for one representative per redundancy cluster.
 
         Returns a mapping of suggested file name -> script source.
+        ``crash_id_for`` optionally maps each representative to its
+        stable crash id so the scripts embed an ``afex replay`` hint.
         """
         scripts: dict[str, str] = {}
         for rep in self.cluster_representatives(of=of, max_distance=max_distance):
             name = f"replay_{rep.index:05d}.py"
-            scripts[name] = self.replay_script(rep, target_name)
+            crash_id = crash_id_for(rep) if crash_id_for is not None else None
+            scripts[name] = self.replay_script(rep, target_name, crash_id=crash_id)
         return scripts
 
     # -- persistence (§6.3: results outlive the exploration session) -----------------
@@ -183,7 +204,7 @@ if __name__ == "__main__":
 
         payload = []
         for t in self._executed:
-            payload.append({
+            entry = {
                 "index": t.index,
                 "fault": {
                     "subspace": t.fault.subspace,
@@ -209,7 +230,14 @@ if __name__ == "__main__":
                     "failure_message": t.result.failure_message,
                     "measurements": t.result.measurements,
                 },
-            })
+            }
+            if t.result.provenance:
+                # Optional key, only when non-empty: keeps saved sets
+                # from provenance-off runs byte-identical to before.
+                entry["result"]["provenance"] = [
+                    list(record) for record in t.result.provenance
+                ]
+            payload.append(entry)
         return json.dumps({"version": 1, "tests": payload})
 
     @classmethod
@@ -218,6 +246,7 @@ if __name__ == "__main__":
         import json
 
         from repro.injection.plan import InjectionPlan
+        from repro.sim.libc import ProvenanceRecord
 
         def _value(raw):
             # JSON turns tuples into lists; restore the range-call shape.
@@ -250,6 +279,10 @@ if __name__ == "__main__":
                 leaked_heap_bytes=raw.get("leaked_heap_bytes", 0),
                 failure_message=raw["failure_message"],
                 measurements=dict(raw["measurements"]),
+                provenance=tuple(
+                    ProvenanceRecord.from_raw(row)
+                    for row in raw.get("provenance", ())
+                ),
             )
             executed.append(ExecutedTest(
                 index=entry["index"],

@@ -39,6 +39,12 @@ def injection_identity(result: RunResult) -> tuple[str | None, str | None]:
     frame of the injection stack; the errno comes from the plan's
     matching atomic fault.  This is the identity the ``sim.*`` metric
     series are labelled with.
+
+    When the fired function has no matching atomic fault — a hooks-only
+    or composed fault model, where the injection came from a world hook
+    rather than an errno plan — the identity falls back to the hook's
+    label (``disk:torn``, ``net:partition``...) instead of mislabelling
+    the series with ``none``.
     """
     if not result.injected or not result.injection_stack:
         return None, None
@@ -46,6 +52,8 @@ def injection_identity(result: RunResult) -> tuple[str | None, str | None]:
     for fault in result.plan.faults:
         if fault.function == function:
             return function, fault.errno.name
+    for hook in getattr(result.plan, "hooks", ()):
+        return function, hook.label()
     return function, None
 
 
@@ -61,12 +69,16 @@ class TargetRunner:
         cache: ResultCache | None = None,
         metrics: "object | None" = None,
         tracer: "object | None" = None,
+        provenance: bool = False,
     ) -> None:
         self.target = target
         self.injector = injector or LibFaultInjector()
         self.step_budget = step_budget
         self.test_attribute = test_attribute
         self.cache = cache
+        #: when True, every execution records the call-level provenance
+        #: log (the replay/explain path; off on the exploration path).
+        self.provenance = provenance
         #: optional :class:`~repro.obs.metrics.MetricsRegistry`; when
         #: set, every execution reports ``runner.execute_seconds`` and
         #: the ``sim.injected_calls`` series by function/errno.
@@ -130,12 +142,14 @@ class TargetRunner:
                 result = run_test(
                     self.target, test, plan,
                     trial=trial, step_budget=self.step_budget,
+                    provenance=self.provenance,
                 )
                 self._execute_hist.observe(clock() - started)
             else:
                 result = run_test(
                     self.target, test, plan,
                     trial=trial, step_budget=self.step_budget,
+                    provenance=self.provenance,
                 )
             self._observe(result)
         finally:

@@ -50,3 +50,7 @@ class ReportError(ReproError):
 
 class CheckpointError(ReproError):
     """A campaign checkpoint is unreadable, incompatible, or divergent."""
+
+
+class ReplayError(ReproError):
+    """A crash id could not be resolved or re-executed for replay."""

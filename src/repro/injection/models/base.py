@@ -69,6 +69,15 @@ class WorldHook(ABC):
     def disarm(self, env) -> None:
         """Remove the fault state, leaving the world pristine."""
 
+    def label(self) -> str:
+        """Short low-cardinality identity for metric labels and replay
+        explanations (``disk:torn``, ``net:partition``...).
+
+        Concrete hooks override this; the default keeps third-party
+        hooks identifiable without requiring the method.
+        """
+        return type(self).__name__
+
 
 @dataclass(frozen=True)
 class ScenarioPlan(InjectionPlan):

@@ -72,6 +72,9 @@ class BitFlipHook(WorldHook):
     def disarm(self, env) -> None:
         env.libc.heap.bitflip = None
 
+    def label(self) -> str:
+        return f"bitflip:bit{self.bit}"
+
 
 class BitFlipModel(FaultModel):
     """Transient single-bit flips in live heap allocations."""

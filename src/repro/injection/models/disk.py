@@ -95,6 +95,9 @@ class DiskFaultHook(WorldHook):
     def disarm(self, env) -> None:
         env.fs.disk_fault = None
 
+    def label(self) -> str:
+        return f"disk:{self.mode}"
+
 
 class DiskFaultModel(FaultModel):
     """Torn/corrupt writes against the simulated filesystem."""

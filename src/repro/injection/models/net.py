@@ -94,6 +94,9 @@ class NetFaultHook(WorldHook):
     def disarm(self, env) -> None:
         env.libc.net_fault = None
 
+    def label(self) -> str:
+        return f"net:{self.mode}"
+
 
 def chaos_rates(mode: str) -> dict[str, float]:
     """ChaosCluster kwargs approximating a net-fault mode on the real

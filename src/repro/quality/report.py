@@ -217,11 +217,12 @@ def build_report(
             relevance=relevance,
         ))
 
+    crash_id_for = _crash_id_factory(runner)
     scripts: dict[str, str] = {}
     for rep_index in sorted(representatives):
         rep = eligible[rep_index]
         scripts[f"replay_{rep.index:05d}.py"] = results.replay_script(
-            rep, target_name
+            rep, target_name, crash_id=crash_id_for(rep)
         )
 
     return ExplorationReport(
@@ -245,6 +246,32 @@ def build_report(
         ),
         quality_stats=quality_stats,
     )
+
+
+def _crash_id_factory(runner) -> Callable[["ExecutedTest"], "str | None"]:
+    """Per-test crash ids when the runner carries the needed identity.
+
+    A :class:`~repro.core.runner.TargetRunner` exposes its target and
+    injector; anything else (a bare callable in tests) degrades to no
+    crash-id line in the generated scripts rather than failing the
+    report.
+    """
+    target = getattr(runner, "target", None)
+    injector = getattr(runner, "injector", None)
+    if target is None or injector is None:
+        return lambda test: None
+    from repro.replay import crash_id_of
+
+    spec = str(getattr(injector, "name", ""))
+    spec = spec.removeprefix("model:")
+
+    def _id(test: "ExecutedTest") -> str:
+        return crash_id_of(
+            target.name, target.version, spec,
+            test.fault.subspace, test.fault.attributes,
+        )
+
+    return _id
 
 
 def _cluster(eligible: list["ExecutedTest"], cluster_distance: int):

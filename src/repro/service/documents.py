@@ -58,6 +58,7 @@ def campaign_document(
     """
     from repro.core.checkpoint import history_digest
 
+    crash_id_of = _crash_id_resolver(campaign)
     summary = results.summary()
     throughput = (
         len(results) / elapsed_seconds if elapsed_seconds > 0 else None
@@ -79,6 +80,9 @@ def campaign_document(
             {
                 "impact": test.impact,
                 "fault": str(test.fault),
+                "subspace": test.fault.subspace,
+                "attributes": [[n, v] for n, v in test.fault.attributes],
+                "crash_id": crash_id_of(test),
                 "outcome": test.result.summary(),
                 "test_id": test.result.test_id,
                 "test_name": test.result.test_name,
@@ -95,3 +99,36 @@ def campaign_document(
     if space_size is not None:
         document["space_size"] = space_size
     return document
+
+
+def _crash_id_resolver(campaign: dict[str, object]):
+    """Map an executed test to its stable crash id, when derivable.
+
+    The id is the store's scenario-key digest, computed over the same
+    ``target/version/fault_model`` identity :meth:`ResultStore.
+    record_campaign` uses — so the ids printed in a report resolve
+    against the store (``afex replay <id> --store``) without any
+    database round-trip at document-build time.  Campaign echoes that
+    lack a target or fault model (or name an unknown target) degrade to
+    ``crash_id: null`` rather than failing the document.
+    """
+    target_name = campaign.get("target")
+    fault_model = campaign.get("fault_model")
+    if not target_name or not fault_model:
+        return lambda test: None
+    try:
+        from repro.sim.targets import target_by_name
+
+        target = target_by_name(str(target_name))
+    except Exception:
+        return lambda test: None
+    from repro.service.store import scenario_key_digest
+
+    target_id = f"{target.name}/{target.version}/{fault_model}"
+
+    def crash_id_of(test) -> str:
+        return scenario_key_digest(
+            target_id, test.fault.subspace, test.fault.attributes
+        )
+
+    return crash_id_of

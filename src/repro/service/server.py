@@ -516,6 +516,37 @@ class CampaignService:
             engine.close()
         self._reap_nodes()
 
+    def replay_result(self, crash_id: str) -> dict[str, object]:
+        """Deterministically re-execute one stored result by crash id.
+
+        Resolves the (possibly abbreviated) id against this service's
+        store, re-runs the scenario with provenance capture on, and
+        diffs the outcome against the stored payload.  One simulated
+        test is cheap, so this runs inline on the calling thread; raises
+        :class:`~repro.errors.ReplayError` for unknown/ambiguous ids.
+        """
+        from repro.core.cache import result_to_payload
+        from repro.replay import replay, result_digest
+
+        outcome = replay(crash_id, store=self.store)
+        return {
+            "crash_id": outcome.source.crash_id,
+            "source": outcome.source.source,
+            "target": (
+                f"{outcome.source.target_name}/"
+                f"{outcome.source.target_version}"
+            ),
+            "fault_model": outcome.source.fault_model,
+            "matches": outcome.matches,
+            "divergences": [
+                {"key": key, "recorded": recorded, "replayed": replayed}
+                for key, recorded, replayed in outcome.divergences
+            ],
+            "explanation": outcome.explanation,
+            "result_digest": result_digest(outcome.result),
+            "result": result_to_payload(outcome.result),
+        }
+
     def stats(self) -> dict[str, object]:
         return {
             "version": API_VERSION,
@@ -592,6 +623,17 @@ class _Api:
             if job is None:
                 raise _HttpError(404, "no such job")
             return {"job": job.as_dict()}
+        if path.startswith("/v1/results/") and path.endswith("/replay"):
+            if method != "POST":
+                raise _HttpError(405, f"{method} not allowed on {path}")
+            crash_id = path[len("/v1/results/"):-len("/replay")]
+            from repro.errors import ReplayError
+
+            try:
+                return self.service.replay_result(crash_id)
+            except ReplayError as exc:
+                status = 404 if "not found" in str(exc) else 400
+                raise _HttpError(status, str(exc)) from None
         if path == "/v1/results" and method == "GET":
             rows = self.service.store.results(
                 campaign=query.get("campaign") or None,
@@ -823,6 +865,10 @@ class ServiceClient:
         return self._request(
             "GET", f"/v1/results?{query}" if query else "/v1/results"
         )["results"]
+
+    def replay(self, crash_id: str) -> dict:
+        """Server-side replay of one stored result by crash id."""
+        return self._request("POST", f"/v1/results/{crash_id}/replay")
 
     def stats(self) -> dict:
         return self._request("GET", "/v1/stats")

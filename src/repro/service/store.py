@@ -191,9 +191,28 @@ def _row_to_job(row: sqlite3.Row) -> StoredJob:
 class ResultStore:
     """SQLite archive of campaigns, deduplicated results, and clusters."""
 
-    def __init__(self, path: str | Path) -> None:
+    def __init__(
+        self,
+        path: str | Path,
+        *,
+        clock=time.time,
+        monotonic=time.monotonic,
+    ) -> None:
         self.path = Path(path)
         self.path.parent.mkdir(parents=True, exist_ok=True)
+        # Wall clock stamps the display columns (created_s/started_s/
+        # finished_s); the monotonic clock measures durations, immune to
+        # NTP steps and DST jumps mid-campaign.  Both injectable so
+        # tests can freeze and step them deterministically.
+        self._clock = clock
+        self._monotonic = monotonic
+        # Monotonic anchors of currently-running jobs and measured run
+        # durations of finished ones.  In-memory is sound here:
+        # ``requeue_incomplete`` flips running jobs back to queued on
+        # restart, so every job that reaches done/failed started within
+        # this process's monotonic epoch.
+        self._running_anchor: dict[str, float] = {}
+        self._durations: dict[str, float] = {}
         # Serializes writers inside this process; cross-process safety
         # comes from SQLite's own locking.
         self._lock = threading.Lock()
@@ -223,7 +242,7 @@ class ResultStore:
         label: str = "",
         checkpoint: str | None = None,
     ) -> StoredJob:
-        now = time.time()
+        now = self._clock()
         with self._lock, self._connect() as conn:
             seq = conn.execute(
                 "SELECT COALESCE(MAX(seq), 0) + 1 FROM campaigns"
@@ -274,8 +293,9 @@ class ResultStore:
             conn.execute(
                 "UPDATE campaigns SET state = 'running', started_s = ? "
                 "WHERE id = ?",
-                (time.time(), job_id),
+                (self._clock(), job_id),
             )
+            self._running_anchor[job_id] = self._monotonic()
 
     def mark_done(
         self,
@@ -291,20 +311,37 @@ class ResultStore:
                 "digest = ?, summary = ?, document = ?, error = NULL "
                 "WHERE id = ?",
                 (
-                    time.time(), digest,
+                    self._clock(), digest,
                     json.dumps(summary, sort_keys=True),
                     json.dumps(document, sort_keys=True),
                     job_id,
                 ),
             )
+            self._finish_duration(job_id)
 
     def mark_failed(self, job_id: str, error: str) -> None:
         with self._lock, self._connect() as conn:
             conn.execute(
                 "UPDATE campaigns SET state = 'failed', finished_s = ?, "
                 "error = ? WHERE id = ?",
-                (time.time(), str(error)[:2000], job_id),
+                (self._clock(), str(error)[:2000], job_id),
             )
+            self._finish_duration(job_id)
+
+    def _finish_duration(self, job_id: str) -> None:
+        """Close a job's monotonic run-duration measurement (lock held)."""
+        anchor = self._running_anchor.pop(job_id, None)
+        if anchor is not None:
+            self._durations[job_id] = max(0.0, self._monotonic() - anchor)
+
+    def job_duration(self, job_id: str) -> float | None:
+        """Monotonic run duration of a finished job, if measured here.
+
+        None for jobs finished by another process (or before a restart);
+        the wall-clock ``finished_s - started_s`` stays available for a
+        coarse display value in that case.
+        """
+        return self._durations.get(job_id)
 
     def requeue_incomplete(self) -> list[StoredJob]:
         """Flip every non-terminal job back to ``queued`` (restart path).
@@ -337,7 +374,7 @@ class ResultStore:
         duplicates are results some earlier campaign (or an earlier
         round of this one) already stored.
         """
-        now = time.time()
+        now = self._clock()
         new = 0
         rows = []
         mapping = []
@@ -481,6 +518,39 @@ class ResultStore:
             return None
         return result_from_payload(json.loads(row["payload"]))
 
+    def resolve_digest(self, prefix: str) -> list[str]:
+        """Digests matching a (possibly short, git-style) crash-id prefix.
+
+        Returns every match so the caller can distinguish "not found"
+        from "ambiguous"; digests are hex, so no LIKE metacharacters.
+        """
+        with self._connect() as conn:
+            rows = conn.execute(
+                "SELECT digest FROM results WHERE digest LIKE ? "
+                "ORDER BY digest LIMIT 16",
+                (prefix + "%",),
+            ).fetchall()
+        return [row["digest"] for row in rows]
+
+    def result_row(self, digest: str) -> dict | None:
+        """One stored result with full identity and payload (replay input)."""
+        with self._connect() as conn:
+            row = conn.execute(
+                "SELECT * FROM results WHERE digest = ?", (digest,)
+            ).fetchone()
+        if row is None:
+            return None
+        return {
+            "digest": row["digest"],
+            "target": row["target"],
+            "fault_model": row["fault_model"],
+            "subspace": row["subspace"],
+            "attributes": json.loads(row["attributes"]),
+            "payload": json.loads(row["payload"]),
+            "crash_kind": row["crash_kind"],
+            "first_campaign": row["first_campaign"],
+        }
+
     def clusters(self, campaign: str) -> list[dict]:
         with self._connect() as conn:
             rows = conn.execute(
@@ -500,8 +570,10 @@ class ResultStore:
 
     # -- statistics ------------------------------------------------------------
 
-    def counters(self) -> dict[str, int]:
-        """Store-wide totals, including the cross-campaign dedup ratio."""
+    def counters(self) -> dict[str, float]:
+        """Store-wide totals, including the cross-campaign dedup ratio
+        and monotonic run-duration aggregates for jobs timed by this
+        process."""
         with self._connect() as conn:
             campaigns = conn.execute(
                 "SELECT COUNT(*) FROM campaigns"
@@ -521,6 +593,7 @@ class ResultStore:
             failures = conn.execute(
                 "SELECT COUNT(*) FROM results WHERE failed = 1"
             ).fetchone()[0]
+        durations = list(self._durations.values())
         return {
             "campaigns": campaigns,
             "queued": by_state.get("queued", 0),
@@ -532,6 +605,9 @@ class ResultStore:
             "deduplicated": executions - unique if executions else 0,
             "crashes": crashes,
             "failures": failures,
+            "timed_jobs": len(durations),
+            "run_seconds_total": round(sum(durations), 6),
+            "run_seconds_max": round(max(durations, default=0.0), 6),
         }
 
     def bind_metrics(self, registry: object) -> None:

@@ -27,6 +27,7 @@ Return conventions mirror C:
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import NamedTuple
 
 from repro.injection.plan import AtomicFault, InjectionPlan
 from repro.sim.crashes import HangDetected
@@ -49,6 +50,8 @@ from repro.sim.stack import CallStack
 __all__ = [
     "CallRecord",
     "InjectionEvent",
+    "LazyProvenance",
+    "ProvenanceRecord",
     "NULL",
     "SimLibc",
     "O_RDONLY",
@@ -83,6 +86,170 @@ class InjectionEvent:
     stack: tuple[str, ...]
 
 
+class ProvenanceRecord(NamedTuple):
+    """One call-level provenance entry (opt-in, the replay/explain path).
+
+    A tuple subclass on purpose: records are created on every libc call
+    when provenance is enabled, serialize to JSON as plain lists, and
+    round-trip through every codec without a bespoke adapter.
+    """
+
+    #: global call sequence number (1-based, the step counter).
+    seq: int
+    #: the intercepted libc function.
+    function: str
+    #: per-function call number (the ``callNumber`` fault-space axis).
+    call_number: int
+    #: what the call touched: ``path``/``fd``/``stream``/``dir``/
+    #: ``heap``/``socket``, or ``call`` for calls with no resource.
+    kind: str
+    #: the resolved resource name (a sim-FS path, heap size, socket
+    #: id), or None for resource-free calls.
+    resource: str | None
+    #: True when an atomic fault fired on this very call.
+    injected: bool
+
+    @classmethod
+    def from_raw(cls, row: "list | tuple") -> "ProvenanceRecord":
+        """Rebuild a record from its JSON/wire list form."""
+        seq, function, call_number, kind, resource, injected = row
+        return cls(
+            int(seq), str(function), int(call_number), str(kind),
+            None if resource is None else str(resource), bool(injected),
+        )
+
+
+def _normalize_path(path: str, cwd: str) -> str:
+    """Pure mirror of :meth:`SimFilesystem.resolve` for deferred use.
+
+    Resolution must not need the filesystem object itself (a provenance
+    log outlives its run and must not pin the simulated world in
+    memory), so this reimplements the path normalization over a cwd
+    string snapshot.
+    """
+    if not path:
+        return path
+    if not path.startswith("/"):
+        path = cwd.rstrip("/") + "/" + path
+    parts: list[str] = []
+    for part in path.split("/"):
+        if part in ("", "."):
+            continue
+        if part == "..":
+            if parts:
+                parts.pop()
+            continue
+        parts.append(part)
+    return "/" + "/".join(parts)
+
+
+class LazyProvenance:
+    """A run's provenance log, resolved on first read.
+
+    Capture on the interposition hot path appends one raw row per call
+    — locals :meth:`SimLibc._enter` already holds, ~a tuple-pack each —
+    and all resource resolution plus :class:`ProvenanceRecord`
+    construction are deferred until somebody actually reads the log
+    (the replay/explain path).  That keeps enabled capture within the
+    replay overhead budget while runs that never read the log pay next
+    to nothing.  Deferred resolution is still exact: the sim never
+    reuses fd/stream/dir ids, and every wrapper that creates one
+    records its name at birth — so only the small name tables are
+    retained here, never the libc/filesystem world (which would turn
+    every provenance-on run into GC ballast).
+
+    Compares, iterates, indexes, and pickles as the materialized tuple
+    of records.
+    """
+
+    __slots__ = (
+        "_rows", "_fd_names", "_stream_names", "_dir_names", "_cwd",
+        "_records",
+    )
+
+    def __init__(
+        self,
+        rows: tuple,
+        fd_names: dict,
+        stream_names: dict,
+        dir_names: dict,
+        cwd: str,
+    ) -> None:
+        self._rows = rows
+        self._fd_names = fd_names
+        self._stream_names = stream_names
+        self._dir_names = dir_names
+        self._cwd = cwd
+        self._records: "tuple | None" = None
+
+    def _resolve(
+        self, resource: "tuple[str, object] | None"
+    ) -> "tuple[str, str | None]":
+        """Resolve an operand pair to a stable resource name.
+
+        Best-effort: an fd/stream/dir id with no recorded name (e.g. a
+        descriptor the target conjured without going through libc)
+        keeps its numeric identity rather than failing the read.
+        """
+        if resource is None:
+            return "call", None
+        kind, operand = resource
+        if kind == "fd":
+            name = self._fd_names.get(operand)
+            return "fd", name if name is not None else f"fd:{operand}"
+        if kind == "path":
+            return "path", _normalize_path(str(operand), self._cwd)
+        if kind == "stream":
+            name = self._stream_names.get(operand)
+            return "stream", name if name is not None else f"stream:{operand}"
+        if kind == "dir":
+            name = self._dir_names.get(operand)
+            return "dir", name if name is not None else f"dir:{operand}"
+        if kind == "heap":
+            return "heap", f"{operand}B"
+        if kind == "socket":
+            return "socket", f"socket:{operand}"
+        return str(kind), None if operand is None else str(operand)
+
+    def _materialize(self) -> tuple:
+        if self._records is None:
+            resolve = self._resolve
+            self._records = tuple(
+                ProvenanceRecord(
+                    seq, function, count, *resolve(resource), injected
+                )
+                for seq, function, count, resource, injected in self._rows
+            )
+            self._rows = ()
+        return self._records
+
+    def __iter__(self):
+        return iter(self._materialize())
+
+    def __len__(self) -> int:
+        return len(self._materialize())
+
+    def __getitem__(self, index):
+        return self._materialize()[index]
+
+    def __bool__(self) -> bool:
+        return bool(self._rows) or bool(self._records)
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, LazyProvenance):
+            other = other._materialize()
+        return self._materialize() == other
+
+    def __hash__(self) -> int:
+        return hash(self._materialize())
+
+    def __repr__(self) -> str:
+        return repr(self._materialize())
+
+    def __reduce__(self):
+        return (tuple, (self._materialize(),))
+
+
 class _Stream:
     """A stdio FILE: a buffered view over an fd, with error/EOF flags."""
 
@@ -115,6 +282,7 @@ class SimLibc:
         step_budget: int = DEFAULT_STEP_BUDGET,
         trace: bool = False,
         trace_stacks: bool = False,
+        provenance: bool = False,
     ) -> None:
         self.fs = fs
         self.stack = stack or CallStack()
@@ -128,6 +296,18 @@ class SimLibc:
         self.trace_enabled = trace
         self.trace_stacks = trace_stacks
         self.trace: list[CallRecord] = []
+        self.provenance_enabled = provenance
+        #: raw capture rows ``(seq, function, count, resource_pair,
+        #: injected)`` — resolved lazily via :meth:`resolved_provenance`.
+        self.provenance: list[tuple] = []
+        #: fd/stream/dir id → path, recorded at creation time (only
+        #: when provenance is on), so deferred resolution stays exact no
+        #: matter how the resource is retired — ids are never reused,
+        #: and e.g. a kill-9 teardown closing fds behind libc's back
+        #: cannot lose the name.
+        self._fd_names: dict[int, str] = {}
+        self._stream_names: dict[int, str] = {}
+        self._dir_names: dict[int, str] = {}
         self._streams: dict[int, _Stream] = {}
         self._next_stream = 0x100000
         self._dir_streams: dict[int, _DirStream] = {}
@@ -151,8 +331,18 @@ class SimLibc:
         """Install the injection plan for the next execution."""
         self.plan = plan
 
-    def _enter(self, function: str) -> AtomicFault | None:
-        """Count a call, enforce the step budget, and consult the plan."""
+    def _enter(
+        self,
+        function: str,
+        resource: "tuple[str, object] | None" = None,
+    ) -> AtomicFault | None:
+        """Count a call, enforce the step budget, and consult the plan.
+
+        ``resource`` is the call's operand as an unresolved ``(kind,
+        operand)`` pair — resolution (fd → path, stream → path) only
+        happens when provenance is enabled, so the non-replay path pays
+        one tuple per call and nothing else.
+        """
         self.steps += 1
         if self.steps > self.step_budget:
             raise HangDetected(
@@ -172,24 +362,68 @@ class SimLibc:
             self.injections.append(
                 InjectionEvent(fault, count, self.stack.snapshot() + (function,))
             )
+        if self.provenance_enabled:
+            # Raw row only — resolution and record construction are
+            # deferred (LazyProvenance) to keep this path near-free.
+            self.provenance.append(
+                (self.steps, function, count, resource, fault is not None)
+            )
         return fault
+
+    def _note_disk_fault(self) -> None:
+        """Mark the current call's provenance row when a disk hook fired.
+
+        World hooks mutate state inside the filesystem layer, after
+        :meth:`_enter` already appended this call's row with
+        ``injected=False``; the armed :class:`DiskFaultState` counter
+        sitting exactly on its target ordinal means *this* write was the
+        transformed one.  Only called when provenance is enabled.
+        """
+        state = self.fs.disk_fault
+        if (
+            state is not None
+            and state.writes == state.write_number
+            and self.provenance
+            and not self.provenance[-1][4]
+        ):
+            self.provenance[-1] = self.provenance[-1][:4] + (True,)
+
+    def resolved_provenance(self) -> "tuple | LazyProvenance":
+        """The run's provenance log, as a lazily-resolved sequence of
+        :class:`ProvenanceRecord`s (a plain empty tuple when capture
+        was off or nothing ran).
+
+        The returned log retains only the name tables and a cwd
+        snapshot — not this libc or its filesystem — so holding many
+        provenance-on results does not pin the simulated worlds that
+        produced them.
+        """
+        if not self.provenance:
+            return ()
+        return LazyProvenance(
+            tuple(self.provenance),
+            self._fd_names,
+            self._stream_names,
+            self._dir_names,
+            self.fs.cwd,
+        )
 
     # -- memory -----------------------------------------------------------------
 
     def malloc(self, size: int) -> int:
-        fault = self._enter("malloc")
+        fault = self._enter("malloc", ("heap", size))
         if fault is not None:
             return fault.retval
         return self.heap.alloc(size)
 
     def calloc(self, count: int, size: int) -> int:
-        fault = self._enter("calloc")
+        fault = self._enter("calloc", ("heap", count * size))
         if fault is not None:
             return fault.retval
         return self.heap.alloc(count * size)
 
     def realloc(self, ptr: int, size: int) -> int:
-        fault = self._enter("realloc")
+        fault = self._enter("realloc", ("heap", size))
         if fault is not None:
             return fault.retval
         return self.heap.realloc(ptr, size)
@@ -199,7 +433,7 @@ class SimLibc:
         self.heap.free(ptr)
 
     def strdup(self, text: str) -> int:
-        fault = self._enter("strdup")
+        fault = self._enter("strdup", ("heap", len(text) + 1))
         if fault is not None:
             return fault.retval
         ptr = self.heap.alloc(len(text.encode()) + 1)
@@ -209,17 +443,20 @@ class SimLibc:
     # -- file descriptors ---------------------------------------------------------
 
     def open(self, path: str, flags: int = O_RDONLY) -> int:
-        fault = self._enter("open")
+        fault = self._enter("open", ("path", path))
         if fault is not None:
             return fault.retval
         try:
-            return self.fs.open(path, flags)
+            fd = self.fs.open(path, flags)
         except FsError as err:
             self.errno = err.errno
             return -1
+        if self.provenance_enabled:
+            self._fd_names[fd] = self.fs.fd_path(fd)
+        return fd
 
     def close(self, fd: int) -> int:
-        fault = self._enter("close")
+        fault = self._enter("close", ("fd", fd))
         if fault is not None:
             return fault.retval  # injected failure: fd is NOT closed (leak)
         try:
@@ -231,7 +468,7 @@ class SimLibc:
 
     def read(self, fd: int, count: int) -> bytes | int:
         """Returns bytes on success (possibly empty at EOF), -1 on error."""
-        fault = self._enter("read")
+        fault = self._enter("read", ("fd", fd))
         if fault is not None:
             return fault.retval
         try:
@@ -241,17 +478,20 @@ class SimLibc:
             return -1
 
     def write(self, fd: int, data: bytes) -> int:
-        fault = self._enter("write")
+        fault = self._enter("write", ("fd", fd))
         if fault is not None:
             return fault.retval
         try:
-            return self.fs.write(fd, data)
+            wrote = self.fs.write(fd, data)
         except FsError as err:
             self.errno = err.errno
             return -1
+        if self.provenance_enabled:
+            self._note_disk_fault()
+        return wrote
 
     def lseek(self, fd: int, offset: int) -> int:
-        fault = self._enter("lseek")
+        fault = self._enter("lseek", ("fd", fd))
         if fault is not None:
             return fault.retval
         try:
@@ -261,7 +501,7 @@ class SimLibc:
             return -1
 
     def fsync(self, fd: int) -> int:
-        fault = self._enter("fsync")
+        fault = self._enter("fsync", ("fd", fd))
         if fault is not None:
             return fault.retval
         # In-memory fs: durability is immediate; still validate the fd.
@@ -273,7 +513,7 @@ class SimLibc:
             return -1
 
     def fcntl(self, fd: int, cmd: int = 0) -> int:
-        fault = self._enter("fcntl")
+        fault = self._enter("fcntl", ("fd", fd))
         if fault is not None:
             return fault.retval
         try:
@@ -294,15 +534,18 @@ class SimLibc:
             self.fs.create_file(name)
             rfd = self.fs.open(name, O_RDONLY)
             wfd = self.fs.open(name, O_WRONLY)
-            return (rfd, wfd)
         except FsError as err:
             self.errno = err.errno
             return -1
+        if self.provenance_enabled:
+            self._fd_names[rfd] = name
+            self._fd_names[wfd] = name
+        return (rfd, wfd)
 
     # -- stdio streams ------------------------------------------------------------
 
     def _fopen_impl(self, name: str, path: str, mode: str) -> int:
-        fault = self._enter(name)
+        fault = self._enter(name, ("path", path))
         if fault is not None:
             return fault.retval
         flag_map = {
@@ -325,7 +568,11 @@ class SimLibc:
         stream_id = self._next_stream
         self._next_stream += 1
         writable = mode.rstrip("b") != "r"
-        self._streams[stream_id] = _Stream(fd, self.fs.resolve(path), writable)
+        resolved = self.fs.resolve(path)
+        self._streams[stream_id] = _Stream(fd, resolved, writable)
+        if self.provenance_enabled:
+            self._fd_names[fd] = resolved
+            self._stream_names[stream_id] = resolved
         return stream_id
 
     def fopen(self, path: str, mode: str = "r") -> int:
@@ -338,7 +585,7 @@ class SimLibc:
         return self._streams.get(stream_id)
 
     def fclose(self, stream_id: int) -> int:
-        fault = self._enter("fclose")
+        fault = self._enter("fclose", ("stream", stream_id))
         if fault is not None:
             # Injected fclose failure: per glibc, the stream is unusable
             # afterwards; we close the underlying fd but report failure.
@@ -362,7 +609,7 @@ class SimLibc:
 
     def fgets(self, stream_id: int, max_len: int = 4096) -> str | None:
         """Returns the next line (with newline) or None on EOF/error."""
-        fault = self._enter("fgets")
+        fault = self._enter("fgets", ("stream", stream_id))
         stream = self._stream(stream_id)
         if fault is not None:
             if stream is not None:
@@ -392,7 +639,7 @@ class SimLibc:
 
     def putc(self, char: str, stream_id: int) -> int:
         """Returns the character code written, or -1 (EOF) on error."""
-        fault = self._enter("putc")
+        fault = self._enter("putc", ("stream", stream_id))
         stream = self._stream(stream_id)
         if fault is not None:
             if stream is not None:
@@ -403,15 +650,17 @@ class SimLibc:
             return -1
         try:
             self.fs.write(stream.fd, char.encode())
-            return ord(char)
         except FsError as err:
             self.errno = err.errno
             stream.error = True
             return -1
+        if self.provenance_enabled:
+            self._note_disk_fault()
+        return ord(char)
 
     def fputs(self, text: str, stream_id: int) -> int:
         """Write a whole string; one injectable ``fputs`` call."""
-        fault = self._enter("fputs")
+        fault = self._enter("fputs", ("stream", stream_id))
         stream = self._stream(stream_id)
         if fault is not None:
             if stream is not None:
@@ -422,14 +671,16 @@ class SimLibc:
             return -1
         try:
             self.fs.write(stream.fd, text.encode())
-            return len(text)
         except FsError as err:
             self.errno = err.errno
             stream.error = True
             return -1
+        if self.provenance_enabled:
+            self._note_disk_fault()
+        return len(text)
 
     def fflush(self, stream_id: int) -> int:
-        fault = self._enter("fflush")
+        fault = self._enter("fflush", ("stream", stream_id))
         stream = self._stream(stream_id)
         if fault is not None:
             if stream is not None:
@@ -441,7 +692,7 @@ class SimLibc:
         return 0  # write-through streams: nothing buffered
 
     def ferror(self, stream_id: int) -> int:
-        fault = self._enter("ferror")
+        fault = self._enter("ferror", ("stream", stream_id))
         if fault is not None:
             return fault.retval
         stream = self._stream(stream_id)
@@ -460,7 +711,7 @@ class SimLibc:
 
     def stat(self, path: str) -> StatResult | None:
         """Returns a StatResult, or None (C: -1) on failure."""
-        fault = self._enter("stat")
+        fault = self._enter("stat", ("path", path))
         if fault is not None:
             return None
         try:
@@ -470,7 +721,7 @@ class SimLibc:
             return None
 
     def opendir(self, path: str) -> int:
-        fault = self._enter("opendir")
+        fault = self._enter("opendir", ("path", path))
         if fault is not None:
             return fault.retval
         try:
@@ -480,12 +731,15 @@ class SimLibc:
             return NULL
         dirp = self._next_dirp
         self._next_dirp += 1
-        self._dir_streams[dirp] = _DirStream(self.fs.resolve(path), names)
+        resolved = self.fs.resolve(path)
+        self._dir_streams[dirp] = _DirStream(resolved, names)
+        if self.provenance_enabled:
+            self._dir_names[dirp] = resolved
         return dirp
 
     def readdir(self, dirp: int) -> str | None:
         """Returns the next entry name, or None at end / on error."""
-        fault = self._enter("readdir")
+        fault = self._enter("readdir", ("dir", dirp))
         if fault is not None:
             return None
         stream = self._dir_streams.get(dirp)
@@ -499,16 +753,17 @@ class SimLibc:
         return name
 
     def closedir(self, dirp: int) -> int:
-        fault = self._enter("closedir")
+        fault = self._enter("closedir", ("dir", dirp))
         if fault is not None:
             return fault.retval
-        if self._dir_streams.pop(dirp, None) is None:
+        dstream = self._dir_streams.pop(dirp, None)
+        if dstream is None:
             self.errno = Errno.EBADF
             return -1
         return 0
 
     def chdir(self, path: str) -> int:
-        fault = self._enter("chdir")
+        fault = self._enter("chdir", ("path", path))
         if fault is not None:
             return fault.retval
         try:
@@ -525,7 +780,7 @@ class SimLibc:
         return self.fs.cwd
 
     def mkdir(self, path: str) -> int:
-        fault = self._enter("mkdir")
+        fault = self._enter("mkdir", ("path", path))
         if fault is not None:
             return fault.retval
         try:
@@ -536,7 +791,7 @@ class SimLibc:
             return -1
 
     def rmdir(self, path: str) -> int:
-        fault = self._enter("rmdir")
+        fault = self._enter("rmdir", ("path", path))
         if fault is not None:
             return fault.retval
         try:
@@ -547,7 +802,7 @@ class SimLibc:
             return -1
 
     def unlink(self, path: str) -> int:
-        fault = self._enter("unlink")
+        fault = self._enter("unlink", ("path", path))
         if fault is not None:
             return fault.retval
         try:
@@ -558,7 +813,7 @@ class SimLibc:
             return -1
 
     def rename(self, old: str, new: str) -> int:
-        fault = self._enter("rename")
+        fault = self._enter("rename", ("path", old))
         if fault is not None:
             return fault.retval
         try:
@@ -569,7 +824,7 @@ class SimLibc:
             return -1
 
     def link(self, existing: str, new: str) -> int:
-        fault = self._enter("link")
+        fault = self._enter("link", ("path", existing))
         if fault is not None:
             return fault.retval
         try:
@@ -655,7 +910,7 @@ class SimLibc:
         return sock
 
     def bind(self, sock: int, port: int) -> int:
-        fault = self._enter("bind")
+        fault = self._enter("bind", ("socket", sock))
         if fault is not None:
             return fault.retval
         if sock not in self._sockets:
@@ -664,7 +919,7 @@ class SimLibc:
         return 0
 
     def listen(self, sock: int, backlog: int = 16) -> int:
-        fault = self._enter("listen")
+        fault = self._enter("listen", ("socket", sock))
         if fault is not None:
             return fault.retval
         if sock not in self._sockets:
@@ -674,7 +929,7 @@ class SimLibc:
 
     def accept(self, sock: int) -> int:
         """Returns a connection socket, or -1 (EAGAIN when inbox empty)."""
-        fault = self._enter("accept")
+        fault = self._enter("accept", ("socket", sock))
         if fault is not None:
             return fault.retval
         if sock not in self._sockets:
@@ -692,7 +947,7 @@ class SimLibc:
         return conn
 
     def connect(self, sock: int, port: int) -> int:
-        fault = self._enter("connect")
+        fault = self._enter("connect", ("socket", sock))
         if fault is not None:
             return fault.retval
         if sock not in self._sockets:
@@ -702,7 +957,7 @@ class SimLibc:
 
     def recv(self, sock: int, count: int = 65536) -> bytes | int:
         """Returns bytes (empty at end-of-stream) or -1 on error."""
-        fault = self._enter("recv")
+        fault = self._enter("recv", ("socket", sock))
         if fault is not None:
             return fault.retval
         if sock not in self._sockets:
@@ -725,7 +980,7 @@ class SimLibc:
         return self.net_inbox.pop(0)
 
     def send(self, sock: int, data: bytes) -> int:
-        fault = self._enter("send")
+        fault = self._enter("send", ("socket", sock))
         if fault is not None:
             return fault.retval
         if sock not in self._sockets:
@@ -743,7 +998,7 @@ class SimLibc:
 
     def close_socket(self, sock: int) -> int:
         """Close a socket (counts as a ``close`` call, like C)."""
-        fault = self._enter("close")
+        fault = self._enter("close", ("socket", sock))
         if fault is not None:
             return fault.retval
         if sock not in self._sockets:

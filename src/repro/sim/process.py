@@ -126,6 +126,9 @@ class RunResult:
     #: violated always-true properties (§7's fault-injection-oriented
     #: assertions), evaluated post-mortem — even after a crash.
     invariant_violations: tuple[str, ...] = ()
+    #: call-level provenance log (only populated when run with
+    #: provenance=True): which call touched which sim-FS/heap resource.
+    provenance: tuple = ()
 
     @property
     def violated(self) -> bool:
@@ -162,6 +165,7 @@ def run_test(
     trace: bool = False,
     trace_stacks: bool = False,
     step_budget: int = DEFAULT_STEP_BUDGET,
+    provenance: bool = False,
 ) -> RunResult:
     """Run one test of ``target`` under ``plan`` in a fresh environment."""
     # `is None`, not truthiness: a hooks-only ScenarioPlan has zero atomic
@@ -171,7 +175,8 @@ def run_test(
     fs = SimFilesystem()
     stack = CallStack()
     libc = SimLibc(
-        fs, stack, step_budget=step_budget, trace=trace, trace_stacks=trace_stacks
+        fs, stack, step_budget=step_budget, trace=trace,
+        trace_stacks=trace_stacks, provenance=provenance,
     )
     cov = Coverage()
     rng = random.Random(f"{target.name}/{target.version}/{test.id}/{trial}")
@@ -242,4 +247,5 @@ def run_test(
         open_fds=fs.open_fd_count,
         leaked_heap_bytes=libc.heap.bytes_in_use,
         invariant_violations=violations,
+        provenance=libc.resolved_provenance(),
     )

@@ -342,3 +342,52 @@ def test_attributes_stored_as_canonical_json(store, coreutils):
         names = [name for name, _ in row["attributes"]]
         assert "test" in names and "function" in names
         json.dumps(row["attributes"])  # round-trips as pure JSON
+
+
+class TestMonotonicDurations:
+    """Run durations come from the monotonic clock, not wall time
+    (satellite bugfix: an NTP step mid-campaign used to corrupt them)."""
+
+    def _clocked_store(self, tmp_path):
+        wall = {"now": 1_000_000.0}
+        mono = {"now": 50.0}
+        store = ResultStore(
+            tmp_path / "clocked.db",
+            clock=lambda: wall["now"],
+            monotonic=lambda: mono["now"],
+        )
+        return store, wall, mono
+
+    def test_duration_survives_wall_clock_step(self, tmp_path):
+        store, wall, mono = self._clocked_store(tmp_path)
+        store.create_job("j1", "a", {"target": "coreutils"})
+        store.mark_running("j1")
+        # NTP yanks wall time back an hour mid-run; monotonic advances.
+        wall["now"] -= 3600.0
+        mono["now"] += 12.5
+        store.mark_done("j1", digest="d" * 64, summary={}, document={})
+        assert store.job_duration("j1") == pytest.approx(12.5)
+        # Wall-clock columns keep the raw (stepped) stamps for display.
+        job = store.job("j1")
+        assert job.finished_s < job.started_s
+
+    def test_counters_aggregate_monotonic_durations(self, tmp_path):
+        store, wall, mono = self._clocked_store(tmp_path)
+        for job_id, seconds in (("j1", 2.0), ("j2", 5.0)):
+            store.create_job(job_id, "a", {"target": "coreutils"})
+            store.mark_running(job_id)
+            mono["now"] += seconds
+            store.mark_failed(job_id, "boom")
+        counters = store.counters()
+        assert counters["timed_jobs"] == 2
+        assert counters["run_seconds_total"] == pytest.approx(7.0)
+        assert counters["run_seconds_max"] == pytest.approx(5.0)
+
+    def test_jobs_finished_elsewhere_have_no_duration(self, tmp_path):
+        store, _, _ = self._clocked_store(tmp_path)
+        store.create_job("j1", "a", {"target": "coreutils"})
+        assert store.job_duration("j1") is None
+        # mark_done without mark_running (e.g. after a requeue by a
+        # restarted process) must not fabricate a measurement.
+        store.mark_done("j1", digest="d" * 64, summary={}, document={})
+        assert store.job_duration("j1") is None
